@@ -1,0 +1,77 @@
+"""Ablation — cache churn and switching costs (extension).
+
+Under the churn-aware costing (instantiation paid only for *new*
+instances, `repro.core.churn.evaluate_with_churn`) a controller that
+reshuffles its cache every slot pays for the thrash.  This benchmark
+compares plain OL_GD against OL_GD wrapped in the hysteresis guard on
+both metrics: churn-aware delay and total cache churn.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OlGdController
+from repro.core.churn import HysteresisController, evaluate_with_churn
+from repro.experiments.figures import _build_setting
+from repro.utils.seeding import RngRegistry
+
+
+def run_churn_study(profile):
+    results = {}
+    for rep in range(profile.repetitions):
+        rngs = RngRegistry(seed=profile.seed).child(f"churn-rep{rep}")
+        network, requests, demand_model = _build_setting(
+            profile, rngs, profile.base_stations
+        )
+        controllers = {
+            "OL_GD": OlGdController(network, requests, rngs.get("plain")),
+            "OL_GD+hyst": HysteresisController(
+                OlGdController(network, requests, rngs.get("wrapped")),
+                switch_threshold_ms=1.0,
+            ),
+        }
+        for name, controller in controllers.items():
+            previous = None
+            delays, churn = [], 0
+            for t in range(profile.horizon):
+                demands = demand_model.demand_at(t)
+                assignment = controller.decide(t, demands)
+                d_t = network.delays.sample(t)
+                delays.append(
+                    evaluate_with_churn(
+                        assignment, network, requests, demands, d_t, previous
+                    )
+                )
+                if previous is not None:
+                    churn += assignment.cache_churn(previous)
+                controller.observe(t, demands, d_t, assignment)
+                previous = assignment
+            entry = results.setdefault(name, {"delay": [], "churn": []})
+            skip = profile.horizon // 4
+            entry["delay"].append(float(np.mean(delays[skip:])))
+            entry["churn"].append(churn)
+    return {
+        name: {
+            "delay_ms": float(np.mean(entry["delay"])),
+            "total_churn": float(np.mean(entry["churn"])),
+        }
+        for name, entry in results.items()
+    }
+
+
+def test_ablation_churn(benchmark, profile):
+    results = run_once(benchmark, run_churn_study, profile)
+    print()
+    print("controller -> churn-aware delay (ms) | total new instances")
+    for name, entry in results.items():
+        print(
+            f"  {name:<12} {entry['delay_ms']:8.2f} | {entry['total_churn']:8.0f}"
+        )
+    # The hysteresis guard must cut churn substantially...
+    assert (
+        results["OL_GD+hyst"]["total_churn"] < 0.7 * results["OL_GD"]["total_churn"]
+    ), f"hysteresis should reduce cache churn; got {results}"
+    # ...without a large delay penalty under churn-aware costing.
+    assert results["OL_GD+hyst"]["delay_ms"] <= 1.15 * results["OL_GD"]["delay_ms"], (
+        f"hysteresis should not cost much churn-aware delay; got {results}"
+    )

@@ -1,0 +1,59 @@
+"""Ablation — LP-guided OL_GD vs LP-free combinatorial bandits.
+
+DESIGN.md extension: quantifies the value of the paper's central design
+choice (steering exploration with the per-slot LP relaxation) against
+classic index policies applied per request (UCB1, Thompson sampling) with
+the same bandit feedback and the same capacity discipline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OlGdController
+from repro.core.cmab import cmab_thompson, cmab_ucb
+from repro.experiments.figures import _build_setting
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+
+
+def sweep_controllers(profile):
+    results = {}
+    for rep in range(profile.repetitions):
+        rngs = RngRegistry(seed=profile.seed).child(f"cmab-rep{rep}")
+        network, requests, demand_model = _build_setting(
+            profile, rngs, profile.base_stations
+        )
+        controllers = [
+            OlGdController(network, requests, rngs.get("ol-gd")),
+            cmab_ucb(network, requests, rngs.get("cmab-ucb")),
+            cmab_thompson(network, requests, rngs.get("cmab-ts")),
+        ]
+        for controller in controllers:
+            result = run_simulation(
+                network, demand_model, controller, horizon=profile.horizon
+            )
+            results.setdefault(controller.name, []).append(
+                result.mean_delay_ms(skip_warmup=profile.horizon // 4)
+            )
+    return {name: float(np.mean(values)) for name, values in results.items()}
+
+
+def test_ablation_cmab(benchmark, profile):
+    results = run_once(benchmark, sweep_controllers, profile)
+    print()
+    print("controller -> steady-state delay (ms)")
+    for name, delay in sorted(results.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<10} {delay:8.2f}")
+    # Finding (recorded in EXPERIMENTS.md): at light load the Thompson
+    # CMAB is a strong LP-free alternative — it can edge out OL_GD, whose
+    # LP guidance pays off as capacity coupling tightens.  The robust
+    # assertions are that OL_GD beats the UCB variant and stays within a
+    # modest factor of the best index policy.
+    assert results["OL_GD"] < results["CMAB_UCB"], (
+        f"OL_GD should beat the UCB index policy; got {results}"
+    )
+    best_index = min(results["CMAB_UCB"], results["CMAB_TS"])
+    assert results["OL_GD"] <= best_index * 1.30, (
+        f"OL_GD should be within a modest factor of the best index policy; "
+        f"got {results}"
+    )

@@ -1,0 +1,47 @@
+"""Ablation — sensitivity of OL_GD to the candidate threshold gamma (Eq. 9).
+
+DESIGN.md exp id ``abl-gamma``.  A very small gamma admits almost every
+station with fractional mass into the candidate set (noisy rounding); a
+very large one collapses the set to the argmax (no hedging).  The sweep
+shows the flat middle region the default gamma=0.1 sits in.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OlGdController
+from repro.experiments.figures import _build_setting
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+
+GAMMAS = (0.02, 0.1, 0.3, 0.6)
+
+
+def sweep_gamma(profile):
+    results = {}
+    for gamma in GAMMAS:
+        delays = []
+        for rep in range(profile.repetitions):
+            rngs = RngRegistry(seed=profile.seed).child(f"gamma-rep{rep}")
+            network, requests, demand_model = _build_setting(
+                profile, rngs, profile.base_stations
+            )
+            controller = OlGdController(
+                network, requests, rngs.get("ol-gd"), gamma=gamma
+            )
+            result = run_simulation(
+                network, demand_model, controller, horizon=profile.horizon
+            )
+            delays.append(result.mean_delay_ms(skip_warmup=profile.horizon // 4))
+        results[gamma] = float(np.mean(delays))
+    return results
+
+
+def test_ablation_gamma(benchmark, profile):
+    results = run_once(benchmark, sweep_gamma, profile)
+    print()
+    print("gamma -> steady-state delay (ms)")
+    for gamma, delay in results.items():
+        print(f"  gamma={gamma:<5} {delay:8.2f}")
+    assert set(results) == set(GAMMAS)
+    assert all(np.isfinite(v) and v > 0 for v in results.values())

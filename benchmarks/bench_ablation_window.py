@@ -1,0 +1,56 @@
+"""Ablation — cumulative vs sliding-window delay estimation under drift.
+
+Extension beyond the paper (DESIGN.md §4): Algorithm 1's `theta_i` is a
+cumulative mean, which lags when `d_i(t)` drifts (the paper's own premise
+is time-varying delays).  This benchmark compares the paper's estimator
+against sliding windows of several lengths at an aggressive drift.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OlGdController
+from repro.experiments.figures import _build_setting
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+
+WINDOWS = (None, 40, 10)
+DRIFT_MS = 2.0
+
+
+def sweep_window(profile):
+    import dataclasses
+
+    drifting = dataclasses.replace(profile, drift_ms=DRIFT_MS)
+    results = {}
+    for window in WINDOWS:
+        label = "cumulative (paper)" if window is None else f"window={window}"
+        delays = []
+        for rep in range(profile.repetitions):
+            rngs = RngRegistry(seed=profile.seed).child(f"win-rep{rep}")
+            network, requests, demand_model = _build_setting(
+                drifting, rngs, profile.base_stations
+            )
+            controller = OlGdController(
+                network, requests, rngs.get("ol-gd"), estimator_window=window
+            )
+            result = run_simulation(
+                network, demand_model, controller, horizon=profile.horizon
+            )
+            delays.append(result.mean_delay_ms(skip_warmup=profile.horizon // 4))
+        results[label] = float(np.mean(delays))
+    return results
+
+
+def test_ablation_window(benchmark, profile):
+    results = run_once(benchmark, sweep_window, profile)
+    print()
+    print(f"estimator -> steady-state delay (ms) at drift {DRIFT_MS} ms/slot")
+    for label, delay in results.items():
+        print(f"  {label:<20} {delay:8.2f}")
+    # At strong drift, forgetting must not be materially worse than the
+    # cumulative estimator (it is usually better).
+    best_window = min(v for k, v in results.items() if k != "cumulative (paper)")
+    assert best_window <= results["cumulative (paper)"] * 1.05, (
+        f"a sliding window should track drifting delays at least as well; {results}"
+    )

@@ -1,0 +1,67 @@
+"""Ablation — resilience to cloudlet outages (extension).
+
+Fails the learner's favourite station mid-horizon and measures the delay
+penalty during the outage window for OL_GD vs Greedy_GD.  The learning
+controller re-routes (its LP simply stops assigning to the dead station
+and its exploration keeps fresher estimates of the alternatives); the
+greedy baseline must rediscover a plan from stale means.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import GreedyController, OlGdController
+from repro.experiments.figures import _build_setting
+from repro.sim import FailureSchedule, run_with_failures
+from repro.utils.seeding import RngRegistry
+
+
+def outage_study(profile):
+    horizon = profile.horizon
+    start = horizon // 2
+    duration = max(horizon // 5, 2)
+    results = {}
+    for rep in range(profile.repetitions):
+        rngs = RngRegistry(seed=profile.seed).child(f"fail-rep{rep}")
+        network, requests, demand_model = _build_setting(
+            profile, rngs, profile.base_stations
+        )
+        probe = OlGdController(network, requests, rngs.get("probe"))
+        victim = int(
+            np.bincount(
+                probe.decide(0, demand_model.demand_at(0)).station_of
+            ).argmax()
+        )
+        failures = FailureSchedule().add_outage(victim, start, duration)
+        for controller in (
+            OlGdController(network, requests, rngs.get("ol-gd")),
+            GreedyController(network, requests, rngs.get("greedy")),
+        ):
+            result = run_with_failures(
+                network, demand_model, controller, horizon, failures
+            )
+            window = result.delays_ms[start : start + duration]
+            after = result.delays_ms[start + duration :]
+            entry = results.setdefault(
+                controller.name, {"during": [], "after": []}
+            )
+            entry["during"].append(float(np.mean(window)))
+            entry["after"].append(float(np.mean(after)) if after.size else np.nan)
+    return {
+        name: {k: float(np.nanmean(v)) for k, v in entry.items()}
+        for name, entry in results.items()
+    }
+
+
+def test_outage_resilience(benchmark, profile):
+    results = run_once(benchmark, outage_study, profile)
+    print()
+    print("controller -> mean delay during outage | after recovery (ms)")
+    for name, entry in results.items():
+        print(f"  {name:<12} {entry['during']:8.2f} | {entry['after']:8.2f}")
+    # The learner must ride through the outage at least as well as greedy.
+    assert results["OL_GD"]["during"] <= results["Greedy_GD"]["during"] * 1.05, (
+        f"OL_GD should absorb the outage at least as well; got {results}"
+    )
+    for entry in results.values():
+        assert np.isfinite(entry["during"])

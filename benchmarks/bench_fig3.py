@@ -1,0 +1,25 @@
+"""Fig. 3 — OL_GD vs Greedy_GD vs Pri_GD over the horizon (GT-ITM).
+
+Reproduction targets (paper §VI-B): OL_GD achieves the lowest average
+delay, Greedy_GD the highest, and OL_GD sits at least ~15% below Pri_GD in
+steady state; OL_GD's decision time is higher but of the same order.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+from repro.experiments.claims import assert_hard_claims, check_figure, render_scorecard
+from repro.experiments.tables import render_figure
+
+
+def test_fig3(benchmark, profile):
+    figure = run_once(benchmark, figure3, profile)
+    print()
+    print(render_figure(figure))
+
+    results = check_figure(figure, profile)
+    print("claim scorecard:")
+    print(render_scorecard(results))
+    assert set(figure.panels) >= {"delay_ms", "runtime_s"}
+    assert_hard_claims(results)

@@ -1,0 +1,32 @@
+"""Fig. 7 — OL_GAN vs OL_Reg on AS1755 and across network sizes 50-300.
+
+Reproduction targets: OL_GAN's prediction advantage holds across sizes,
+both algorithms' delays fall as the network grows (more fast stations to
+choose from), and OL_GAN's running time on AS1755 stays practical.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure7
+from repro.experiments.claims import assert_hard_claims, check_figure, render_scorecard
+from repro.experiments.tables import render_figure
+
+
+def test_fig7(benchmark, profile):
+    figure = run_once(benchmark, figure7, profile)
+    print()
+    print(render_figure(figure))
+
+    results = check_figure(figure, profile)
+    print("claim scorecard:")
+    print(render_scorecard(results))
+    assert_hard_claims(results)
+    as1755_delay = figure.panels["as1755_delay_ms"]
+    as1755_runtime = figure.panels["as1755_runtime_s"]
+    print(f"AS1755 mean delay: { {k: round(v[0], 2) for k, v in as1755_delay.items()} }")
+    print(
+        "AS1755 mean decision time (s): "
+        f"{ {k: round(v[0], 4) for k, v in as1755_runtime.items()} }"
+    )
+    assert set(as1755_delay) == {"OL_GAN", "OL_Reg"}

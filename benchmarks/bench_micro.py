@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the substrates: LP solve, GAN step, topology, demand.
+
+These use pytest-benchmark's normal calibration (multiple rounds) since
+each operation is fast; they track the per-slot cost drivers of the
+end-to-end figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import build_caching_model
+from repro.gan import InfoRnnGan
+from repro.lp.solver import solve_lp
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.mec.topology import as1755_topology, gtitm_topology
+from repro.nn.layers import BiLSTM
+from repro.nn.tensor import Tensor
+from repro.utils.seeding import RngRegistry
+from repro.workload import BurstyDemandModel
+
+
+def _setting(n_stations=50, n_requests=40, seed=3):
+    rngs = RngRegistry(seed=seed)
+    network = MECNetwork.synthetic(n_stations, 4, rngs)
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(4)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+            hotspot_index=i % 5,
+        )
+        for i in range(n_requests)
+    ]
+    demands = np.array([r.basic_demand_mb for r in requests])
+    return network, requests, demands
+
+
+class TestLpMicro:
+    def test_lp_build(self, benchmark):
+        network, requests, demands = _setting()
+        theta = network.delays.true_means
+
+        benchmark(build_caching_model, network, requests, demands, theta)
+
+    def test_lp_solve(self, benchmark):
+        network, requests, demands = _setting()
+        model, _ = build_caching_model(
+            network, requests, demands, network.delays.true_means
+        )
+        result = benchmark(solve_lp, model)
+        assert result.is_optimal
+
+    def test_fastlp_resolve(self, benchmark):
+        """The structure-cached solver's per-slot cost (OL_GD's hot path)."""
+        from repro.core.fastlp import PerSlotLpSolver
+
+        network, requests, demands = _setting()
+        solver = PerSlotLpSolver(network, requests)
+        theta = network.delays.true_means
+        x = benchmark(solver.solve, demands, theta)
+        assert x.shape == (len(requests), network.n_stations)
+
+
+class TestNnMicro:
+    def test_bilstm_forward(self, benchmark):
+        rng = np.random.default_rng(0)
+        bilstm = BiLSTM(8, 16, rng, num_layers=2)
+        sequence = Tensor(rng.normal(size=(8, 16, 8)))
+        benchmark(bilstm, sequence)
+
+    def test_gan_train_step(self, benchmark):
+        rng = np.random.default_rng(1)
+        gan = InfoRnnGan(code_dim=6, rng=rng, hidden_size=12)
+        real = np.abs(rng.normal(2.0, 1.0, size=(8, 16, 1)))
+        cond = np.abs(rng.normal(2.0, 1.0, size=(8, 16, 1)))
+        codes = np.eye(6)[rng.integers(0, 6, size=16)]
+        benchmark(gan.train_step, real, cond, codes)
+
+
+class TestSubstrateMicro:
+    def test_gtitm_topology_200(self, benchmark):
+        benchmark(gtitm_topology, 200, np.random.default_rng(0))
+
+    def test_as1755_topology(self, benchmark):
+        graph = benchmark(as1755_topology)
+        assert graph.number_of_edges() == 161
+
+    def test_bursty_demand_horizon(self, benchmark):
+        _, requests, _ = _setting()
+        model = BurstyDemandModel(requests, np.random.default_rng(2))
+
+        def generate():
+            # Fresh model each round so the slot cache doesn't trivialise it.
+            fresh = BurstyDemandModel(requests, np.random.default_rng(2))
+            return fresh.matrix(100)
+
+        matrix = benchmark(generate)
+        assert matrix.shape == (100, 40)

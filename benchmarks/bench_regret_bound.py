@@ -1,0 +1,71 @@
+"""Ablation — measured cumulative regret vs the Theorem 1 bound.
+
+DESIGN.md exp id ``abl-regret``.  Runs OL_GD with per-slot clairvoyant LP
+optima (Eq. 10's comparator), prints the cumulative regret curve, and
+checks it stays under `sigma * log((T-1)/(e^(1/c)+1)) + sigma * e^(1/c)`
+(the bound plus the transient term from the proof's parts (1)-(2)).
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OlGdController, lemma1_gap, theorem1_regret_bound
+from repro.core.ol_gd import ExplorationConfig
+from repro.experiments.figures import _build_setting
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+
+
+def measure_regret(profile):
+    c = 0.5
+    rngs = RngRegistry(seed=profile.seed).child("regret")
+    network, requests, demand_model = _build_setting(
+        profile, rngs, profile.base_stations
+    )
+    controller = OlGdController(
+        network,
+        requests,
+        rngs.get("ol-gd"),
+        exploration=ExplorationConfig(schedule="decaying", c=c),
+    )
+    result = run_simulation(
+        network,
+        demand_model,
+        controller,
+        horizon=profile.horizon,
+        compute_optimal=True,
+    )
+    tracker = result.regret_tracker()
+
+    d_min, d_max = network.delays.bounds
+    delta_ins = float(
+        network.services.instantiation_matrix.max()
+        - network.services.instantiation_matrix.min()
+    )
+    sigma = lemma1_gap(
+        n_requests=len(requests),
+        d_max_ms=d_max,
+        d_min_ms=d_min,
+        delta_ins_ms=delta_ins,
+        gamma=controller.gamma,
+    )
+    bound = theorem1_regret_bound(sigma, profile.horizon, c) + sigma * math.exp(1.0 / c)
+    return tracker, sigma, bound, c
+
+
+def test_regret_bound(benchmark, profile):
+    tracker, sigma, bound, c = run_once(benchmark, measure_regret, profile)
+    cumulative = tracker.cumulative_regret
+    print()
+    print(f"Lemma 1 gap sigma = {sigma:.1f} ms; Theorem 1 bound (+transient) = {bound:.1f}")
+    picks = np.linspace(0, len(cumulative) - 1, 8).round().astype(int)
+    for t in picks:
+        print(f"  t={t:>4}  cumulative regret = {cumulative[t]:10.2f}")
+    assert cumulative[-1] <= bound, (
+        f"measured regret {cumulative[-1]:.1f} exceeds the Theorem 1 bound "
+        f"{bound:.1f} (sigma={sigma:.1f}, c={c})"
+    )
+    # Regret must actually accumulate against the LP lower bound.
+    assert cumulative[-1] > 0

@@ -1,0 +1,52 @@
+"""Statistical comparison: OL_GD vs baselines with paired seed-level tests.
+
+The figure benchmarks report single-run (or few-rep) curves; this one runs
+a multi-seed repetition study and reports means with 95% confidence
+intervals plus a paired sign test — the statistical backing for the
+"OL_GD wins" claims.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import GreedyController, OlGdController, PriorityController
+from repro.experiments.figures import _build_setting
+from repro.sim import compare_controllers, run_repetitions
+from repro.utils.seeding import RngRegistry
+
+
+def study(profile):
+    reps = max(profile.repetitions, 4)
+
+    def build(rngs: RngRegistry):
+        network, requests, demand_model = _build_setting(
+            profile, rngs, profile.base_stations
+        )
+        controllers = [
+            OlGdController(network, requests, rngs.get("ol-gd")),
+            GreedyController(network, requests, rngs.get("greedy")),
+            PriorityController(network, requests, rngs.get("priority")),
+        ]
+        return network, demand_model, controllers
+
+    return run_repetitions(
+        build, seed=profile.seed, repetitions=reps, horizon=profile.horizon
+    )
+
+
+def test_statistical_comparison(benchmark, profile):
+    result = run_once(benchmark, study, profile)
+    print()
+    print(result.table("mean_delay_ms"))
+    for rival in ("Greedy_GD", "Pri_GD"):
+        comparison = compare_controllers(result, "OL_GD", rival)
+        print(
+            f"OL_GD vs {rival}: wins {comparison.wins_a}/{result.repetitions}, "
+            f"mean delay advantage {comparison.mean_difference:.2f} ms, "
+            f"sign-test p={comparison.sign_test_p:.3f}"
+        )
+        assert comparison.a_wins_majority, (
+            f"OL_GD should beat {rival} on a majority of seeds; {comparison}"
+        )
+    summary = result.summary("OL_GD", "mean_delay_ms")
+    assert np.isfinite(summary.ci_low) and np.isfinite(summary.ci_high)

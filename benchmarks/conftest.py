@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+The figure benchmarks regenerate entire paper experiments, so each runs
+exactly once (``pedantic`` with one round); the micro-benchmarks use
+pytest-benchmark's normal calibration.  Set ``REPRO_PROFILE=full`` for
+paper-scale runs (hours); the default ``quick`` profile finishes the whole
+suite in minutes.
+"""
+
+import pytest
+
+from repro.experiments.config import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile selected by REPRO_PROFILE (quick/full)."""
+    return active_profile()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment benchmark exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Stand-alone demand prediction with the Info-RNN-GAN (§V).
+
+Uses the library's GAN without any network in the loop: synthesise a
+bursty hotspot workload, pre-train on a *small sample* (the paper's
+emphasis), then forecast slot by slot and compare against the Eq. 27 AR
+baseline and an EWMA.  Also prints the InfoGAN training losses so the
+adversarial / mutual-information / supervised terms are visible.
+
+Run:  python examples/demand_prediction.py
+"""
+
+import numpy as np
+
+from repro.gan import GanDemandPredictor
+from repro.mec.requests import Request
+from repro.prediction import ArPredictor, EwmaPredictor
+from repro.utils import RngRegistry
+from repro.workload import BurstyDemandModel, encode_request_locations
+
+N_REQUESTS, N_HOTSPOTS = 16, 4
+WARMUP_SLOTS, LIVE_SLOTS = 30, 60
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=23)
+
+    requests = [
+        Request(
+            index=i,
+            service_index=0,
+            basic_demand_mb=1.0 + 0.1 * (i % 3),
+            hotspot_index=i % N_HOTSPOTS,
+        )
+        for i in range(N_REQUESTS)
+    ]
+    demand_model = BurstyDemandModel(requests, rngs.get("demand"))
+    history = demand_model.matrix(WARMUP_SLOTS + LIVE_SLOTS)
+    warmup, live = history[:WARMUP_SLOTS], history[WARMUP_SLOTS:]
+    print(
+        f"{N_REQUESTS} requests at {N_HOTSPOTS} hotspots; "
+        f"small sample = {WARMUP_SLOTS} slots, live horizon = {LIVE_SLOTS}"
+    )
+
+    codes = encode_request_locations(requests, N_HOTSPOTS)
+    gan = GanDemandPredictor(
+        codes,
+        rngs.get("gan"),
+        window=8,
+        warmup_history=warmup,
+        pretrain_epochs=15,
+        online_steps=1,
+        supervised_quantile=0.7,
+    )
+    print("\nInfo-RNN-GAN pre-training (per-epoch mean losses):")
+    for epoch, losses in enumerate(gan.loss_history):
+        if epoch % 3 == 0:
+            print(
+                f"  epoch {epoch:>2}  D={losses.discriminator:6.3f}  "
+                f"adv={losses.adversarial:6.3f}  "
+                f"I(c;G)={losses.mutual_information:6.3f}  "
+                f"sup={losses.supervised:7.3f}"
+            )
+
+    baselines = {
+        "AR (Eq. 27)": ArPredictor(N_REQUESTS, order=5),
+        "EWMA": EwmaPredictor(N_REQUESTS, alpha=0.4),
+    }
+    for predictor in baselines.values():
+        for row in warmup:
+            predictor.observe(row)
+
+    errors = {name: [] for name in ["Info-RNN-GAN", *baselines]}
+    for actual in live:
+        errors["Info-RNN-GAN"].append(
+            float(np.mean(np.abs(gan.predict_next() - actual)))
+        )
+        gan.observe(actual)
+        for name, predictor in baselines.items():
+            errors[name].append(
+                float(np.mean(np.abs(predictor.predict_next() - actual)))
+            )
+            predictor.observe(actual)
+
+    print("\nforecast MAE over the live horizon (MB/request/slot):")
+    for name, series in sorted(errors.items(), key=lambda kv: np.mean(kv[1])):
+        print(f"  {name:<14} {np.mean(series):7.3f}")
+
+
+if __name__ == "__main__":
+    main()

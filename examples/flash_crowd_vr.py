@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Flash crowd at a VR hotspot: the paper's motivating "exception".
+
+Scenario (§I / §III-B): "VR services of a museum may experience a bursty
+amount of inference data if many people use its VR services suddenly."
+We schedule a deterministic flash crowd at one hotspot mid-horizon and
+watch how `OL_GAN` (Algorithm 2) absorbs it versus the AR-predicting
+`OL_Reg`:
+
+* per-slot demand of the museum hotspot (the exception is visible),
+* per-slot prediction error of both controllers around the event,
+* per-slot average delay.
+
+Run:  python examples/flash_crowd_vr.py
+"""
+
+import numpy as np
+
+from repro.core import OlGanController, OlRegController
+from repro.mec import MECNetwork
+from repro.sim import run_simulation
+from repro.utils import RngRegistry
+from repro.workload import (
+    BurstyDemandModel,
+    FlashCrowdSchedule,
+    requests_from_trace,
+    synthesize_nyc_wifi_trace,
+)
+
+HORIZON = 40
+CROWD_START, CROWD_LENGTH, CROWD_MB = 20, 8, 6.0
+MUSEUM = 0  # the hotspot hosting the VR exhibition
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=11)
+
+    trace = synthesize_nyc_wifi_trace(
+        n_hotspots=4, n_users=24, rng=rngs.get("trace"), horizon_slots=HORIZON
+    )
+    anchors = [h.location for h in trace.hotspots]
+    network = MECNetwork.synthetic(
+        n_stations=40, n_services=4, rngs=rngs, anchor_points=anchors
+    )
+    requests = requests_from_trace(trace, network.services, rngs.get("trace"))
+    # Size C_unit so a femtocell hosts ~2 average requests (DESIGN.md §5).
+    mean_demand = float(np.mean([r.basic_demand_mb for r in requests]))
+    network.c_unit_mhz = float(network.capacities_mhz.min() / (2.0 * mean_demand))
+
+    # The exception: a flash crowd at the museum between slots 20 and 28.
+    crowd = FlashCrowdSchedule().add_event(
+        MUSEUM, start=CROWD_START, duration=CROWD_LENGTH, amplitude_mb=CROWD_MB
+    )
+    demand_model = BurstyDemandModel(
+        requests, rngs.get("demand"), flash_crowds=crowd, p_enter=0.02
+    )
+    museum_users = [r.index for r in requests if r.hotspot_index == MUSEUM]
+    print(
+        f"{len(museum_users)} of {len(requests)} users are at the museum; "
+        f"crowd of +{CROWD_MB} MB/user in slots "
+        f"[{CROWD_START}, {CROWD_START + CROWD_LENGTH})"
+    )
+
+    # Pre-train the GAN on a warm-up sample (no flash crowd in it: the
+    # event is the exception the model has to react to online).
+    warmup = BurstyDemandModel(requests, rngs.get("warmup")).matrix(24)
+
+    controllers = [
+        OlGanController(
+            network,
+            requests,
+            rngs.get("ol-gan"),
+            n_hotspots=4,
+            warmup_history=warmup,
+            window=6,
+            hidden_size=12,
+            pretrain_epochs=10,
+            online_steps=1,
+            supervised_quantile=0.7,
+        ),
+        OlRegController(network, requests, rngs.get("ol-reg")),
+    ]
+    results = {
+        c.name: run_simulation(
+            network, demand_model, c, horizon=HORIZON, demands_known=False
+        )
+        for c in controllers
+    }
+
+    print(f"\n{'slot':>5} {'museum MB':>10} " + " ".join(f"{n + ' MAE':>12}" for n in results)
+          + " " + " ".join(f"{n + ' delay':>14}" for n in results))
+    for t in range(CROWD_START - 4, min(CROWD_START + CROWD_LENGTH + 4, HORIZON)):
+        museum_mb = float(demand_model.demand_at(t)[museum_users].sum())
+        row = f"{t:>5} {museum_mb:>10.1f} "
+        row += " ".join(
+            f"{results[n].prediction_maes[t]:>12.3f}" for n in results
+        )
+        row += " " + " ".join(
+            f"{results[n].delays_ms[t]:>14.2f}" for n in results
+        )
+        print(row)
+
+    print("\nmean over the crowd window:")
+    window = slice(CROWD_START, CROWD_START + CROWD_LENGTH)
+    for name, result in results.items():
+        print(
+            f"  {name:<8} delay {np.mean(result.delays_ms[window]):7.2f} ms | "
+            f"prediction MAE {np.nanmean(result.prediction_maes[window]):.3f} MB"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Network-size scaling study (the Fig. 4 experiment as a script).
+
+Sweeps the number of base stations and reports, per algorithm:
+steady-state average delay, controller decision time, and cache churn.
+Demonstrates the trade-off the paper discusses: more stations means more
+fast cells to exploit (delay falls) but a bigger LP per slot (OL_GD's
+decision time grows).
+
+Run:  python examples/network_scaling.py [--sizes 30 60 90]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import GreedyController, OlGdController, PriorityController
+from repro.mec import DriftingDelay, MECNetwork
+from repro.sim import run_simulation
+from repro.utils import RngRegistry
+from repro.workload import (
+    ConstantDemandModel,
+    requests_from_trace,
+    synthesize_nyc_wifi_trace,
+)
+
+HORIZON = 60
+N_REQUESTS = 40
+
+
+def run_size(n_stations: int, seed: int = 17) -> dict:
+    rngs = RngRegistry(seed=seed).child(f"size{n_stations}")
+    trace = synthesize_nyc_wifi_trace(
+        n_hotspots=5, n_users=N_REQUESTS, rng=rngs.get("trace"), horizon_slots=HORIZON
+    )
+    anchors = [h.location for h in trace.hotspots]
+    network = MECNetwork.synthetic(
+        n_stations=n_stations, n_services=4, rngs=rngs, anchor_points=anchors
+    )
+    # Time-varying processing delays (§I's uncertainty): a memorising
+    # baseline goes stale, which is what the online learner exploits.
+    network.delays = DriftingDelay(
+        network.stations, rngs.get("delays-drift"), drift_ms=0.5
+    )
+    requests = requests_from_trace(trace, network.services, rngs.get("trace"))
+    mean_demand = float(np.mean([r.basic_demand_mb for r in requests]))
+    network.c_unit_mhz = float(network.capacities_mhz.min() / (2.0 * mean_demand))
+    demand_model = ConstantDemandModel(requests)
+
+    summaries = {}
+    for controller in (
+        OlGdController(network, requests, rngs.get("ol-gd")),
+        PriorityController(network, requests, rngs.get("priority")),
+        GreedyController(network, requests, rngs.get("greedy")),
+    ):
+        result = run_simulation(network, demand_model, controller, horizon=HORIZON)
+        summaries[controller.name] = {
+            "delay_ms": result.mean_delay_ms(skip_warmup=HORIZON // 4),
+            "decision_ms": result.mean_decision_seconds() * 1000.0,
+            "churn": int(result.cache_churn.sum()),
+        }
+    return summaries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[30, 60, 90],
+        help="base-station counts to sweep",
+    )
+    args = parser.parse_args()
+
+    header = f"{'|BS|':>6} {'algorithm':<12} {'delay ms':>10} {'decide ms':>10} {'churn':>7}"
+    print(header)
+    print("-" * len(header))
+    for size in args.sizes:
+        for name, summary in run_size(size).items():
+            print(
+                f"{size:>6} {name:<12} {summary['delay_ms']:>10.2f} "
+                f"{summary['decision_ms']:>10.2f} {summary['churn']:>7}"
+            )
+        print("-" * len(header))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Regret accounting (Eq. 10): achieved cost vs the per-slot optimum.
+
+The paper defines regret as the difference between the average delay the
+algorithm achieves and the delay an optimal caching/assignment would have
+achieved.  :class:`RegretTracker` records both sides per slot and exposes
+the per-slot and cumulative series the regret figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative
+
+__all__ = ["RegretTracker"]
+
+
+class RegretTracker:
+    """Records (achieved, optimal) cost pairs and derives regret series."""
+
+    def __init__(self) -> None:
+        self._achieved: List[float] = []
+        self._optimal: List[float] = []
+
+    def record(self, achieved_cost: float, optimal_cost: float) -> None:
+        """Record one slot.  ``achieved`` may be below ``optimal`` in a
+        single slot (the "optimum" may itself be an estimate); cumulative
+        regret is still reported as-is rather than clamped, so estimation
+        artefacts remain visible in the data."""
+        require_non_negative("achieved_cost", achieved_cost)
+        require_non_negative("optimal_cost", optimal_cost)
+        self._achieved.append(float(achieved_cost))
+        self._optimal.append(float(optimal_cost))
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._achieved)
+
+    @property
+    def achieved(self) -> np.ndarray:
+        """Per-slot achieved cost."""
+        return np.array(self._achieved)
+
+    @property
+    def optimal(self) -> np.ndarray:
+        """Per-slot optimal (clairvoyant) cost."""
+        return np.array(self._optimal)
+
+    @property
+    def per_slot_regret(self) -> np.ndarray:
+        """`achieved - optimal` per slot."""
+        return self.achieved - self.optimal
+
+    @property
+    def cumulative_regret(self) -> np.ndarray:
+        """Running sum of per-slot regret (the curve bounded by Theorem 1)."""
+        if not self._achieved:
+            return np.array([])
+        return np.cumsum(self.per_slot_regret)
+
+    @property
+    def total_regret(self) -> float:
+        """Cumulative regret at the end of the horizon (0 when empty)."""
+        if not self._achieved:
+            return 0.0
+        return float(self.cumulative_regret[-1])
+
+    def average_regret(self) -> float:
+        """Mean per-slot regret (0 when empty)."""
+        if not self._achieved:
+            return 0.0
+        return float(np.mean(self.per_slot_regret))
+
+    def is_sublinear(self, window: int = 10) -> bool:
+        """Heuristic check that regret growth is slowing.
+
+        Compares mean per-slot regret in the first ``window`` slots against
+        the last ``window``; a learning algorithm should pay less per slot
+        at the end than at the start.  Requires at least ``2 * window``
+        slots.
+        """
+        require_non_negative("window", window)
+        if window == 0 or self.n_slots < 2 * window:
+            raise ValueError(
+                f"need at least {2 * max(window, 1)} slots, have {self.n_slots}"
+            )
+        regret = self.per_slot_regret
+        return float(np.mean(regret[-window:])) <= float(np.mean(regret[:window]))

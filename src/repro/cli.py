@@ -1,0 +1,174 @@
+"""Command-line interface: regenerate figures and synthesise traces.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure fig3 [--profile quick|full] [--out DIR] [--json]
+    python -m repro report [--profile quick|full] [--only fig3 fig6] [--out FILE]
+    python -m repro trace --hotspots 20 --users 100 --out DIR [--seed N]
+
+``figure`` renders the chosen experiment to stdout as a text table and
+optionally exports CSV/JSON; ``trace`` writes a synthetic NYC-Wi-Fi-like
+dataset (hotspots.csv / users.csv) for use with
+:func:`repro.workload.WifiTrace.from_csv`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.export import figure_to_csv, figure_to_json
+from repro.experiments.plots import render_figure_plots
+from repro.experiments.tables import render_figure
+from repro.workload import synthesize_nyc_wifi_trace
+
+__all__ = ["main", "build_parser"]
+
+FIGURES: Dict[str, Callable] = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+}
+
+_PROFILES = {"quick": QUICK_PROFILE, "full": FULL_PROFILE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Learning for Exception' (ICDCS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figure experiments")
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("figure_id", choices=sorted(FIGURES))
+    figure_parser.add_argument(
+        "--profile", choices=sorted(_PROFILES), default="quick",
+        help="experiment scale (default: quick)",
+    )
+    figure_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory for CSV export (one file per panel)",
+    )
+    figure_parser.add_argument(
+        "--json", action="store_true",
+        help="also write <figure_id>.json into --out (requires --out)",
+    )
+    figure_parser.add_argument(
+        "--plot", action="store_true",
+        help="render Unicode sparklines instead of the numeric table",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run every figure and write the claims scorecard"
+    )
+    report_parser.add_argument(
+        "--profile", choices=sorted(_PROFILES), default="quick"
+    )
+    report_parser.add_argument(
+        "--only", nargs="+", choices=sorted(FIGURES), default=None,
+        help="restrict to a subset of figures",
+    )
+    report_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the markdown report here (default: stdout only)",
+    )
+
+    trace_parser = sub.add_parser("trace", help="synthesise a Wi-Fi trace")
+    trace_parser.add_argument("--hotspots", type=int, default=20)
+    trace_parser.add_argument("--users", type=int, default=100)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--horizon", type=int, default=100)
+    trace_parser.add_argument("--out", type=Path, required=True)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("available figure experiments:")
+    for figure_id, fn in sorted(FIGURES.items()):
+        summary = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {figure_id}: {summary}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.json and args.out is None:
+        print("--json requires --out", file=sys.stderr)
+        return 2
+    profile = _PROFILES[args.profile]
+    figure = FIGURES[args.figure_id](profile)
+    if args.plot:
+        print(render_figure_plots(figure))
+    else:
+        print(render_figure(figure))
+    if args.out is not None:
+        written = figure_to_csv(figure, args.out)
+        if args.json:
+            json_path = Path(args.out) / f"{figure.figure_id}.json"
+            figure_to_json(figure, json_path)
+            written.append(json_path)
+        print("\nwrote:")
+        for path in written:
+            print(f"  {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import (
+        render_report_markdown,
+        run_full_report,
+        write_report,
+    )
+
+    report = run_full_report(_PROFILES[args.profile], only=args.only)
+    print(render_report_markdown(report))
+    if args.out is not None:
+        path = write_report(report, args.out)
+        print(f"wrote {path}")
+    return 0 if report.all_hard_claims_pass else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    trace = synthesize_nyc_wifi_trace(
+        args.hotspots, args.users, rng, horizon_slots=args.horizon
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    hotspot_path = args.out / "hotspots.csv"
+    user_path = args.out / "users.csv"
+    trace.to_csv(hotspot_path, user_path)
+    print(f"wrote {trace.n_hotspots} hotspots -> {hotspot_path}")
+    print(f"wrote {trace.n_users} users    -> {user_path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

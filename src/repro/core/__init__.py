@@ -1,0 +1,65 @@
+"""The paper's contribution: LP-guided online service caching + baselines.
+
+* :class:`OlGdController` — Algorithm 1 (`OL_GD`): per-slot ILP relaxation,
+  candidate sets from the fractional solution, epsilon-greedy exploration,
+  bandit updates of the per-station delay means.
+* :class:`OlGanController` / :class:`OlRegController` — Algorithm 2
+  (`OL_GAN`) and the `OL_Reg` baseline: a demand predictor feeding the
+  same LP-guided core.
+* :class:`GreedyController` (`Greedy_GD`) and :class:`PriorityController`
+  (`Pri_GD`) — the paper's §VI comparison algorithms.
+* :mod:`repro.core.optimal` — the clairvoyant per-slot optimum used in
+  regret measurement; :mod:`repro.core.theory` — Lemma 1 / Theorem 1.
+"""
+
+from repro.core.admission import AdmissionDecision, select_admissible
+from repro.core.assignment import Assignment, evaluate_assignment, evaluate_with_transport
+from repro.core.candidates import (
+    build_candidate_sets,
+    repair_capacity,
+    sample_assignment,
+)
+from repro.core.churn import HysteresisController, evaluate_with_churn
+from repro.core.cmab import CmabController, cmab_thompson, cmab_ucb
+from repro.core.controller import Controller
+from repro.core.formulation import CachingVariables, build_caching_model
+from repro.core.greedy import GreedyController
+from repro.core.ol_gan import OlGanController
+from repro.core.ol_gd import ExplorationConfig, OlGdController
+from repro.core.ol_reg import OlRegController
+from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact, static_hindsight_cost
+from repro.core.priority import PriorityController
+from repro.core.queueing import evaluate_mm1, mm1_factor
+from repro.core.theory import lemma1_gap, theorem1_regret_bound
+
+__all__ = [
+    "AdmissionDecision",
+    "select_admissible",
+    "Assignment",
+    "evaluate_assignment",
+    "evaluate_with_transport",
+    "HysteresisController",
+    "evaluate_with_churn",
+    "CmabController",
+    "cmab_thompson",
+    "cmab_ucb",
+    "build_candidate_sets",
+    "repair_capacity",
+    "sample_assignment",
+    "Controller",
+    "CachingVariables",
+    "build_caching_model",
+    "GreedyController",
+    "OlGanController",
+    "ExplorationConfig",
+    "OlGdController",
+    "OlRegController",
+    "clairvoyant_cost",
+    "clairvoyant_cost_exact",
+    "static_hindsight_cost",
+    "PriorityController",
+    "evaluate_mm1",
+    "mm1_factor",
+    "lemma1_gap",
+    "theorem1_regret_bound",
+]

@@ -1,0 +1,104 @@
+"""Admission control: deferring requests when a burst exceeds capacity.
+
+The paper assumes "the accumulative resources of all base stations is
+higher than the total resource demand of all requests" (§III-E).  Real
+bursts violate that; the shipped `OL_GD` then scales the LP's demand view
+and lets the overload penalty price the violation.  This module provides
+the *other* standard answer — admit a feasible subset and defer the rest
+to the next slot (or the remote cloud):
+
+:func:`select_admissible` picks the admitted set given demands and a
+capacity budget: ``"greedy-value"`` keeps the most valuable volume per
+MHz; ``"smallest-first"`` maximises the *count* of admitted requests
+(exchange-argument optimal for counting).  Deferred requests can be
+priced at the remote data center
+(:func:`repro.mec.datacenter.cloud_only_delay_ms`) or retried next slot —
+composition is left to the caller, keeping this primitive policy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AdmissionDecision", "select_admissible"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Which requests were admitted this slot."""
+
+    admitted: Tuple[int, ...]
+    deferred: Tuple[int, ...]
+
+    @property
+    def n_admitted(self) -> int:
+        return len(self.admitted)
+
+    @property
+    def n_deferred(self) -> int:
+        return len(self.deferred)
+
+
+def select_admissible(
+    demands_mb: np.ndarray,
+    capacity_budget_mhz: float,
+    c_unit_mhz: float,
+    policy: str = "smallest-first",
+    values: Optional[np.ndarray] = None,
+) -> AdmissionDecision:
+    """Choose a subset of requests whose compute fits the budget.
+
+    Policies:
+
+    * ``"smallest-first"`` — admit in increasing demand order; maximises
+      the number of admitted requests (classic exchange argument).
+    * ``"greedy-value"`` — admit in decreasing ``value / demand`` order;
+      ``values`` defaults to the demands themselves (volume served).
+
+    Always returns a feasible set; a request whose lone demand exceeds the
+    whole budget is deferred.
+    """
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    if demands_mb.ndim != 1:
+        raise ValueError(f"demands must be a vector, got shape {demands_mb.shape}")
+    if np.any(demands_mb < 0):
+        raise ValueError("demands must be non-negative")
+    if capacity_budget_mhz < 0:
+        raise ValueError("capacity_budget_mhz must be >= 0")
+    if c_unit_mhz <= 0:
+        raise ValueError("c_unit_mhz must be > 0")
+    if policy not in ("smallest-first", "greedy-value"):
+        raise ValueError(
+            f"policy must be 'smallest-first' or 'greedy-value', got {policy!r}"
+        )
+    n = demands_mb.shape[0]
+    if values is not None:
+        values = np.asarray(values, dtype=float)
+        if values.shape != demands_mb.shape:
+            raise ValueError(
+                f"values shape {values.shape} must match demands {demands_mb.shape}"
+            )
+    if policy == "smallest-first":
+        order = np.argsort(demands_mb, kind="stable")
+    else:
+        effective = values if values is not None else demands_mb
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = np.where(demands_mb > 0, effective / demands_mb, np.inf)
+        order = np.argsort(-density, kind="stable")
+
+    admitted: List[int] = []
+    deferred: List[int] = []
+    remaining = float(capacity_budget_mhz)
+    for index in order:
+        need = demands_mb[index] * c_unit_mhz
+        if need <= remaining + 1e-9:
+            admitted.append(int(index))
+            remaining -= need
+        else:
+            deferred.append(int(index))
+    return AdmissionDecision(
+        admitted=tuple(sorted(admitted)), deferred=tuple(sorted(deferred))
+    )

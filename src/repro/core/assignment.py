@@ -1,0 +1,173 @@
+"""Assignments and their realised cost (the paper's objective, Eq. 3).
+
+An :class:`Assignment` says which base station serves each request in one
+slot; the services cached at a station follow from the requests assigned
+there (constraint 6: `y_{ki} >= x_{li}`).
+
+:func:`evaluate_assignment` computes the realised average delay under the
+slot's true demands and unit delays:
+
+    cost = (1/|R|) * ( sum_l rho_l(t) * d_{i(l)}(t) * overload_{i(l)}
+                       + sum_{(k,i) cached} d_ins[i,k] )
+
+The overload factor extends Eq. (3) to the prediction setting: a station
+whose assigned compute demand exceeds its capacity processes at a
+proportionally slower rate (processor sharing), so under-predicted demand
+translates into extra delay.  With feasible loads the factor is exactly 1
+and the cost coincides with Eq. (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["Assignment", "evaluate_assignment"]
+
+
+@dataclass
+class Assignment:
+    """Per-slot caching/offloading decision.
+
+    Attributes
+    ----------
+    station_of:
+        ``station_of[l]`` is the base-station index serving request ``l``.
+    cached:
+        The `(service, station)` pairs with a live instance this slot.
+    """
+
+    station_of: np.ndarray
+    cached: FrozenSet[Tuple[int, int]]
+
+    @classmethod
+    def from_stations(
+        cls, station_of: Sequence[int], requests: Sequence[Request]
+    ) -> "Assignment":
+        """Build an assignment, deriving the cache set from constraint (6)."""
+        stations = np.asarray(list(station_of), dtype=int)
+        if stations.shape != (len(requests),):
+            raise ValueError(
+                f"need one station per request ({len(requests)}), got "
+                f"shape {stations.shape}"
+            )
+        if np.any(stations < 0):
+            raise ValueError("station indices must be non-negative")
+        cached: Set[Tuple[int, int]] = set()
+        for request, station in zip(requests, stations):
+            cached.add((request.service_index, int(station)))
+        return cls(station_of=stations, cached=frozenset(cached))
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.station_of.shape[0])
+
+    def stations_used(self) -> np.ndarray:
+        """Sorted unique station indices serving at least one request."""
+        return np.unique(self.station_of)
+
+    def loads_mhz(self, demands_mb: np.ndarray, c_unit_mhz: float, n_stations: int) -> np.ndarray:
+        """Compute load per station: ``sum_l x_li * rho_l * C_unit`` (Eq. 5 LHS)."""
+        demands_mb = np.asarray(demands_mb, dtype=float)
+        if demands_mb.shape != (self.n_requests,):
+            raise ValueError(
+                f"demand vector must have shape ({self.n_requests},), "
+                f"got {demands_mb.shape}"
+            )
+        loads = np.zeros(n_stations)
+        np.add.at(loads, self.station_of, demands_mb * c_unit_mhz)
+        return loads
+
+    def cache_churn(self, previous: "Assignment") -> int:
+        """How many instances this slot are *new* relative to ``previous``."""
+        return len(self.cached - previous.cached)
+
+
+def evaluate_assignment(
+    assignment: Assignment,
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+) -> float:
+    """Realised average per-request delay of one slot (extended Eq. 3).
+
+    ``demands_mb`` are the slot's *true* demands and ``unit_delays_ms`` the
+    realised `d_i(t)`; returns milliseconds.
+    """
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    unit_delays_ms = np.asarray(unit_delays_ms, dtype=float)
+    n = len(requests)
+    if assignment.n_requests != n:
+        raise ValueError(
+            f"assignment covers {assignment.n_requests} requests, expected {n}"
+        )
+    if unit_delays_ms.shape != (network.n_stations,):
+        raise ValueError(
+            f"unit delay vector must have shape ({network.n_stations},), "
+            f"got {unit_delays_ms.shape}"
+        )
+    if np.any(assignment.station_of >= network.n_stations):
+        raise ValueError("assignment references a station outside the network")
+
+    loads = assignment.loads_mhz(demands_mb, network.c_unit_mhz, network.n_stations)
+    capacities = network.capacities_mhz
+    overload = np.maximum(loads / capacities, 1.0)
+
+    stations = assignment.station_of
+    processing = demands_mb * unit_delays_ms[stations] * overload[stations]
+    instantiation = sum(
+        network.services.instantiation_delay(station, service)
+        for service, station in assignment.cached
+    )
+    return float((processing.sum() + instantiation) / n)
+
+
+def evaluate_with_transport(
+    assignment: Assignment,
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+    paths: "BackhaulPaths",
+) -> float:
+    """Extended cost: Eq. (3) plus radio access and backhaul transfer.
+
+    For each request, adds the wireless transmission delay to its access
+    station (best covering server, paper Fig. 1's access link) and the
+    backhaul transfer from the access station to the *serving* station
+    when they differ (§III-C's "its data can be transferred to its
+    service").  This is the transport-aware extension; the paper's
+    headline results use :func:`evaluate_assignment`.
+    """
+    from repro.mec.paths import access_station
+    from repro.mec.radio import transmission_delay_ms
+
+    base = evaluate_assignment(
+        assignment, network, requests, demands_mb, unit_delays_ms
+    )
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    transport_total = 0.0
+    for l, request in enumerate(requests):
+        access = access_station(network, request.location)
+        serving = int(assignment.station_of[l])
+        station = network.stations[access]
+        distance = station.position.distance_to(request.location)
+        try:
+            transport_total += transmission_delay_ms(
+                station.radio, distance, demands_mb[l]
+            )
+        except ValueError:
+            # Out of decodable range of even the nearest station: charge
+            # the worst-case macro edge rate instead of failing the slot.
+            macro = network.stations[access]
+            transport_total += transmission_delay_ms(
+                macro.radio, macro.radius_m, demands_mb[l]
+            )
+        transport_total += paths.transfer_delay_ms(access, serving, demands_mb[l])
+    return base + transport_total / len(requests)

@@ -1,0 +1,148 @@
+"""Candidate sets, probabilistic rounding and capacity repair (§IV-B).
+
+From the fractional LP solution `x*`, Algorithm 1 builds per-request
+candidate sets `BS_l^candi = {bs_i | x*_li >= gamma}` (Eq. 9), assigns each
+request to a candidate with probability proportional to `x*_li`, and
+explores outside the candidate set with probability `eps_t`.
+
+The paper's sampling can violate the capacity constraint (Eq. 5) because
+requests are rounded independently; :func:`repair_capacity` restores
+feasibility deterministically by moving the smallest-probability requests
+off overloaded stations onto their next-best candidates (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_probability
+
+__all__ = ["build_candidate_sets", "sample_assignment", "repair_capacity"]
+
+
+def build_candidate_sets(x_fractional: np.ndarray, gamma: float) -> List[np.ndarray]:
+    """Per-request candidate station sets (Eq. 9).
+
+    When no station reaches the threshold for a request (possible when its
+    mass is spread thinly), the argmax station is used so the set is never
+    empty.
+    """
+    require_probability("gamma", gamma)
+    x = np.asarray(x_fractional, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be a (|R|, |BS|) matrix, got shape {x.shape}")
+    candidates: List[np.ndarray] = []
+    for row in x:
+        chosen = np.nonzero(row >= gamma)[0]
+        if chosen.size == 0:
+            chosen = np.array([int(np.argmax(row))])
+        candidates.append(chosen)
+    return candidates
+
+
+def sample_assignment(
+    x_fractional: np.ndarray,
+    candidates: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    explore_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Draw a station per request (Algorithm 1 lines 5-9).
+
+    Requests with ``explore_mask[l] == True`` are assigned a uniform-random
+    station *outside* their candidate set (line 9; falls back to the whole
+    station range when the candidate set already covers every station);
+    all others sample within their candidate set with probability
+    proportional to `x*_li` (line 7).
+    """
+    x = np.asarray(x_fractional, dtype=float)
+    if not np.isfinite(x).all():
+        raise ValueError(
+            "x contains non-finite values — the LP solve failed upstream; "
+            "check solution status before rounding"
+        )
+    n_requests, n_stations = x.shape
+    if len(candidates) != n_requests:
+        raise ValueError(
+            f"need one candidate set per request ({n_requests}), got {len(candidates)}"
+        )
+    if explore_mask is None:
+        explore_mask = np.zeros(n_requests, dtype=bool)
+    explore_mask = np.asarray(explore_mask, dtype=bool)
+    if explore_mask.shape != (n_requests,):
+        raise ValueError(
+            f"explore_mask must have shape ({n_requests},), got {explore_mask.shape}"
+        )
+
+    stations = np.empty(n_requests, dtype=int)
+    for l in range(n_requests):
+        candidate_set = candidates[l]
+        if explore_mask[l]:
+            outside = np.setdiff1d(np.arange(n_stations), candidate_set)
+            pool = outside if outside.size else np.arange(n_stations)
+            stations[l] = int(rng.choice(pool))
+            continue
+        weights = x[l, candidate_set]
+        total = weights.sum()
+        if total <= 0:
+            stations[l] = int(rng.choice(candidate_set))
+        else:
+            stations[l] = int(rng.choice(candidate_set, p=weights / total))
+    return stations
+
+
+def repair_capacity(
+    stations: np.ndarray,
+    x_fractional: np.ndarray,
+    demands_mb: np.ndarray,
+    capacities_mhz: np.ndarray,
+    c_unit_mhz: float,
+) -> np.ndarray:
+    """Restore Eq. (5) feasibility after independent rounding.
+
+    Deterministic water-filling: stations are processed in decreasing
+    overload order; from each overloaded station, its assigned requests
+    are moved in increasing `x*_li` order (least-committed first) to the
+    feasible station where they have the highest fractional mass.  If no
+    station can absorb a request without overloading, it stays put — the
+    overload penalty in :func:`repro.core.assignment.evaluate_assignment`
+    then prices the violation instead of crashing the slot.
+    """
+    stations = np.asarray(stations, dtype=int).copy()
+    x = np.asarray(x_fractional, dtype=float)
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    capacities_mhz = np.asarray(capacities_mhz, dtype=float)
+    n_requests, n_stations = x.shape
+
+    loads = np.zeros(n_stations)
+    np.add.at(loads, stations, demands_mb * c_unit_mhz)
+
+    # Iterate until no station is overloaded or nothing can move.
+    for _ in range(n_stations):
+        overloaded = np.nonzero(loads > capacities_mhz + 1e-9)[0]
+        if overloaded.size == 0:
+            break
+        moved_any = False
+        order = overloaded[np.argsort(-(loads[overloaded] - capacities_mhz[overloaded]))]
+        for station in order:
+            assigned = np.nonzero(stations == station)[0]
+            # Move least-committed requests first.
+            for l in assigned[np.argsort(x[assigned, station])]:
+                if loads[station] <= capacities_mhz[station] + 1e-9:
+                    break
+                need = demands_mb[l] * c_unit_mhz
+                # Best alternative by fractional mass among stations with room.
+                room = capacities_mhz - loads >= need - 1e-9
+                room[station] = False
+                if not np.any(room):
+                    continue
+                alternatives = np.nonzero(room)[0]
+                target = alternatives[int(np.argmax(x[l, alternatives]))]
+                stations[l] = target
+                loads[station] -= need
+                loads[target] += need
+                moved_any = True
+        if not moved_any:
+            break
+    return stations

@@ -1,0 +1,163 @@
+"""Churn-aware costing and cache hysteresis (extension).
+
+Eq. (3) charges `y_ki * d_ins[i,k]` every slot, i.e. it prices *holding*
+an instance.  A natural alternative — closer to how VM/container startup
+actually costs — charges instantiation only when an instance is **newly**
+created relative to the previous slot (`Assignment.cache_churn`).  Under
+that costing, a controller that thrashes its cache pays for it, so this
+module also provides :class:`HysteresisController`: a wrapper that keeps a
+request at its previous station unless the estimated saving of moving
+exceeds the (re-)instantiation cost — a classic switching-cost guard.
+
+Evaluated in ``benchmarks/bench_ablation_churn.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment, evaluate_assignment
+from repro.core.controller import Controller
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.utils.validation import require_non_negative
+
+__all__ = ["evaluate_with_churn", "HysteresisController"]
+
+
+def evaluate_with_churn(
+    assignment: Assignment,
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+    previous: Optional[Assignment],
+) -> float:
+    """Average delay charging `d_ins` only for newly-instantiated services.
+
+    With ``previous=None`` (the first slot) every cached instance is new
+    and the result equals :func:`evaluate_assignment`.
+    """
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    unit_delays_ms = np.asarray(unit_delays_ms, dtype=float)
+    n = len(requests)
+    base = evaluate_assignment(
+        assignment, network, requests, demands_mb, unit_delays_ms
+    )
+    if previous is None:
+        return base
+    kept = assignment.cached & previous.cached
+    amortised = sum(
+        network.services.instantiation_delay(station, service)
+        for service, station in kept
+    )
+    return base - amortised / n
+
+
+class HysteresisController(Controller):
+    """Switching-cost guard around any given-demands controller.
+
+    Per slot the inner controller proposes an assignment; each request
+    then *stays* at its previous station unless the proposal's estimated
+    per-request saving
+
+        rho_l * (theta[old] - theta[new])
+
+    exceeds ``switch_threshold_ms`` plus the instantiation cost of any
+    newly required instance.  Capacity feasibility of the merged plan is
+    restored by accepting the proposal for requests whose stay would
+    overload their old station.
+    """
+
+    def __init__(
+        self,
+        inner: Controller,
+        switch_threshold_ms: float = 1.0,
+    ):
+        super().__init__(inner.network, inner.requests)
+        require_non_negative("switch_threshold_ms", switch_threshold_ms)
+        self.inner = inner
+        self.name = f"{inner.name}+hyst"
+        self._threshold = float(switch_threshold_ms)
+        self._previous: Optional[Assignment] = None
+
+    def _theta(self) -> np.ndarray:
+        arms = getattr(self.inner, "arms", None)
+        if arms is None:
+            raise TypeError(
+                "HysteresisController needs an inner controller with arm "
+                "statistics (OL_GD, Greedy_GD, Pri_GD, CMAB)"
+            )
+        return arms.means
+
+    def decide(self, slot: int, demands: Optional[np.ndarray]) -> Assignment:
+        proposal = self.inner.decide(slot, demands)
+        if self._previous is None:
+            self._previous = proposal
+            return proposal
+        demands = np.asarray(demands, dtype=float)
+        theta = self._theta()
+        previous_cached = self._previous.cached
+        capacities = self.network.capacities_mhz
+        needs = demands * self.network.c_unit_mhz
+
+        # Start from the *previous* plan (maximum stability) and apply only
+        # the proposal's moves that pay for themselves and fit.
+        stations = self._previous.station_of.copy()
+        loads = np.zeros(self.network.n_stations)
+        np.add.at(loads, stations, needs)
+
+        for l, request in enumerate(self.requests):
+            old = int(stations[l])
+            new = int(proposal.station_of[l])
+            if old == new:
+                continue
+            saving = demands[l] * (theta[old] - theta[new])
+            switch_cost = self._threshold
+            if (request.service_index, new) not in previous_cached:
+                switch_cost += self.network.services.instantiation_delay(
+                    new, request.service_index
+                )
+            if saving > switch_cost and loads[new] + needs[l] <= capacities[new] + 1e-9:
+                loads[old] -= needs[l]
+                loads[new] += needs[l]
+                stations[l] = new
+
+        # Demand changes can overload a kept station: evict its movers to
+        # their proposal stations (or, failing that, the freest station).
+        for _ in range(self.network.n_stations):
+            overloaded = np.nonzero(loads > capacities + 1e-9)[0]
+            if overloaded.size == 0:
+                break
+            moved_any = False
+            for station in overloaded:
+                assigned = np.nonzero(stations == station)[0]
+                for l in assigned:
+                    if loads[station] <= capacities[station] + 1e-9:
+                        break
+                    target = int(proposal.station_of[l])
+                    if target == station or loads[target] + needs[l] > capacities[target] + 1e-9:
+                        free = capacities - loads
+                        target = int(np.argmax(free))
+                        if free[target] < needs[l] - 1e-9:
+                            continue
+                    loads[station] -= needs[l]
+                    loads[target] += needs[l]
+                    stations[l] = target
+                    moved_any = True
+            if not moved_any:
+                break
+        merged = Assignment.from_stations(stations, self.requests)
+        self._previous = merged
+        return merged
+
+    def observe(
+        self,
+        slot: int,
+        demands: np.ndarray,
+        unit_delays: np.ndarray,
+        assignment: Assignment,
+    ) -> None:
+        self.inner.observe(slot, demands, unit_delays, assignment)

@@ -1,0 +1,77 @@
+"""The controller interface every caching algorithm implements.
+
+Per-slot protocol driven by :mod:`repro.sim.engine`:
+
+1. ``decide(slot, demands)`` — choose this slot's assignment.  In the
+   given-demands setting (§IV, Figs. 3-5) the engine passes the true
+   demand vector; in the unknown-demands setting (§V, Figs. 6-7) it passes
+   ``None`` and the controller must predict.
+2. ``observe(slot, demands, unit_delays, assignment)`` — end-of-slot
+   feedback: realised demands, realised `d_i(t)` (observable only for the
+   *played* stations, which the controller must respect), and the
+   assignment that was executed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["Controller"]
+
+
+class Controller(abc.ABC):
+    """Base class for per-slot caching/offloading controllers."""
+
+    #: Display name used in figures and tables (matches the paper's labels).
+    name: str = "controller"
+
+    def __init__(self, network: MECNetwork, requests: Sequence[Request]):
+        if not requests:
+            raise ValueError("a controller needs at least one request")
+        for position, request in enumerate(requests):
+            if request.index != position:
+                raise ValueError("request indices must be 0..|R|-1 in order")
+            if request.service_index >= network.n_services:
+                raise ValueError(
+                    f"request {position} wants service {request.service_index} "
+                    f"but the catalog has {network.n_services}"
+                )
+        self.network = network
+        self.requests = list(requests)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @abc.abstractmethod
+    def decide(self, slot: int, demands: Optional[np.ndarray]) -> Assignment:
+        """Choose the slot's assignment; ``demands`` is None when unknown."""
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        slot: int,
+        demands: np.ndarray,
+        unit_delays: np.ndarray,
+        assignment: Assignment,
+    ) -> None:
+        """Consume end-of-slot feedback."""
+
+    def observed_delays(
+        self, unit_delays: np.ndarray, assignment: Assignment
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """The bandit feedback: `(stations_played, their d_i(t))`.
+
+        Only stations that actually served a request reveal their delay
+        (§IV-A: "the algorithm can observe the processing delay of bs_i
+        only when its arm is played").
+        """
+        played = assignment.stations_used()
+        return played, np.asarray(unit_delays, dtype=float)[played]

@@ -1,0 +1,155 @@
+"""Structure-cached per-slot LP solving (performance substrate).
+
+`OL_GD` solves one LP per slot whose *structure* never changes across a
+horizon: the variables (every `x_{li}` and `y_{ki}`), the assignment rows
+(Eq. 4), the coupling rows (Eq. 6) and the capacity row *pattern* (Eq. 5)
+are fixed; only the objective coefficients (`rho_l(t) * theta_i`) and the
+capacity coefficients (`rho_l(t) * C_unit`) move.  Rebuilding the model
+from Python dictionaries every slot (as :func:`build_caching_model` does)
+costs as much as the solve itself at the paper's scale.
+
+:class:`PerSlotLpSolver` assembles the sparse matrices once and patches
+the changing entries in place per slot — producing exactly the same LP
+(verified against the reference builder in the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["PerSlotLpSolver"]
+
+
+class PerSlotLpSolver:
+    """Reusable Eq. (3)-(8) relaxation for a fixed network + request set."""
+
+    def __init__(self, network: MECNetwork, requests: Sequence[Request]):
+        if not requests:
+            raise ValueError("need at least one request")
+        self._network = network
+        self._requests = list(requests)
+        R, S = len(requests), network.n_stations
+        self._R, self._S = R, S
+
+        needed_services = sorted({r.service_index for r in requests})
+        self._pairs: List[Tuple[int, int]] = [
+            (k, i) for k in needed_services for i in range(S)
+        ]
+        self._y_offset = R * S
+        self._n_vars = R * S + len(self._pairs)
+        y_column = {pair: self._y_offset + p for p, pair in enumerate(self._pairs)}
+
+        # ---- objective: x part patched per slot, y part constant -------
+        self._c = np.zeros(self._n_vars)
+        for p, (k, i) in enumerate(self._pairs):
+            self._c[self._y_offset + p] = (
+                network.services.instantiation_delay(i, k) / R
+            )
+
+        # ---- A_ub: capacity rows (patched) then coupling rows (fixed) --
+        rows, cols, data = [], [], []
+        # Capacity (Eq. 5): row i, entries at x(l, i) with value rho_l*C_unit.
+        # Store (row, col) in a deterministic order; remember the data slice.
+        for i in range(S):
+            for l in range(R):
+                rows.append(i)
+                cols.append(l * S + i)
+                data.append(1.0)  # placeholder, patched per slot
+        self._n_capacity_entries = len(data)
+        # Coupling (Eq. 6, negated GE -> LE): x_li - y_ki <= 0.
+        row = S
+        for l, request in enumerate(self._requests):
+            k = request.service_index
+            for i in range(S):
+                rows.append(row)
+                cols.append(l * S + i)
+                data.append(1.0)
+                rows.append(row)
+                cols.append(y_column[(k, i)])
+                data.append(-1.0)
+                row += 1
+        n_ub_rows = S + R * S
+        matrix = sparse.coo_matrix(
+            (data, (rows, cols)), shape=(n_ub_rows, self._n_vars)
+        )
+        # COO -> CSR reorders entries; keep COO so our data layout stays
+        # ours, and convert with a stable mapping: build CSR manually from
+        # the (sorted-by-row, insertion-stable) order above, which is
+        # already row-major because we emitted rows in increasing order.
+        self._a_ub = sparse.csr_matrix(matrix)
+        # Recover the CSR data positions of the capacity entries:
+        # they are the entries of rows < S at columns l*S+i; since each
+        # capacity row i holds exactly R entries with strictly increasing
+        # column order l*S+i (l = 0..R-1), CSR stores them contiguously.
+        self._capacity_data_index = np.zeros((S, R), dtype=int)
+        indptr, indices = self._a_ub.indptr, self._a_ub.indices
+        for i in range(S):
+            start, end = indptr[i], indptr[i + 1]
+            row_cols = indices[start:end]
+            # column l*S+i  ->  l
+            l_of = (row_cols - i) // S
+            self._capacity_data_index[i, l_of] = np.arange(start, end)
+
+        self._b_ub = np.concatenate(
+            [network.capacities_mhz, np.zeros(R * S)]
+        )
+
+        # ---- A_eq: assignment rows (all fixed) --------------------------
+        eq_rows = np.repeat(np.arange(R), S)
+        eq_cols = np.arange(R * S)
+        self._a_eq = sparse.csr_matrix(
+            (np.ones(R * S), (eq_rows, eq_cols)), shape=(R, self._n_vars)
+        )
+        self._b_eq = np.ones(R)
+        self._bounds = [(0.0, 1.0)] * self._n_vars
+
+    @property
+    def n_variables(self) -> int:
+        return self._n_vars
+
+    def solve(self, demands_mb: np.ndarray, theta_ms: np.ndarray) -> np.ndarray:
+        """Solve the slot's relaxation; returns the `(|R|, |BS|)` x-matrix.
+
+        Raises ``RuntimeError`` when the LP is not optimal (callers scale
+        demands for aggregate feasibility first, as `OL_GD` does).
+        """
+        R, S = self._R, self._S
+        demands_mb = np.asarray(demands_mb, dtype=float)
+        theta_ms = np.asarray(theta_ms, dtype=float)
+        if demands_mb.shape != (R,):
+            raise ValueError(f"demands must have shape ({R},), got {demands_mb.shape}")
+        if theta_ms.shape != (S,):
+            raise ValueError(f"theta must have shape ({S},), got {theta_ms.shape}")
+        if np.any(demands_mb < 0):
+            raise ValueError("demands must be non-negative")
+
+        # Patch the objective: c[x(l, i)] = rho_l * theta_i / R.
+        self._c[: R * S] = (np.outer(demands_mb, theta_ms) / R).reshape(-1)
+        # Patch the capacity coefficients: rho_l * C_unit.
+        needs = demands_mb * self._network.c_unit_mhz
+        data = self._a_ub.data
+        for i in range(S):
+            data[self._capacity_data_index[i]] = needs
+
+        result = linprog(
+            self._c,
+            A_ub=self._a_ub,
+            b_ub=self._b_ub,
+            A_eq=self._a_eq,
+            b_eq=self._b_eq,
+            bounds=self._bounds,
+            method="highs",
+        )
+        if result.status != 0:
+            raise RuntimeError(
+                f"per-slot LP failed (status {result.status}): {result.message}"
+            )
+        x = np.clip(np.asarray(result.x[: R * S]), 0.0, 1.0)
+        return x.reshape(R, S)

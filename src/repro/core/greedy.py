@@ -1,0 +1,88 @@
+"""`Greedy_GD` baseline (§VI): per-request greedy, historical means only.
+
+"Each base station greedily selects a service and its tasks that could
+minimize the delay of each request, assuming that the data volume of each
+request is given" — and, per the experiments discussion, it caches and
+offloads "according to the historical information of processing latencies"
+with no exploration.  Concretely: requests are processed in index order;
+each picks the station minimising its estimated marginal cost
+
+    rho_l * theta_hat_i + d_ins[i, k]  (if service k not yet cached at i)
+
+subject to remaining capacity; `theta_hat_i` is the running mean of the
+delays this controller has itself observed (pure exploitation — the
+ignorance of delay uncertainty the paper blames for its poor performance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bandits.arms import ArmStats
+from repro.core.assignment import Assignment
+from repro.core.controller import Controller
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["GreedyController"]
+
+
+class GreedyController(Controller):
+    """`Greedy_GD`: myopic assignment by historical delay means."""
+
+    name = "Greedy_GD"
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        requests: Sequence[Request],
+        rng: np.random.Generator,
+    ):
+        super().__init__(network, requests)
+        self._rng = rng
+        d_min, d_max = network.delays.bounds
+        self.arms = ArmStats(network.n_stations, prior_mean=(d_min + d_max) / 2.0)
+
+    def decide(self, slot: int, demands: Optional[np.ndarray]) -> Assignment:
+        if demands is None:
+            raise ValueError("Greedy_GD assumes given demands (§VI benchmarks)")
+        demands = np.asarray(demands, dtype=float)
+        theta = self.arms.means
+        capacities = self.network.capacities_mhz.copy()
+        cached: Set[Tuple[int, int]] = set()
+        stations = np.empty(self.n_requests, dtype=int)
+
+        for l, request in enumerate(self.requests):
+            need = demands[l] * self.network.c_unit_mhz
+            best_station, best_cost = -1, np.inf
+            for i in range(self.network.n_stations):
+                if capacities[i] < need:
+                    continue
+                cost = demands[l] * theta[i]
+                if (request.service_index, i) not in cached:
+                    cost += self.network.services.instantiation_delay(
+                        i, request.service_index
+                    )
+                if cost < best_cost:
+                    best_station, best_cost = i, cost
+            if best_station < 0:
+                # No station has room: drop onto the least-loaded station
+                # and let the overload penalty price it.
+                best_station = int(np.argmax(capacities))
+            stations[l] = best_station
+            capacities[best_station] -= need
+            cached.add((request.service_index, best_station))
+
+        return Assignment.from_stations(stations, self.requests)
+
+    def observe(
+        self,
+        slot: int,
+        demands: np.ndarray,
+        unit_delays: np.ndarray,
+        assignment: Assignment,
+    ) -> None:
+        played, observed = self.observed_delays(unit_delays, assignment)
+        self.arms.observe_many(played.tolist(), observed.tolist())

@@ -1,0 +1,105 @@
+"""Algorithm 2 — `OL_GAN`: Info-RNN-GAN prediction + the OL_GD core.
+
+Per slot (Algorithm 2): the generator predicts each request's data volume
+(lines 2-4), the LP relaxation / candidate-set / epsilon-greedy machinery
+of Algorithm 1 produces the caching and assignment (lines 5-13), and after
+the slot the discriminator observes the real data volumes and the model is
+refined (lines 14-15, realised by the predictor's online steps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.controller import Controller
+from repro.core.ol_gd import ExplorationConfig, OlGdController
+from repro.gan.predictor import GanDemandPredictor
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.workload.features import encode_request_locations
+
+__all__ = ["OlGanController"]
+
+
+class OlGanController(Controller):
+    """`OL_GAN` (Algorithm 2).
+
+    Parameters
+    ----------
+    n_hotspots:
+        Size of the location vocabulary for the latent code `c` (the
+        encoder adds one "no hotspot" slot).
+    warmup_history:
+        Optional small sample of historical demand, shape
+        ``(T0, |R|)``, used to pre-train the GAN before the horizon
+        starts (the paper's "small samples of hidden features").
+    inner_rng:
+        Optional separate stream for the inner OL_GD's rounding and
+        exploration.  Passing the *same-seeded* stream to a paired
+        `OL_Reg` run gives common random numbers: both controllers make
+        identical exploration draws, so the measured delay difference is
+        attributable to prediction quality alone (how Fig. 6/7 are run).
+    gan_kwargs:
+        Extra keyword arguments forwarded to
+        :class:`repro.gan.GanDemandPredictor` (window, hidden_size,
+        online_steps, ...).
+    """
+
+    name = "OL_GAN"
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        requests: Sequence[Request],
+        rng: np.random.Generator,
+        n_hotspots: int,
+        warmup_history: Optional[np.ndarray] = None,
+        gamma: float = 0.1,
+        exploration: Optional[ExplorationConfig] = None,
+        inner_rng: Optional[np.random.Generator] = None,
+        **gan_kwargs,
+    ):
+        super().__init__(network, requests)
+        codes = encode_request_locations(requests, n_hotspots)
+        self.predictor = GanDemandPredictor(
+            codes, rng, warmup_history=warmup_history, **gan_kwargs
+        )
+        self.inner = OlGdController(
+            network,
+            requests,
+            inner_rng if inner_rng is not None else rng,
+            gamma=gamma,
+            exploration=exploration,
+        )
+        self._basic = np.array([r.basic_demand_mb for r in requests])
+
+    @property
+    def last_prediction(self) -> Optional[np.ndarray]:
+        """The demand vector used for the most recent decision."""
+        return getattr(self, "_last_prediction", None)
+
+    def decide(self, slot: int, demands: Optional[np.ndarray]) -> Assignment:
+        if demands is not None:
+            raise ValueError(
+                "OL_GAN is the unknown-demands algorithm; the engine must "
+                "pass demands=None and let the generator predict"
+            )
+        if self.predictor.n_observed == 0:
+            predicted = self._basic.copy()
+        else:
+            predicted = np.maximum(self.predictor.predict_next(), self._basic)
+        self._last_prediction = predicted
+        return self.inner.decide(slot, predicted)
+
+    def observe(
+        self,
+        slot: int,
+        demands: np.ndarray,
+        unit_delays: np.ndarray,
+        assignment: Assignment,
+    ) -> None:
+        self.inner.observe(slot, demands, unit_delays, assignment)
+        self.predictor.observe(np.asarray(demands, dtype=float))

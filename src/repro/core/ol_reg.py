@@ -1,0 +1,79 @@
+"""`OL_Reg` baseline: AR demand prediction (Eq. 27) feeding the OL_GD core.
+
+"An online algorithm with a single autoregression prediction": the
+per-slot demand is forecast by :class:`repro.prediction.ArPredictor` and
+the LP-guided online learner then caches/assigns exactly as Algorithm 1.
+Before any demand is observed, the basic demands `rho^bsc` (given a
+priori, §III-B) serve as the first prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.controller import Controller
+from repro.core.ol_gd import ExplorationConfig, OlGdController
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.prediction.arma import ArPredictor
+
+__all__ = ["OlRegController"]
+
+
+class OlRegController(Controller):
+    """`OL_Reg`: ARMA-predicted demands + the Algorithm 1 machinery."""
+
+    name = "OL_Reg"
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        requests: Sequence[Request],
+        rng: np.random.Generator,
+        order: int = 5,
+        gamma: float = 0.1,
+        exploration: Optional[ExplorationConfig] = None,
+        inner_rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(network, requests)
+        self.predictor = ArPredictor(len(requests), order=order)
+        self.inner = OlGdController(
+            network,
+            requests,
+            inner_rng if inner_rng is not None else rng,
+            gamma=gamma,
+            exploration=exploration,
+        )
+        self._basic = np.array([r.basic_demand_mb for r in requests])
+
+    @property
+    def last_prediction(self) -> Optional[np.ndarray]:
+        """The demand vector used for the most recent decision."""
+        return getattr(self, "_last_prediction", None)
+
+    def decide(self, slot: int, demands: Optional[np.ndarray]) -> Assignment:
+        if demands is not None:
+            raise ValueError(
+                "OL_Reg is the unknown-demands algorithm; the engine must "
+                "pass demands=None and let the predictor forecast"
+            )
+        if self.predictor.n_observed == 0:
+            predicted = self._basic.copy()
+        else:
+            # The basic demand is a known floor (Eq. 1).
+            predicted = np.maximum(self.predictor.predict_next(), self._basic)
+        self._last_prediction = predicted
+        return self.inner.decide(slot, predicted)
+
+    def observe(
+        self,
+        slot: int,
+        demands: np.ndarray,
+        unit_delays: np.ndarray,
+        assignment: Assignment,
+    ) -> None:
+        self.inner.observe(slot, demands, unit_delays, assignment)
+        self.predictor.observe(np.asarray(demands, dtype=float))

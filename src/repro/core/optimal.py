@@ -1,0 +1,162 @@
+"""Clairvoyant per-slot optimum for regret measurement (Eq. 10).
+
+The regret compares the learner against the assignment an oracle knowing
+the realised `d_i(t)` would have chosen.  Two variants:
+
+* :func:`clairvoyant_cost` — the LP-relaxation optimum (a lower bound on
+  the achievable integer cost, cheap at any scale);
+* :func:`clairvoyant_cost_exact` — the exact ILP optimum via branch and
+  bound, for the small instances used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.formulation import build_caching_model
+from repro.lp.branch_and_bound import solve_ilp
+from repro.lp.solver import solve_lp
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["clairvoyant_cost", "clairvoyant_cost_exact"]
+
+
+def clairvoyant_cost(
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+) -> float:
+    """Optimal Eq. (3) objective of one slot under known `d_i(t)` (LP bound)."""
+    model, _ = build_caching_model(
+        network, requests, demands_mb, unit_delays_ms, integer=False
+    )
+    solution = solve_lp(model)
+    if not solution.is_optimal:
+        raise RuntimeError(
+            f"clairvoyant LP failed ({solution.status}): {solution.message}"
+        )
+    return solution.objective
+
+
+def static_hindsight_cost(
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demand_matrix: np.ndarray,
+    delay_matrix: np.ndarray,
+    exact: bool = False,
+    node_limit: int = 2000,
+) -> float:
+    """Best *fixed* caching/assignment in hindsight, averaged per slot.
+
+    The classic "best fixed arm" comparator of adversarial bandit
+    analysis: one assignment `x` (and its implied caching `y`) held for
+    the whole horizon, chosen with full knowledge of every slot's demands
+    and delays.  The total cost is linear in `x`:
+
+        sum_t x_li * rho_l(t) * d_i(t)  =  x_li * C[l, i],
+        C[l, i] = sum_t rho_l(t) * d_i(t),
+
+    so a single LP/ILP over the summed coefficients solves it.  Capacity
+    must hold in *every* slot, i.e. at the per-request peak demand.
+
+    ``demand_matrix``: shape ``(T, |R|)``; ``delay_matrix``: shape
+    ``(T, |BS|)``.  Returns the per-slot average cost (comparable to the
+    per-slot outputs of the clairvoyant functions).
+    """
+    demand_matrix = np.asarray(demand_matrix, dtype=float)
+    delay_matrix = np.asarray(delay_matrix, dtype=float)
+    if demand_matrix.ndim != 2 or demand_matrix.shape[1] != len(requests):
+        raise ValueError(
+            f"demand_matrix must be (T, {len(requests)}), got {demand_matrix.shape}"
+        )
+    if delay_matrix.shape != (demand_matrix.shape[0], network.n_stations):
+        raise ValueError(
+            f"delay_matrix must be ({demand_matrix.shape[0]}, "
+            f"{network.n_stations}), got {delay_matrix.shape}"
+        )
+    horizon = demand_matrix.shape[0]
+    if horizon == 0:
+        raise ValueError("need at least one slot")
+
+    # Summed processing coefficients and per-request peak demands.
+    summed = demand_matrix.T @ delay_matrix  # (|R|, |BS|)
+    peaks = demand_matrix.max(axis=0)
+
+    # Build a one-shot model: objective C[l,i]/(T*|R|) per x, with the
+    # instantiation term charged every slot (T * d_ins / (T*|R|)).
+    from repro.lp.model import LpModel, Sense
+
+    R, S = len(requests), network.n_stations
+    scale = 1.0 / (horizon * R)
+    model = LpModel("static-hindsight")
+    for l in range(R):
+        for i in range(S):
+            model.add_variable(
+                low=0.0, high=1.0, objective=scale * summed[l, i], integer=exact,
+                name=f"x[{l},{i}]",
+            )
+    needed_services = sorted({r.service_index for r in requests})
+    y_index = {}
+    for k in needed_services:
+        for i in range(S):
+            y_index[(k, i)] = model.add_variable(
+                low=0.0,
+                high=1.0,
+                objective=scale * horizon * network.services.instantiation_delay(i, k),
+                integer=exact,
+                name=f"y[{k},{i}]",
+            )
+    for l in range(R):
+        model.add_constraint(
+            {l * S + i: 1.0 for i in range(S)}, Sense.EQ, 1.0
+        )
+    for i in range(S):
+        model.add_constraint(
+            {l * S + i: peaks[l] * network.c_unit_mhz for l in range(R)},
+            Sense.LE,
+            network.stations[i].capacity_mhz,
+        )
+    for l, request in enumerate(requests):
+        for i in range(S):
+            model.add_constraint(
+                {y_index[(request.service_index, i)]: 1.0, l * S + i: -1.0},
+                Sense.GE,
+                0.0,
+            )
+    if exact:
+        result = solve_ilp(model, node_limit=node_limit)
+        if not result.has_solution:
+            raise RuntimeError(f"hindsight ILP found no solution: {result.status}")
+        return result.objective
+    solution = solve_lp(model)
+    if not solution.is_optimal:
+        raise RuntimeError(
+            f"hindsight LP failed ({solution.status}): {solution.message}"
+        )
+    return solution.objective
+
+
+def clairvoyant_cost_exact(
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+    node_limit: int = 2000,
+) -> float:
+    """Exact integer optimum of one slot (small instances only).
+
+    Falls back to the best incumbent when the node limit is reached (the
+    result then still upper-bounds the optimum and lower-bounds nothing —
+    callers needing certainty should check instance size first).
+    """
+    model, _ = build_caching_model(
+        network, requests, demands_mb, unit_delays_ms, integer=True
+    )
+    result = solve_ilp(model, node_limit=node_limit)
+    if not result.has_solution:
+        raise RuntimeError(f"clairvoyant ILP found no solution: {result.status}")
+    return result.objective

@@ -1,0 +1,83 @@
+"""Queueing-theoretic cost model: M/M/1-style load sensitivity (extension).
+
+The paper's Eq. (2) prices processing as `rho * d_i(t)` regardless of how
+busy the station is; real cloudlets queue.  :func:`evaluate_mm1` applies
+the M/M/1 sojourn-time factor `1 / (1 - utilisation)` (clipped at
+``max_factor``) to each station's processing delay, so delays blow up
+smoothly as a station approaches saturation — the cost model under which
+accurate demand prediction matters most (see EXPERIMENTS.md's Fig. 6
+discussion).
+
+This evaluator is intentionally *not* used for the paper's headline
+figures (their equations don't queue); it is provided for studies of the
+cost-model sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.utils.validation import require_positive
+
+__all__ = ["evaluate_mm1", "mm1_factor"]
+
+
+def mm1_factor(utilisation: np.ndarray, max_factor: float = 20.0) -> np.ndarray:
+    """`1 / (1 - u)` clipped to ``[1, max_factor]`` (elementwise).
+
+    Utilisations at or above 1 saturate at ``max_factor`` (the queue is
+    unstable; the finite clip keeps slot costs finite, standard practice
+    in slotted simulators).
+    """
+    require_positive("max_factor", max_factor)
+    if max_factor < 1.0:
+        raise ValueError(f"max_factor must be >= 1, got {max_factor}")
+    utilisation = np.asarray(utilisation, dtype=float)
+    if np.any(utilisation < 0):
+        raise ValueError("utilisation must be non-negative")
+    with np.errstate(divide="ignore"):
+        raw = np.where(utilisation < 1.0, 1.0 / (1.0 - utilisation), np.inf)
+    return np.clip(raw, 1.0, max_factor)
+
+
+def evaluate_mm1(
+    assignment: Assignment,
+    network: MECNetwork,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    unit_delays_ms: np.ndarray,
+    max_factor: float = 20.0,
+) -> float:
+    """Average per-request delay under M/M/1 load sensitivity.
+
+    Identical to :func:`repro.core.assignment.evaluate_assignment` except
+    that the processor-sharing overload factor is replaced by the M/M/1
+    sojourn factor at every load level.
+    """
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    unit_delays_ms = np.asarray(unit_delays_ms, dtype=float)
+    n = len(requests)
+    if assignment.n_requests != n:
+        raise ValueError(
+            f"assignment covers {assignment.n_requests} requests, expected {n}"
+        )
+    if unit_delays_ms.shape != (network.n_stations,):
+        raise ValueError(
+            f"unit delay vector must have shape ({network.n_stations},), "
+            f"got {unit_delays_ms.shape}"
+        )
+    loads = assignment.loads_mhz(demands_mb, network.c_unit_mhz, network.n_stations)
+    utilisation = loads / network.capacities_mhz
+    factor = mm1_factor(utilisation, max_factor=max_factor)
+    stations = assignment.station_of
+    processing = demands_mb * unit_delays_ms[stations] * factor[stations]
+    instantiation = sum(
+        network.services.instantiation_delay(station, service)
+        for service, station in assignment.cached
+    )
+    return float((processing.sum() + instantiation) / n)

@@ -1,0 +1,78 @@
+"""Export figure results to CSV/JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["figure_to_dict", "figure_to_json", "figure_to_csv"]
+
+
+def figure_to_dict(figure: FigureResult) -> Dict:
+    """Plain-dict form of a figure result (JSON-serialisable)."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "x_values": list(figure.x_values),
+        "panels": {
+            panel: {name: list(series) for name, series in algorithms.items()}
+            for panel, algorithms in figure.panels.items()
+        },
+    }
+
+
+def figure_to_json(figure: FigureResult, path: Union[str, Path, None] = None) -> str:
+    """Serialise a figure to JSON; optionally write it to ``path``."""
+    text = json.dumps(figure_to_dict(figure), indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def figure_to_csv(figure: FigureResult, directory: Union[str, Path]) -> List[Path]:
+    """Write one CSV per panel into ``directory``; returns the paths.
+
+    Each CSV has the x column first, then one column per algorithm.
+    Scalar side-panels (``as1755_*``) are written as single-row CSVs.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for panel, algorithms in figure.panels.items():
+        path = directory / f"{figure.figure_id}_{panel}.csv"
+        names = sorted(algorithms)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            if panel.startswith("as1755_"):
+                writer.writerow(names)
+                writer.writerow([algorithms[name][0] for name in names])
+            else:
+                writer.writerow([figure.x_label, *names])
+                for row_index, x in enumerate(figure.x_values):
+                    writer.writerow(
+                        [x, *(algorithms[name][row_index] for name in names)]
+                    )
+        written.append(path)
+    return written
+
+
+def load_figure_json(path: Union[str, Path]) -> FigureResult:
+    """Load a figure previously written by :func:`figure_to_json`."""
+    data = json.loads(Path(path).read_text())
+    figure = FigureResult(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        x_values=list(data["x_values"]),
+    )
+    figure.panels = {
+        panel: {name: list(series) for name, series in algorithms.items()}
+        for panel, algorithms in data["panels"].items()
+    }
+    figure.validate()
+    return figure

@@ -1,0 +1,131 @@
+"""One-shot reproduction report: run every figure, check every claim.
+
+`python -m repro report` (or :func:`run_full_report`) regenerates all five
+evaluation figures at the chosen profile, evaluates the paper-claims
+scorecard for each, and renders a single markdown document — the
+machine-generated counterpart of the hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.claims import ClaimResult, check_figure
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.figures import (
+    FigureResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.plots import render_figure_plots
+
+__all__ = ["ReproductionReport", "run_full_report", "render_report_markdown"]
+
+_GENERATORS: List[Tuple[str, Callable[[ExperimentProfile], FigureResult]]] = [
+    ("fig3", figure3),
+    ("fig4", figure4),
+    ("fig5", figure5),
+    ("fig6", figure6),
+    ("fig7", figure7),
+]
+
+
+@dataclass
+class ReproductionReport:
+    """Everything a full run produced."""
+
+    profile_name: str
+    figures: Dict[str, FigureResult]
+    claims: Dict[str, List[ClaimResult]]
+    seconds: Dict[str, float]
+
+    @property
+    def total_claims(self) -> int:
+        return sum(len(results) for results in self.claims.values())
+
+    @property
+    def passed_claims(self) -> int:
+        return sum(
+            sum(1 for r in results if r.passed) for results in self.claims.values()
+        )
+
+    @property
+    def failed_hard_claims(self) -> List[ClaimResult]:
+        return [
+            r
+            for results in self.claims.values()
+            for r in results
+            if r.hard and not r.passed
+        ]
+
+    @property
+    def all_hard_claims_pass(self) -> bool:
+        return not self.failed_hard_claims
+
+
+def run_full_report(
+    profile: ExperimentProfile,
+    only: Optional[List[str]] = None,
+) -> ReproductionReport:
+    """Run the selected figures (default: all) and score the claims."""
+    wanted = set(only) if only is not None else {name for name, _ in _GENERATORS}
+    unknown = wanted - {name for name, _ in _GENERATORS}
+    if unknown:
+        raise ValueError(f"unknown figure ids: {sorted(unknown)}")
+    figures: Dict[str, FigureResult] = {}
+    claims: Dict[str, List[ClaimResult]] = {}
+    seconds: Dict[str, float] = {}
+    for name, generator in _GENERATORS:
+        if name not in wanted:
+            continue
+        start = time.perf_counter()
+        figure = generator(profile)
+        seconds[name] = time.perf_counter() - start
+        figures[name] = figure
+        claims[name] = check_figure(figure, profile)
+    return ReproductionReport(
+        profile_name=profile.name, figures=figures, claims=claims, seconds=seconds
+    )
+
+
+def render_report_markdown(report: ReproductionReport) -> str:
+    """Markdown rendering: verdict summary, per-figure scorecards, plots."""
+    lines: List[str] = [
+        "# Reproduction report — Learning for Exception (ICDCS 2020)",
+        "",
+        f"Profile: **{report.profile_name}** | claims passed: "
+        f"**{report.passed_claims}/{report.total_claims}** | hard claims: "
+        f"**{'ALL PASS' if report.all_hard_claims_pass else 'FAILURES'}**",
+        "",
+    ]
+    for name, results in report.claims.items():
+        lines.append(f"## {name}  ({report.seconds[name]:.1f}s)")
+        lines.append("")
+        lines.append("| claim | verdict | measured |")
+        lines.append("|---|---|---|")
+        for result in results:
+            verdict = (
+                "PASS" if result.passed else ("**FAIL**" if result.hard else "soft-miss")
+            )
+            lines.append(f"| {result.claim_id} | {verdict} | {result.detail} |")
+        lines.append("")
+        lines.append("```")
+        lines.append(render_figure_plots(report.figures[name]))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    report: ReproductionReport, path: Union[str, Path]
+) -> Path:
+    """Render and write the markdown report; returns the path."""
+    path = Path(path)
+    path.write_text(render_report_markdown(report))
+    return path

@@ -1,0 +1,201 @@
+"""GanDemandPredictor: the Info-RNN-GAN behind the predictor interface.
+
+`OL_GAN` (Algorithm 2) interleaves prediction and learning per slot: the
+generator predicts each request's data volume, the controller acts on the
+prediction, then "discriminator D observes the real data volume of r_l and
+calculates its loss" and the generator is refined.  :meth:`_after_observe`
+implements exactly that per-slot feedback with a small number of online
+training steps.
+
+Conditioning channels (see :class:`repro.gan.Generator`): channel 0 is the
+request's own previous demand; channel 1 is the previous demand averaged
+over all requests sharing the request's latent code (its hotspot).  The
+aggregate channel is the operational form of the paper's observation that
+"users in the same location may have similar distributions of their data
+volumes" — per-user jitter averages out of it, leaving the shared burst
+state, which is exactly what the location latent `c` exists to expose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gan.infogan import InfoRnnGan
+from repro.prediction.base import DemandPredictor
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["GanDemandPredictor"]
+
+
+class GanDemandPredictor(DemandPredictor):
+    """Predicts per-request demand with a (optionally pre-trained) InfoGAN.
+
+    Parameters
+    ----------
+    codes:
+        One-hot latent codes per request, shape ``(n_requests, code_dim)``
+        — the location coding `c` of §V-B (see
+        :func:`repro.workload.encode_request_locations`).
+    window:
+        Length `W` of the conditioning window fed to the generator.
+    warmup_history:
+        Optional pre-training data, shape ``(T0, n_requests)`` — the
+        "small samples" of historical demand.
+    pretrain_epochs / online_steps:
+        Offline epochs over the warm-up windows, and per-slot fine-tuning
+        steps after each observation (Algorithm 2 lines 14-15).
+    n_noise_samples:
+        Monte-Carlo draws of `z` averaged into each prediction.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        rng: np.random.Generator,
+        window: int = 8,
+        warmup_history: Optional[np.ndarray] = None,
+        pretrain_epochs: int = 20,
+        online_steps: int = 1,
+        n_noise_samples: int = 4,
+        hidden_size: int = 16,
+        info_lambda: float = 0.5,
+        supervised_weight: float = 5.0,
+        supervised_quantile: float = 0.5,
+        lr: float = 2e-3,
+    ):
+        codes = np.asarray(codes, dtype=float)
+        if codes.ndim != 2:
+            raise ValueError(f"codes must be (n_requests, code_dim), got {codes.shape}")
+        super().__init__(codes.shape[0])
+        require_positive("window", window)
+        require_non_negative("online_steps", online_steps)
+        require_positive("n_noise_samples", n_noise_samples)
+        self._codes = codes
+        self._window = int(window)
+        self._online_steps = int(online_steps)
+        self._n_noise_samples = int(n_noise_samples)
+        # Group-mean projector: row r holds the averaging weights of the
+        # group request r belongs to (codes are one-hot).
+        counts = np.maximum(codes.sum(axis=0), 1.0)
+        self._group_projector = codes @ (codes / counts).T  # (R, R)
+        self.model = InfoRnnGan(
+            code_dim=codes.shape[1],
+            rng=rng,
+            cond_channels=2,
+            hidden_size=hidden_size,
+            info_lambda=info_lambda,
+            supervised_weight=supervised_weight,
+            supervised_quantile=supervised_quantile,
+            lr=lr,
+        )
+        self.loss_history: List = []
+        if warmup_history is not None:
+            warmup_history = np.asarray(warmup_history, dtype=float)
+            if warmup_history.ndim != 2 or warmup_history.shape[1] != self.n_requests:
+                raise ValueError(
+                    f"warmup_history must be (T0, {self.n_requests}), "
+                    f"got {warmup_history.shape}"
+                )
+            self.pretrain(warmup_history, epochs=pretrain_epochs)
+
+    # ------------------------------------------------------------------ #
+    # Conditioning construction
+    # ------------------------------------------------------------------ #
+
+    def _conditioning_from(self, demand_rows: np.ndarray) -> np.ndarray:
+        """Per-slot conditioning channels from demand rows ``(W, R)``.
+
+        Returns ``(W, R, 2)``: own demand and hotspot-mean demand.
+        """
+        own = demand_rows[:, :, np.newaxis]
+        group = (demand_rows @ self._group_projector.T)[:, :, np.newaxis]
+        return np.concatenate([own, group], axis=2)
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def _build_windows(
+        self, history: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Slice per-request training windows from a demand matrix.
+
+        Returns ``(targets (N, W, 1), conditioning (N, W, 2), codes
+        (N, cd))`` or ``None`` when the history is too short for a single
+        window.  One training sample is one request over one window; the
+        conditioning is built from the slots one step earlier.
+        """
+        horizon = history.shape[0]
+        if horizon < 2:
+            return None
+        window = min(self._window, horizon - 1)
+        conditioning_full = self._conditioning_from(history)  # (T, R, 2)
+        targets, conditioning, codes = [], [], []
+        # Stride by half-window for overlap without quadratic blowup.
+        stride = max(1, window // 2)
+        starts = list(range(1, horizon - window + 1, stride))
+        if not starts:
+            starts = [1]
+        for request in range(self.n_requests):
+            series = history[:, request]
+            for start in starts:
+                targets.append(series[start : start + window, np.newaxis])
+                conditioning.append(
+                    conditioning_full[start - 1 : start + window - 1, request, :]
+                )
+                codes.append(self._codes[request])
+        return np.stack(targets), np.stack(conditioning), np.stack(codes)
+
+    def pretrain(self, history: np.ndarray, epochs: int = 20) -> None:
+        """Offline training on historical demand (the small sample)."""
+        require_positive("epochs", epochs)
+        built = self._build_windows(np.asarray(history, dtype=float))
+        if built is None:
+            raise ValueError(
+                "warm-up history needs at least 2 slots to form a training window"
+            )
+        targets, conditioning, codes = built
+        self.loss_history.extend(
+            self.model.fit(targets, conditioning, codes, epochs=epochs)
+        )
+
+    def _after_observe(self, demands: np.ndarray) -> None:
+        """Per-slot refinement (Algorithm 2's discriminator feedback)."""
+        if self._online_steps == 0 or self.n_observed < 2:
+            return
+        history = self.history
+        window = min(self._window, history.shape[0] - 1)
+        targets = history[-window:].T[:, :, np.newaxis]  # (R, W, 1)
+        conditioning = self._conditioning_from(
+            history[-window - 1 : -1]
+        )  # (W, R, 2)
+        for _ in range(self._online_steps):
+            self.model.train_step(
+                targets.transpose(1, 0, 2), conditioning, self._codes
+            )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict_next(self) -> np.ndarray:
+        """Generator forecast for the next slot, one value per request.
+
+        Conditions on the last `W` observed demands; the conditioning
+        window ends at the latest observation, so the generated value at
+        the window's final step is the forecast for the upcoming slot.
+        Falls back to zeros before any observation.
+        """
+        if self.n_observed == 0:
+            return np.zeros(self.n_requests)
+        history = self.history
+        window = min(self._window, history.shape[0])
+        conditioning = self._conditioning_from(history[-window:])  # (W, R, 2)
+        generated = self.model.generate(
+            self._codes,
+            conditioning,
+            n_samples=self._n_noise_samples,
+        )
+        return generated[-1, :, 0].copy()

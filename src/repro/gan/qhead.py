@@ -1,0 +1,46 @@
+"""The auxiliary posterior `Q(c' | x)` of the InfoGAN construction (§V-B).
+
+Maximising the mutual information `I(c^t; G(z^t, c^t))` directly is
+intractable; the paper follows InfoGAN and maximises the variational lower
+bound `L1(G, Q)` (Eq. 25) instead, "generating the direction Q(c'|x) to
+approximate P(c|x)".  With a categorical (one-hot location) code, the
+bound reduces — up to the constant entropy `H(c)` — to the negative
+cross-entropy between Q's prediction and the code used to generate the
+series.  The Q head is a linear layer over the discriminator's pooled
+trunk features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import categorical_cross_entropy
+from repro.nn.layers import Dense, Module
+from repro.nn.tensor import Tensor
+from repro.utils.validation import require_positive
+
+__all__ = ["QHead"]
+
+
+class QHead(Module):
+    """Predicts the latent code from discriminator trunk features."""
+
+    def __init__(self, feature_size: int, code_dim: int, rng: np.random.Generator):
+        require_positive("feature_size", feature_size)
+        require_positive("code_dim", code_dim)
+        self.code_dim = int(code_dim)
+        self.head = Dense(feature_size, code_dim, rng)
+
+    def forward(self, pooled_features: Tensor) -> Tensor:
+        """Logits over latent codes, shape ``(B, code_dim)``."""
+        return self.head(pooled_features)
+
+    def info_loss(self, pooled_features: Tensor, codes: np.ndarray) -> Tensor:
+        """Negative `L1(G, Q)` up to the constant `H(c)` (Eq. 25).
+
+        Minimising this cross-entropy maximises the mutual-information
+        lower bound; ``codes`` are the one-hot latents the generator was
+        conditioned on.
+        """
+        logits = self.forward(pooled_features)
+        return categorical_cross_entropy(logits, codes)

@@ -1,0 +1,27 @@
+"""Linear-programming layer: model builder, LP solver, exact ILP solver.
+
+Algorithm 1 needs one LP relaxation per time slot (Eq. 3-8); the regret
+measurements additionally need the clairvoyant *integer* optimum, which
+:mod:`repro.lp.branch_and_bound` computes exactly for the small instances
+used in tests and ablations.  :mod:`repro.lp.duals` turns the capacity
+constraints' shadow prices into per-station congestion prices.
+"""
+
+from repro.lp.branch_and_bound import BranchAndBoundResult, solve_ilp
+from repro.lp.duals import DualSolution, capacity_shadow_prices, solve_lp_with_duals
+from repro.lp.model import Constraint, LpModel, Sense, Variable
+from repro.lp.solver import LpSolution, solve_lp
+
+__all__ = [
+    "BranchAndBoundResult",
+    "DualSolution",
+    "capacity_shadow_prices",
+    "solve_lp_with_duals",
+    "solve_ilp",
+    "Constraint",
+    "LpModel",
+    "Sense",
+    "Variable",
+    "LpSolution",
+    "solve_lp",
+]

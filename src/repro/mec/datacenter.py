@@ -1,0 +1,89 @@
+"""The remote data center: where services live before they are cached.
+
+Paper §III-C: services are "originally deployed in the remote data centers
+in the core network"; §VI-A quantifies the cost of *not* caching — "the
+average delay experienced in a remote data center is a value between 50
+and 100 milliseconds" (versus 5-50 ms at the base-station tiers).  This
+module models that remote option so examples and ablations can compare
+edge caching against the serve-everything-from-the-cloud default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mec.requests import Request
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["RemoteDataCenter", "cloud_only_delay_ms"]
+
+_PAPER_DC_DELAY_BAND_MS = (50.0, 100.0)
+
+
+class RemoteDataCenter:
+    """A core-network data center with effectively unlimited capacity.
+
+    The per-slot unit-processing delay (which, as for the base stations,
+    folds in the long core-network round trip) is drawn uniformly from the
+    paper's 50-100 ms band, slot-keyed so realisations are deterministic
+    per slot and independent of query order.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        delay_band_ms: Sequence[float] = _PAPER_DC_DELAY_BAND_MS,
+    ):
+        low, high = float(delay_band_ms[0]), float(delay_band_ms[1])
+        require_positive("delay band lower bound", low)
+        if low > high:
+            raise ValueError(
+                f"delay_band_ms must be (low, high) with low <= high, got "
+                f"{delay_band_ms}"
+            )
+        self._band = (low, high)
+        self._seed = int(rng.integers(2**63 - 1))
+
+    @property
+    def delay_band_ms(self) -> "tuple[float, float]":
+        """The (low, high) unit-delay band."""
+        return self._band
+
+    def unit_delay_ms(self, slot: int) -> float:
+        """Realised unit-processing delay `d_dc(t)` for ``slot``."""
+        require_non_negative("slot", slot)
+        low, high = self._band
+        slot_rng = np.random.default_rng((self._seed, int(slot)))
+        return float(slot_rng.uniform(low, high))
+
+    @property
+    def mean_unit_delay_ms(self) -> float:
+        """The expected unit delay (band midpoint)."""
+        low, high = self._band
+        return (low + high) / 2.0
+
+
+def cloud_only_delay_ms(
+    datacenter: RemoteDataCenter,
+    requests: Sequence[Request],
+    demands_mb: np.ndarray,
+    slot: int,
+) -> float:
+    """Average per-request delay when *nothing* is cached at the edge.
+
+    Every request's data goes to the remote data center: the no-MEC
+    baseline every edge-caching gain is measured against.  No
+    instantiation cost is charged (the services are already deployed
+    there, §III-C).
+    """
+    demands_mb = np.asarray(demands_mb, dtype=float)
+    if demands_mb.shape != (len(requests),):
+        raise ValueError(
+            f"demand vector must have shape ({len(requests)},), got "
+            f"{demands_mb.shape}"
+        )
+    if np.any(demands_mb < 0):
+        raise ValueError("demands must be non-negative")
+    return float(demands_mb.mean() * datacenter.unit_delay_ms(slot))

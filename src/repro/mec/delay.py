@@ -1,0 +1,227 @@
+"""Per-base-station processing-delay random processes `d_i(t)` (§III-D).
+
+`d_i(t)` is the delay of processing one unit (MB) of data at `bs_i` in slot
+`t`.  It "varies in different time slots and is usually not known in
+advance", but is fixed within a slot and observable at the start of a slot
+*for the stations actually played* — which is exactly the bandit feedback
+model of Algorithm 1.
+
+Two concrete processes are provided:
+
+* :class:`UniformTierDelay` — the paper's §VI-A model: each station draws a
+  fixed mean from its tier band (macro 30-50 ms, micro 10-20 ms, femto
+  5-10 ms) and the per-slot delay fluctuates around that mean.  An optional
+  ``congestion`` vector scales station means, used for AS1755's
+  bottleneck-heavy topology.
+* :class:`DriftingDelay` — a non-stationary extension in which station
+  means drift with a random walk; used by the ablation benchmarks to probe
+  the learning algorithms beyond the paper's stationary setting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mec.basestation import BaseStation
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["DelayObservation", "DelayProcess", "UniformTierDelay", "DriftingDelay"]
+
+
+@dataclass(frozen=True)
+class DelayObservation:
+    """A single bandit observation: station ``i`` showed delay ``d_i(t)``."""
+
+    station_index: int
+    slot: int
+    unit_delay_ms: float
+
+
+class DelayProcess(abc.ABC):
+    """Abstract per-slot unit-delay process over all base stations."""
+
+    @property
+    @abc.abstractmethod
+    def n_stations(self) -> int:
+        """Number of stations the process covers."""
+
+    @abc.abstractmethod
+    def sample(self, slot: int) -> np.ndarray:
+        """Realised `d_i(t)` for every station in ``slot`` (ms/MB).
+
+        Repeated calls with the same ``slot`` must return the same vector —
+        the delay "does not change during time slot t" (§III-D).
+        """
+
+    @property
+    @abc.abstractmethod
+    def true_means(self) -> np.ndarray:
+        """The latent `theta_i = E[X_i]` per station (for regret accounting)."""
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> "tuple[float, float]":
+        """`(d_min, d_max)` over all stations and slots (known a priori, Lemma 1)."""
+
+
+class UniformTierDelay(DelayProcess):
+    """Stationary delays: per-station mean from the tier band + slot noise.
+
+    ``noise_fraction`` controls the fluctuation amplitude: the slot delay is
+    uniform in ``[mean * (1-f), mean * (1+f)]``.  ``congestion`` (one factor
+    per station, >= 1) models topology bottlenecks — a station adjacent to
+    a hub link processes/forwards slower.
+    """
+
+    def __init__(
+        self,
+        stations: Sequence[BaseStation],
+        rng: np.random.Generator,
+        noise_fraction: float = 0.25,
+        congestion: Optional[Sequence[float]] = None,
+    ):
+        if not stations:
+            raise ValueError("need at least one base station")
+        require_non_negative("noise_fraction", noise_fraction)
+        if noise_fraction >= 1.0:
+            raise ValueError("noise_fraction must be < 1 so delays stay positive")
+        self._noise_fraction = float(noise_fraction)
+        means: List[float] = []
+        for bs in stations:
+            lo, hi = bs.profile.unit_delay_ms
+            means.append(float(rng.uniform(lo, hi)))
+        self._means = np.asarray(means, dtype=float)
+        # Per-slot noise comes from slot-keyed substreams, so the realised
+        # d_i(t) is independent of the order in which slots are queried.
+        self._noise_seed = int(rng.integers(2**63 - 1))
+        if congestion is not None:
+            factors = np.asarray(list(congestion), dtype=float)
+            if factors.shape != self._means.shape:
+                raise ValueError(
+                    f"congestion must have one factor per station "
+                    f"({self._means.shape[0]}), got shape {factors.shape}"
+                )
+            if np.any(factors < 1.0):
+                raise ValueError("congestion factors must be >= 1")
+            self._means = self._means * factors
+        self._cache: dict = {}
+
+    @property
+    def n_stations(self) -> int:
+        return int(self._means.shape[0])
+
+    def sample(self, slot: int) -> np.ndarray:
+        require_non_negative("slot", slot)
+        if slot not in self._cache:
+            f = self._noise_fraction
+            slot_rng = np.random.default_rng((self._noise_seed, int(slot)))
+            noise = slot_rng.uniform(1.0 - f, 1.0 + f, size=self._means.shape)
+            self._cache[slot] = self._means * noise
+        return self._cache[slot].copy()
+
+    @property
+    def true_means(self) -> np.ndarray:
+        return self._means.copy()
+
+    @property
+    def bounds(self) -> "tuple[float, float]":
+        f = self._noise_fraction
+        return (float(self._means.min() * (1.0 - f)), float(self._means.max() * (1.0 + f)))
+
+
+class DriftingDelay(DelayProcess):
+    """Non-stationary delays: station means follow a clipped random walk.
+
+    Extension beyond the paper (used in ablations): the mean of each
+    station's process drifts by a Gaussian step of scale ``drift_ms`` every
+    slot, clipped to ``[mean_floor_ms, mean_ceil_ms]``.  `true_means`
+    reports the *initial* means, matching how a stationary learner would be
+    evaluated against a drifting world.
+    """
+
+    def __init__(
+        self,
+        stations: Sequence[BaseStation],
+        rng: np.random.Generator,
+        drift_ms: float = 0.5,
+        noise_fraction: float = 0.25,
+        mean_floor_ms: float = 1.0,
+        mean_ceil_ms: Optional[float] = None,
+        congestion: Optional[Sequence[float]] = None,
+    ):
+        if not stations:
+            raise ValueError("need at least one base station")
+        require_non_negative("drift_ms", drift_ms)
+        require_non_negative("noise_fraction", noise_fraction)
+        require_positive("mean_floor_ms", mean_floor_ms)
+        self._drift = float(drift_ms)
+        self._noise_fraction = float(noise_fraction)
+        self._floor = float(mean_floor_ms)
+        initial: List[float] = []
+        for bs in stations:
+            lo, hi = bs.profile.unit_delay_ms
+            initial.append(float(rng.uniform(lo, hi)))
+        self._initial_means = np.asarray(initial, dtype=float)
+        if congestion is not None:
+            factors = np.asarray(list(congestion), dtype=float)
+            if factors.shape != self._initial_means.shape:
+                raise ValueError(
+                    f"congestion must have one factor per station "
+                    f"({self._initial_means.shape[0]}), got shape {factors.shape}"
+                )
+            if np.any(factors < 1.0):
+                raise ValueError("congestion factors must be >= 1")
+            self._initial_means = self._initial_means * factors
+        if mean_ceil_ms is None:
+            # Leave the walk head-room above the (possibly congested) start.
+            mean_ceil_ms = max(80.0, 1.5 * float(self._initial_means.max()))
+        require_positive("mean_ceil_ms", mean_ceil_ms)
+        if mean_floor_ms >= mean_ceil_ms:
+            raise ValueError("mean_floor_ms must be below mean_ceil_ms")
+        self._ceil = float(mean_ceil_ms)
+        # Slot-keyed substreams make sampling order-independent: both the
+        # walk step of slot t and its observation noise are functions of
+        # (seed, t) only.
+        self._walk_seed = int(rng.integers(2**63 - 1))
+        self._noise_seed = int(rng.integers(2**63 - 1))
+        self._mean_cache: dict = {0: self._initial_means.copy()}
+        self._cache: dict = {}
+
+    @property
+    def n_stations(self) -> int:
+        return int(self._initial_means.shape[0])
+
+    def _means_at(self, slot: int) -> np.ndarray:
+        """The walk's mean vector at ``slot``, computed (and cached) recursively."""
+        if slot not in self._mean_cache:
+            known = max(s for s in self._mean_cache if s <= slot)
+            means = self._mean_cache[known]
+            for t in range(known + 1, slot + 1):
+                step_rng = np.random.default_rng((self._walk_seed, t))
+                steps = step_rng.normal(0.0, self._drift, size=means.shape)
+                means = np.clip(means + steps, self._floor, self._ceil)
+                self._mean_cache[t] = means
+        return self._mean_cache[slot]
+
+    def sample(self, slot: int) -> np.ndarray:
+        require_non_negative("slot", slot)
+        if slot not in self._cache:
+            means = self._means_at(slot)
+            f = self._noise_fraction
+            noise_rng = np.random.default_rng((self._noise_seed, int(slot)))
+            noise = noise_rng.uniform(1.0 - f, 1.0 + f, size=means.shape)
+            self._cache[slot] = means * noise
+        return self._cache[slot].copy()
+
+    @property
+    def true_means(self) -> np.ndarray:
+        return self._initial_means.copy()
+
+    @property
+    def bounds(self) -> "tuple[float, float]":
+        f = self._noise_fraction
+        return (self._floor * (1.0 - f), self._ceil * (1.0 + f))

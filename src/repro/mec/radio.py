@@ -1,0 +1,113 @@
+"""Radio-layer model: transmit power, path loss and achievable link rate.
+
+Paper §VI-A fixes the physical-layer parameters we reproduce here:
+
+* transmit power — macro 40 W, micro 5 W, femto 0.1 W
+* system bandwidth — 20 MHz
+* modulation — 64QAM (6 bits/symbol), per the 3GPP standard
+
+The core algorithms only consume the *processing* delay `d_i(t)` (Eq. 2),
+but the radio model grounds coverage radii and supplies a wireless
+transmission-delay component for the extended examples, so the simulator is
+a complete network rather than a bare abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "RadioConfig",
+    "path_loss_db",
+    "receive_power_w",
+    "snr_db",
+    "link_rate_mbps",
+    "transmission_delay_ms",
+]
+
+# 3GPP-flavoured log-distance path loss parameters (urban small cell).
+_PATH_LOSS_AT_1M_DB = 38.0
+_PATH_LOSS_EXPONENT = 3.5
+_NOISE_FLOOR_DBM = -96.0  # thermal noise over 20 MHz plus noise figure
+_64QAM_BITS_PER_SYMBOL = 6.0
+_SPECTRAL_EFFICIENCY_CAP = _64QAM_BITS_PER_SYMBOL * (5.0 / 6.0)  # rate-5/6 coding
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical-layer configuration of a base station."""
+
+    transmit_power_w: float
+    bandwidth_mhz: float = 20.0
+    path_loss_exponent: float = _PATH_LOSS_EXPONENT
+
+    def __post_init__(self) -> None:
+        require_positive("transmit_power_w", self.transmit_power_w)
+        require_positive("bandwidth_mhz", self.bandwidth_mhz)
+        require_positive("path_loss_exponent", self.path_loss_exponent)
+
+
+def path_loss_db(distance_m: float, exponent: float = _PATH_LOSS_EXPONENT) -> float:
+    """Log-distance path loss in dB at ``distance_m`` metres.
+
+    Distances below one metre are clamped to one metre — the model is not
+    meaningful in the near field and the clamp keeps rates finite for users
+    standing next to a femtocell.
+    """
+    require_non_negative("distance_m", distance_m)
+    require_positive("exponent", exponent)
+    d = max(distance_m, 1.0)
+    return _PATH_LOSS_AT_1M_DB + 10.0 * exponent * math.log10(d)
+
+
+def receive_power_w(config: RadioConfig, distance_m: float) -> float:
+    """Received power in watts at ``distance_m`` from the transmitter."""
+    tx_dbm = 10.0 * math.log10(config.transmit_power_w * 1000.0)
+    rx_dbm = tx_dbm - path_loss_db(distance_m, config.path_loss_exponent)
+    return 10.0 ** (rx_dbm / 10.0) / 1000.0
+
+
+def snr_db(config: RadioConfig, distance_m: float) -> float:
+    """Signal-to-noise ratio in dB (interference-free licensed band).
+
+    The paper assigns each small cell a licensed band, so we model the
+    per-cell SNR without cross-cell interference.
+    """
+    rx_w = receive_power_w(config, distance_m)
+    rx_dbm = 10.0 * math.log10(rx_w * 1000.0)
+    return rx_dbm - _NOISE_FLOOR_DBM
+
+
+def link_rate_mbps(config: RadioConfig, distance_m: float) -> float:
+    """Achievable downlink/uplink rate in Mbps at ``distance_m``.
+
+    Shannon capacity truncated at the 64QAM rate-5/6 spectral-efficiency
+    ceiling (~5 bits/s/Hz), which is what a 3GPP 64QAM modulation scheme
+    tops out at.  Returns 0 when the SNR is below the decodable threshold.
+    """
+    gamma_db = snr_db(config, distance_m)
+    if gamma_db < -6.0:  # below any usable MCS
+        return 0.0
+    gamma = 10.0 ** (gamma_db / 10.0)
+    efficiency = min(math.log2(1.0 + gamma), _SPECTRAL_EFFICIENCY_CAP)
+    return config.bandwidth_mhz * efficiency  # MHz * bits/s/Hz == Mbps
+
+
+def transmission_delay_ms(config: RadioConfig, distance_m: float, data_mb: float) -> float:
+    """Time in milliseconds to push ``data_mb`` megabytes over the air.
+
+    Raises ``ValueError`` when the user is out of decodable range — callers
+    should have filtered to covering base stations first.
+    """
+    require_non_negative("data_mb", data_mb)
+    rate = link_rate_mbps(config, distance_m)
+    if rate <= 0.0:
+        raise ValueError(
+            f"no usable link at {distance_m:.1f} m for transmit power "
+            f"{config.transmit_power_w} W"
+        )
+    seconds = (data_mb * 8.0) / rate
+    return seconds * 1000.0

@@ -1,0 +1,62 @@
+"""User requests `r_l = <rho_l(t), S_k>` (paper §III-B).
+
+A request binds a user (with a location on the deployment plane and hidden
+features) to a service and a *basic* demand `rho_l^bsc`; the per-slot bursty
+component `rho_l^bst(t)` is produced by :mod:`repro.workload` and combined
+via Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mec.geometry import Point
+from repro.utils.validation import require_non_negative
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """A user request `r_l`.
+
+    Attributes
+    ----------
+    index:
+        Position in the request set `R` (the `l` of `r_l`).
+    service_index:
+        The required service `S_k` (index into the :class:`ServiceCatalog`).
+    basic_demand_mb:
+        `rho_l^bsc` — the smallest per-slot data volume over the horizon,
+        "usually given as a priori" (§III-B).
+    location:
+        User position, used for coverage (and for Pri_GD's priority and the
+        GAN's latent location code `c^t`).
+    hotspot_index:
+        Which workload hotspot/location cluster this user belongs to; users
+        sharing a hotspot burst together (the museum-VR example).  ``None``
+        for users not attached to any hotspot.
+    group_tag:
+        Hidden user-group feature (e.g. "tourist", "commuter"); part of the
+        hidden features the GAN conditions on.
+    """
+
+    index: int
+    service_index: int
+    basic_demand_mb: float
+    location: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    hotspot_index: Optional[int] = None
+    group_tag: str = "default"
+
+    def __post_init__(self) -> None:
+        require_non_negative("index", self.index)
+        require_non_negative("service_index", self.service_index)
+        require_non_negative("basic_demand_mb", self.basic_demand_mb)
+        if self.basic_demand_mb == 0:
+            raise ValueError("basic_demand_mb must be strictly positive (Eq. 1 basic demand)")
+
+    def demand_at(self, bursty_mb: float) -> float:
+        """Total demand `rho_l(t) = rho_l^bsc + rho_l^bst(t)` (Eq. 1)."""
+        require_non_negative("bursty_mb", bursty_mb)
+        return self.basic_demand_mb + bursty_mb

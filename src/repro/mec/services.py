@@ -1,0 +1,169 @@
+"""Services to be cached and their instantiation delays `d_ins[i,k]`.
+
+Paper §III-C: a set `S` of resource-hungry services (VR, cloud gaming, IoT
+analytics) originally deployed in remote data centers; caching an instance
+of `S_k` at `bs_i` pays a known, constant instantiation delay
+`d_ins[i,k]` (VM/container startup) that differs per (station, service)
+pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["Service", "ServiceCatalog"]
+
+_DEFAULT_INSTANTIATION_RANGE_MS = (2.0, 10.0)
+
+
+@dataclass(frozen=True)
+class Service:
+    """A network service `S_k`.
+
+    Attributes
+    ----------
+    index:
+        Position in the catalog (the `k` of `S_k`).
+    name:
+        Human-readable label used in traces and examples.
+    image_size_mb:
+        Container/VM image size; drives realistic instantiation delays.
+    compute_per_unit_mhz:
+        Service-specific multiplier on the network-wide ``C_unit``.
+        The paper's model (and every shipped controller) uses the single
+        shared ``C_unit`` constant, so this field stays at its default of
+        1.0 there; it is reserved for custom controllers/evaluators that
+        want heterogeneous per-service compute intensity.
+    """
+
+    index: int
+    name: str
+    image_size_mb: float = 200.0
+    compute_per_unit_mhz: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("index", self.index)
+        require_positive("image_size_mb", self.image_size_mb)
+        require_positive("compute_per_unit_mhz", self.compute_per_unit_mhz)
+
+
+_DEFAULT_SERVICE_NAMES = [
+    "vr-rendering",
+    "cloud-gaming",
+    "iot-analytics",
+    "video-transcode",
+    "ar-overlay",
+    "speech-to-text",
+    "object-detection",
+    "map-matching",
+]
+
+
+class ServiceCatalog:
+    """The service set `S` together with the instantiation-delay matrix.
+
+    `d_ins[i,k]` is sampled once at construction (it is "a constant and
+    given as a priori", §III-D) and never changes during a simulation.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[Service],
+        instantiation_delay_ms: np.ndarray,
+    ):
+        if not services:
+            raise ValueError("a ServiceCatalog needs at least one service")
+        expected_k = len(services)
+        if instantiation_delay_ms.ndim != 2 or instantiation_delay_ms.shape[1] != expected_k:
+            raise ValueError(
+                "instantiation_delay_ms must have shape (n_stations, n_services); "
+                f"got {instantiation_delay_ms.shape} for {expected_k} services"
+            )
+        if np.any(instantiation_delay_ms < 0):
+            raise ValueError("instantiation delays must be non-negative")
+        for position, service in enumerate(services):
+            if service.index != position:
+                raise ValueError(
+                    f"service at position {position} has index {service.index}; "
+                    "catalog indices must be 0..k-1 in order"
+                )
+        self._services: List[Service] = list(services)
+        self._d_ins = np.asarray(instantiation_delay_ms, dtype=float)
+
+    @classmethod
+    def generate(
+        cls,
+        n_services: int,
+        n_stations: int,
+        rng: np.random.Generator,
+        delay_range_ms: Sequence[float] = _DEFAULT_INSTANTIATION_RANGE_MS,
+        names: Optional[Sequence[str]] = None,
+    ) -> "ServiceCatalog":
+        """Build a catalog with uniform-random instantiation delays.
+
+        Delays scale mildly with the service image size, so bigger services
+        cost more to instantiate everywhere — the heterogeneity the paper
+        ascribes to "different services in different base stations".
+        """
+        require_positive("n_services", n_services)
+        require_positive("n_stations", n_stations)
+        lo, hi = delay_range_ms
+        require_positive("delay_range upper bound", hi)
+        if lo > hi:
+            raise ValueError(f"delay_range_ms must be (low, high) with low <= high, got {delay_range_ms}")
+
+        chosen_names = list(names) if names is not None else [
+            _DEFAULT_SERVICE_NAMES[i % len(_DEFAULT_SERVICE_NAMES)]
+            + ("" if i < len(_DEFAULT_SERVICE_NAMES) else f"-{i}")
+            for i in range(n_services)
+        ]
+        if len(chosen_names) != n_services:
+            raise ValueError("names must have exactly n_services entries")
+
+        services = [
+            Service(
+                index=i,
+                name=chosen_names[i],
+                image_size_mb=float(rng.uniform(100.0, 500.0)),
+            )
+            for i in range(n_services)
+        ]
+        base = rng.uniform(lo, hi, size=(n_stations, n_services))
+        image_scale = np.array([s.image_size_mb / 300.0 for s in services])
+        d_ins = base * (0.75 + 0.5 * image_scale[np.newaxis, :])
+        return cls(services, d_ins)
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self):
+        return iter(self._services)
+
+    def __getitem__(self, index: int) -> Service:
+        return self._services[index]
+
+    @property
+    def n_stations(self) -> int:
+        """Number of base stations the delay matrix covers."""
+        return self._d_ins.shape[0]
+
+    def instantiation_delay(self, station_index: int, service_index: int) -> float:
+        """`d_ins[i,k]` in milliseconds."""
+        return float(self._d_ins[station_index, service_index])
+
+    @property
+    def instantiation_matrix(self) -> np.ndarray:
+        """The full `(n_stations, n_services)` delay matrix (copy)."""
+        return self._d_ins.copy()
+
+    def by_name(self, name: str) -> Service:
+        """Look up a service by its label; raises ``KeyError`` when absent."""
+        matches: Dict[str, Service] = {s.name: s for s in self._services}
+        if name not in matches:
+            raise KeyError(f"no service named {name!r}; have {sorted(matches)}")
+        return matches[name]

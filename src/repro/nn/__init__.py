@@ -1,0 +1,51 @@
+"""A from-scratch numpy neural-network framework with reverse-mode autograd.
+
+No deep-learning framework is available in this environment, so the
+Info-RNN-GAN of paper §V is built on this package: a :class:`Tensor` with
+reverse-mode automatic differentiation, Dense / LSTM / Bi-LSTM layers
+(§V-B: "generator G adopts a Bi-LSTM", "discriminator uses a two-layer
+Bi-LSTM"), SGD/Adam optimisers and the GAN losses.  Gradients are verified
+against numerical differentiation in the test suite (see
+:mod:`repro.nn.gradcheck`).
+"""
+
+from repro.nn.functional import (
+    binary_cross_entropy,
+    categorical_cross_entropy,
+    log_softmax,
+    mse,
+    softmax,
+    softplus,
+)
+from repro.nn.gradcheck import gradcheck, numerical_gradient
+from repro.nn.layers import BiLSTM, Dense, LSTM, LSTMCell, Module, Sequential
+from repro.nn.recurrent import BiGRU, GRU, GRUCell, make_birnn
+from repro.nn.optim import Adam, Optimizer, Sgd
+from repro.nn.tensor import Tensor, concat, stack
+
+__all__ = [
+    "binary_cross_entropy",
+    "categorical_cross_entropy",
+    "log_softmax",
+    "mse",
+    "softmax",
+    "softplus",
+    "gradcheck",
+    "numerical_gradient",
+    "BiLSTM",
+    "BiGRU",
+    "GRU",
+    "GRUCell",
+    "make_birnn",
+    "Dense",
+    "LSTM",
+    "LSTMCell",
+    "Module",
+    "Sequential",
+    "Adam",
+    "Optimizer",
+    "Sgd",
+    "Tensor",
+    "concat",
+    "stack",
+]

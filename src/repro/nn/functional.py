@@ -1,0 +1,125 @@
+"""Differentiable functions built on the Tensor primitives.
+
+These compose the ops in :mod:`repro.nn.tensor`, so their gradients come
+for free and are covered by the same gradient checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "softplus",
+    "binary_cross_entropy",
+    "categorical_cross_entropy",
+    "mse",
+]
+
+_EPS = 1e-12
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``.
+
+    The max-subtraction uses a detached constant, which leaves the
+    gradient of softmax unchanged (softmax is shift-invariant).
+    """
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably via the log-sum-exp trick."""
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """log(1 + e^x): the positive-output head of the demand generator.
+
+    Computed as ``max(x, 0) + log1p(exp(-|x|))`` for stability; expressed
+    with the primitive ops so the gradient flows: relu(x) + log(1+exp(-|x|))
+    where |x| = relu(x) + relu(-x).
+    """
+    positive = x.relu()
+    negative_abs = -(positive + (-x).relu())  # == -|x|
+    return positive + (negative_abs.exp() + 1.0).log()
+
+
+def binary_cross_entropy(probabilities: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE between predicted probabilities and 0/1 targets.
+
+    This is the discriminator loss of Eq. (23): with targets=1 for true
+    data (`log D(rho)`) and targets=0 for generated data
+    (`log(1 - D(G(z, c)))`), up to sign.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != probabilities.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match predictions "
+            f"{probabilities.shape}"
+        )
+    if np.any((targets != 0.0) & (targets != 1.0)):
+        raise ValueError("binary_cross_entropy targets must be 0 or 1")
+    clipped = probabilities.clip_min(_EPS)
+    one_minus = (1.0 - probabilities).clip_min(_EPS)
+    losses = -(clipped.log() * targets) - (one_minus.log() * (1.0 - targets))
+    return losses.mean()
+
+
+def categorical_cross_entropy(logits: Tensor, one_hot_targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between softmax(logits) and one-hot targets.
+
+    This is the `Q` head loss: maximising the InfoGAN lower bound
+    `L1(G, Q)` (Eq. 25) reduces to minimising the cross-entropy between
+    `Q(c' | x)` and the true latent code `c`.
+    """
+    targets = np.asarray(one_hot_targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match logits {logits.shape}"
+        )
+    row_sums = targets.sum(axis=-1)
+    if not np.allclose(row_sums, 1.0):
+        raise ValueError("one-hot targets must sum to 1 along the last axis")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = (log_probs * targets).sum(axis=-1)
+    return -picked.mean()
+
+
+def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against constant targets."""
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match predictions "
+            f"{predictions.shape}"
+        )
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def pinball(predictions: Tensor, targets: np.ndarray, quantile: float) -> Tensor:
+    """Quantile (pinball) loss: trains the predictor toward a quantile.
+
+    ``quantile > 0.5`` penalises under-prediction harder than
+    over-prediction — the right asymmetry for capacity planning, where a
+    demand that comes in above the forecast overloads a station while one
+    below it merely wastes head-room.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match predictions "
+            f"{predictions.shape}"
+        )
+    shortfall = (Tensor(targets) - predictions).relu()      # under-prediction
+    excess = (predictions - targets).relu()                 # over-prediction
+    return (shortfall * quantile + excess * (1.0 - quantile)).mean()

@@ -1,0 +1,242 @@
+"""Neural-network layers: Dense, LSTM, Bi-LSTM (§V-B building blocks).
+
+The Info-RNN-GAN uses "a bidirectional two-layer loop RNN (Bi-LSTM)" for
+both generator and discriminator; :class:`BiLSTM` composes two
+:class:`LSTM` stacks run in opposite time directions with concatenated
+outputs, exactly that architecture.
+
+Sequence convention: time-major tensors of shape ``(T, B, features)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.validation import require_positive
+
+__all__ = ["Module", "Dense", "LSTMCell", "LSTM", "BiLSTM", "Sequential"]
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Any :class:`Tensor` attribute with ``requires_grad=True``, any nested
+    :class:`Module`, and any list/tuple of either is collected by
+    :meth:`parameters` — mirroring the framework convention users expect.
+    """
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        seen = set()
+
+        def collect(value) -> None:
+            if isinstance(value, Tensor):
+                if value.requires_grad and id(value) not in seen:
+                    seen.add(id(value))
+                    params.append(value)
+            elif isinstance(value, Module):
+                for p in value.parameters():
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        params.append(p)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    collect(item)
+
+        for value in self.__dict__.values():
+            collect(value)
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    @property
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _xavier(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+class Dense(Module):
+    """Affine layer ``y = activation(x @ W + b)`` over ``(B, in)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = None,
+    ):
+        require_positive("in_features", in_features)
+        require_positive("out_features", out_features)
+        valid = {None, "tanh", "sigmoid", "relu"}
+        if activation not in valid:
+            raise ValueError(f"activation must be one of {valid}, got {activation!r}")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.activation = activation
+        self.weight = Tensor(_xavier(rng, in_features, out_features), requires_grad=True)
+        self.bias = Tensor(np.zeros((1, out_features)), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        out = x @ self.weight + self.bias
+        if self.activation == "tanh":
+            return out.tanh()
+        if self.activation == "sigmoid":
+            return out.sigmoid()
+        if self.activation == "relu":
+            return out.relu()
+        return out
+
+
+class LSTMCell(Module):
+    """One LSTM step: ``(x_t, h, c) -> (h', c')``.
+
+    Gates are computed from a single fused weight matrix over
+    ``[x_t, h]``; the forget-gate bias is initialised to 1 (standard
+    remedy against early vanishing memory).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        require_positive("input_size", input_size)
+        require_positive("hidden_size", hidden_size)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        fused_in = input_size + hidden_size
+        self.weight = Tensor(
+            _xavier(rng, fused_in, 4 * hidden_size), requires_grad=True
+        )
+        bias = np.zeros((1, 4 * hidden_size))
+        bias[0, hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        """Zero (h, c) state for a batch."""
+        require_positive("batch", batch)
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_size}), got {x.shape}"
+            )
+        fused = concat([x, h], axis=-1) @ self.weight + self.bias
+        H = self.hidden_size
+        i_gate = fused[:, 0 * H : 1 * H].sigmoid()
+        f_gate = fused[:, 1 * H : 2 * H].sigmoid()
+        g_gate = fused[:, 2 * H : 3 * H].tanh()
+        o_gate = fused[:, 3 * H : 4 * H].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """A (possibly multi-layer) unidirectional LSTM over ``(T, B, in)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ):
+        require_positive("num_layers", num_layers)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Run the stack; returns hidden outputs of the top layer, (T, B, H)."""
+        if sequence.ndim != 3 or sequence.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected sequence of shape (T, batch, {self.input_size}), "
+                f"got {sequence.shape}"
+            )
+        horizon, batch = sequence.shape[0], sequence.shape[1]
+        layer_inputs = [sequence[t] for t in range(horizon)]
+        for cell in self.cells:
+            state = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for x_t in layer_inputs:
+                h, c = cell(x_t, state)
+                state = (h, c)
+                outputs.append(h)
+            layer_inputs = outputs
+        return stack(layer_inputs, axis=0)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: forward + time-reversed stacks, concatenated.
+
+    Output shape is ``(T, B, 2 * hidden)`` — the decision at slot `t` sees
+    "historical and future features in the data sample" (§V-B).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ):
+        self.forward_lstm = LSTM(input_size, hidden_size, rng, num_layers)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng, num_layers)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+
+    @property
+    def output_size(self) -> int:
+        """Feature size of the concatenated output (2 * hidden)."""
+        return 2 * self.hidden_size
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        horizon = sequence.shape[0]
+        forward_out = self.forward_lstm(sequence)
+        reversed_in = stack([sequence[t] for t in reversed(range(horizon))], axis=0)
+        backward_raw = self.backward_lstm(reversed_in)
+        backward_out = stack(
+            [backward_raw[t] for t in reversed(range(horizon))], axis=0
+        )
+        return concat([forward_out, backward_out], axis=-1)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order (used for the dense heads)."""
+
+    def __init__(self, *modules: Module):
+        if not modules:
+            raise ValueError("Sequential needs at least one module")
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x

@@ -1,0 +1,107 @@
+"""Optimisers: SGD (with momentum) and Adam.
+
+GAN training uses Adam (the de-facto choice for adversarial training);
+SGD is kept for the simpler regression fits and ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.validation import require_non_negative, require_positive, require_probability
+
+__all__ = ["Optimizer", "Sgd", "Adam"]
+
+
+class Optimizer(abc.ABC):
+    """Updates a fixed list of parameters in place from their gradients."""
+
+    def __init__(self, parameters: Sequence[Tensor]):
+        params = list(parameters)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        for p in params:
+            if not p.requires_grad:
+                raise ValueError("all optimised tensors must require gradients")
+        self._params: List[Tensor] = params
+
+    @property
+    def parameters(self) -> List[Tensor]:
+        return list(self._params)
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient (call before each backward)."""
+        for p in self._params:
+            p.zero_grad()
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Apply one update from the currently-accumulated gradients.
+
+        Parameters with ``grad is None`` (not touched by the last backward)
+        are skipped.
+        """
+
+
+class Sgd(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Tensor], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        require_positive("lr", lr)
+        require_probability("momentum", momentum)
+        self._lr = float(lr)
+        self._momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self._params]
+
+    def step(self) -> None:
+        for p, velocity in zip(self._params, self._velocity):
+            if p.grad is None:
+                continue
+            velocity *= self._momentum
+            velocity -= self._lr * p.grad
+            p.data = p.data + velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters)
+        require_positive("lr", lr)
+        require_probability("beta1", beta1)
+        require_probability("beta2", beta2)
+        require_positive("eps", eps)
+        self._lr = float(lr)
+        self._beta1 = float(beta1)
+        self._beta2 = float(beta2)
+        self._eps = float(eps)
+        self._m = [np.zeros_like(p.data) for p in self._params]
+        self._v = [np.zeros_like(p.data) for p in self._params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        correction1 = 1.0 - self._beta1**self._t
+        correction2 = 1.0 - self._beta2**self._t
+        for p, m, v in zip(self._params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self._beta1
+            m += (1.0 - self._beta1) * p.grad
+            v *= self._beta2
+            v += (1.0 - self._beta2) * (p.grad**2)
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.data = p.data - self._lr * m_hat / (np.sqrt(v_hat) + self._eps)

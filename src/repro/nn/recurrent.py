@@ -1,0 +1,146 @@
+"""GRU layers: the lighter recurrent alternative to LSTM (extension).
+
+The paper specifies Bi-LSTMs; GRUs are the standard lighter-weight
+substitute with one less gate and no cell state.  Provided so the GAN can
+be instantiated with either cell (``rnn_type="gru"``), which the
+`abl-pred` style experiments can use to probe architecture sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import BiLSTM, LSTM, Module, _xavier
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.validation import require_positive
+
+__all__ = ["GRUCell", "GRU", "BiGRU", "make_birnn"]
+
+
+class GRUCell(Module):
+    """One GRU step: ``(x_t, h) -> h'``.
+
+    Gates: update `z`, reset `r`, candidate `n`:
+
+        z = sigmoid(W_z [x, h]);  r = sigmoid(W_r [x, h])
+        n = tanh(W_n [x, r * h]);  h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        require_positive("input_size", input_size)
+        require_positive("hidden_size", hidden_size)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        fused_in = input_size + hidden_size
+        self.gate_weight = Tensor(
+            _xavier(rng, fused_in, 2 * hidden_size), requires_grad=True
+        )
+        self.gate_bias = Tensor(np.zeros((1, 2 * hidden_size)), requires_grad=True)
+        self.candidate_weight = Tensor(
+            _xavier(rng, fused_in, hidden_size), requires_grad=True
+        )
+        self.candidate_bias = Tensor(np.zeros((1, hidden_size)), requires_grad=True)
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero hidden state for a batch."""
+        require_positive("batch", batch)
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_size}), got {x.shape}"
+            )
+        H = self.hidden_size
+        gates = concat([x, h], axis=-1) @ self.gate_weight + self.gate_bias
+        z_gate = gates[:, 0:H].sigmoid()
+        r_gate = gates[:, H : 2 * H].sigmoid()
+        candidate = (
+            concat([x, r_gate * h], axis=-1) @ self.candidate_weight
+            + self.candidate_bias
+        ).tanh()
+        return (1.0 - z_gate) * candidate + z_gate * h
+
+
+class GRU(Module):
+    """A (possibly multi-layer) unidirectional GRU over ``(T, B, in)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ):
+        require_positive("num_layers", num_layers)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+        self.cells = [
+            GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        if sequence.ndim != 3 or sequence.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected sequence of shape (T, batch, {self.input_size}), "
+                f"got {sequence.shape}"
+            )
+        horizon, batch = sequence.shape[0], sequence.shape[1]
+        layer_inputs = [sequence[t] for t in range(horizon)]
+        for cell in self.cells:
+            state = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for x_t in layer_inputs:
+                state = cell(x_t, state)
+                outputs.append(state)
+            layer_inputs = outputs
+        return stack(layer_inputs, axis=0)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU, output ``(T, B, 2 * hidden)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ):
+        self.forward_rnn = GRU(input_size, hidden_size, rng, num_layers)
+        self.backward_rnn = GRU(input_size, hidden_size, rng, num_layers)
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        horizon = sequence.shape[0]
+        forward_out = self.forward_rnn(sequence)
+        reversed_in = stack([sequence[t] for t in reversed(range(horizon))], axis=0)
+        backward_raw = self.backward_rnn(reversed_in)
+        backward_out = stack(
+            [backward_raw[t] for t in reversed(range(horizon))], axis=0
+        )
+        return concat([forward_out, backward_out], axis=-1)
+
+
+def make_birnn(
+    rnn_type: str,
+    input_size: int,
+    hidden_size: int,
+    rng: np.random.Generator,
+    num_layers: int = 1,
+):
+    """Factory: a bidirectional recurrent trunk of the requested type."""
+    if rnn_type == "lstm":
+        return BiLSTM(input_size, hidden_size, rng, num_layers=num_layers)
+    if rnn_type == "gru":
+        return BiGRU(input_size, hidden_size, rng, num_layers=num_layers)
+    raise ValueError(f"rnn_type must be 'lstm' or 'gru', got {rnn_type!r}")

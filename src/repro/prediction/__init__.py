@@ -1,0 +1,24 @@
+"""Demand predictors: the common interface, ARMA (Eq. 27) and EWMA.
+
+`OL_Reg` plugs :class:`ArPredictor` into the online controller; `OL_GAN`
+plugs in :class:`repro.gan.GanDemandPredictor`.  Both implement
+:class:`DemandPredictor`, so controllers are predictor-agnostic.
+"""
+
+from repro.prediction.arma import ArPredictor
+from repro.prediction.base import (
+    DemandPredictor,
+    LastValuePredictor,
+    MeanPredictor,
+    OraclePredictor,
+)
+from repro.prediction.ewma import EwmaPredictor
+
+__all__ = [
+    "ArPredictor",
+    "DemandPredictor",
+    "LastValuePredictor",
+    "MeanPredictor",
+    "OraclePredictor",
+    "EwmaPredictor",
+]

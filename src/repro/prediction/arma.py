@@ -1,0 +1,84 @@
+"""The AR predictor of baseline `OL_Reg` (Eq. 27).
+
+The paper's comparison predictor is an "autoregressive moving average
+(ARMA)" that is written as a pure AR with fixed decaying weights:
+
+    rho_hat(t) = a_1 * rho(t-1) + a_2 * rho(t-2) + ... + a_p * rho(t-p)
+
+with ``0 <= a_i <= 1``, ``sum a_i = 1`` and ``a_i`` non-increasing in the
+lag.  The default weights are the normalised linear taper
+``a_i ∝ (p + 1 - i)``; custom weights satisfying the constraints are
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.prediction.base import DemandPredictor
+from repro.utils.validation import require_positive
+
+__all__ = ["ArPredictor"]
+
+
+def _default_weights(order: int) -> np.ndarray:
+    taper = np.arange(order, 0, -1, dtype=float)  # p, p-1, ..., 1
+    return taper / taper.sum()
+
+
+class ArPredictor(DemandPredictor):
+    """Fixed-weight AR(p) demand predictor (Eq. 27).
+
+    ``weights[0]`` multiplies the most recent observation.  Before ``p``
+    observations exist, the available prefix of weights is renormalised
+    over the observed slots; with no observations the prediction is zero.
+    """
+
+    def __init__(
+        self,
+        n_requests: int,
+        order: int = 5,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(n_requests)
+        require_positive("order", order)
+        self._order = int(order)
+        if weights is None:
+            self._weights = _default_weights(self._order)
+        else:
+            w = np.asarray(list(weights), dtype=float)
+            if w.shape != (self._order,):
+                raise ValueError(
+                    f"weights must have length {self._order}, got {w.shape}"
+                )
+            if np.any(w < 0) or np.any(w > 1):
+                raise ValueError("weights must lie in [0, 1] (Eq. 27)")
+            if not np.isclose(w.sum(), 1.0):
+                raise ValueError(f"weights must sum to 1, got {w.sum()}")
+            if np.any(np.diff(w) > 1e-12):
+                raise ValueError(
+                    "weights must be non-increasing in the lag (a_p1 >= a_p2 "
+                    "for p1 < p2, Eq. 27)"
+                )
+            self._weights = w
+
+    @property
+    def order(self) -> int:
+        """The AR order `p`."""
+        return self._order
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The lag weights ``a_1..a_p`` (copy)."""
+        return self._weights.copy()
+
+    def predict_next(self) -> np.ndarray:
+        if not self._history:
+            return np.zeros(self.n_requests)
+        available = min(self.n_observed, self._order)
+        recent = self.history[-available:][::-1]  # most recent first
+        weights = self._weights[:available]
+        weights = weights / weights.sum()
+        return np.einsum("i,ij->j", weights, recent)

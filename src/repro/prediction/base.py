@@ -1,0 +1,112 @@
+"""The predictor interface shared by ARMA, EWMA and the GAN.
+
+Protocol: the controller calls :meth:`predict_next` at the start of a slot
+(before demands are known) and :meth:`observe` at the end of the slot with
+the realised demands.  Predictors keep their own history buffer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "DemandPredictor",
+    "LastValuePredictor",
+    "MeanPredictor",
+    "OraclePredictor",
+]
+
+
+class DemandPredictor(abc.ABC):
+    """Predicts the next slot's per-request demand vector."""
+
+    def __init__(self, n_requests: int):
+        require_positive("n_requests", n_requests)
+        self._n_requests = int(n_requests)
+        self._history: List[np.ndarray] = []
+
+    @property
+    def n_requests(self) -> int:
+        return self._n_requests
+
+    @property
+    def n_observed(self) -> int:
+        """How many slots of demand have been observed so far."""
+        return len(self._history)
+
+    @property
+    def history(self) -> np.ndarray:
+        """Observed demand matrix, shape ``(n_observed, n_requests)``."""
+        if not self._history:
+            return np.zeros((0, self._n_requests))
+        return np.stack(self._history)
+
+    def observe(self, demands: np.ndarray) -> None:
+        """Record the realised demand vector of the slot that just ended."""
+        demands = np.asarray(demands, dtype=float)
+        if demands.shape != (self._n_requests,):
+            raise ValueError(
+                f"expected demand vector of shape ({self._n_requests},), "
+                f"got {demands.shape}"
+            )
+        if np.any(demands < 0):
+            raise ValueError("demands must be non-negative")
+        self._history.append(demands.copy())
+        self._after_observe(demands)
+
+    def _after_observe(self, demands: np.ndarray) -> None:
+        """Hook for online fine-tuning (default no-op)."""
+
+    @abc.abstractmethod
+    def predict_next(self) -> np.ndarray:
+        """Predicted demand vector for the upcoming slot."""
+
+    def prediction_error(self, actual: np.ndarray) -> float:
+        """Mean absolute error of :meth:`predict_next` against ``actual``."""
+        predicted = self.predict_next()
+        actual = np.asarray(actual, dtype=float)
+        if actual.shape != predicted.shape:
+            raise ValueError(
+                f"actual shape {actual.shape} must match predictions "
+                f"{predicted.shape}"
+            )
+        return float(np.mean(np.abs(predicted - actual)))
+
+
+class LastValuePredictor(DemandPredictor):
+    """Persistence baseline: next = last observed (zeros before any data)."""
+
+    def predict_next(self) -> np.ndarray:
+        if not self._history:
+            return np.zeros(self._n_requests)
+        return self._history[-1].copy()
+
+
+class MeanPredictor(DemandPredictor):
+    """Running-mean baseline: next = mean of all observed slots."""
+
+    def predict_next(self) -> np.ndarray:
+        if not self._history:
+            return np.zeros(self._n_requests)
+        return self.history.mean(axis=0)
+
+
+class OraclePredictor(DemandPredictor):
+    """Clairvoyant upper bound: reads the true demand model (ablations only).
+
+    Predicts slot ``n_observed`` (the next one) straight from the demand
+    model, so its error is exactly zero — the ceiling against which GAN/AR
+    predictors are scored.
+    """
+
+    def __init__(self, demand_model):
+        super().__init__(demand_model.n_requests)
+        self._model = demand_model
+
+    def predict_next(self) -> np.ndarray:
+        return self._model.demand_at(self.n_observed)

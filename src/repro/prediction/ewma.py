@@ -1,0 +1,44 @@
+"""Exponentially-weighted moving-average predictor (extension baseline).
+
+Not in the paper; used by the prediction ablation benchmark as a stronger
+classical baseline than the fixed-weight AR, to show where the GAN's edge
+comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import DemandPredictor
+from repro.utils.validation import require_probability
+
+__all__ = ["EwmaPredictor"]
+
+
+class EwmaPredictor(DemandPredictor):
+    """`s_t = alpha * x_t + (1 - alpha) * s_{t-1}`; predicts `s_t`."""
+
+    def __init__(self, n_requests: int, alpha: float = 0.4):
+        super().__init__(n_requests)
+        require_probability("alpha", alpha)
+        if alpha == 0.0:
+            raise ValueError("alpha must be strictly positive")
+        self._alpha = float(alpha)
+        self._state: np.ndarray = np.zeros(n_requests)
+        self._initialised = False
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def _after_observe(self, demands: np.ndarray) -> None:
+        if not self._initialised:
+            self._state = demands.copy()
+            self._initialised = True
+        else:
+            self._state = self._alpha * demands + (1.0 - self._alpha) * self._state
+
+    def predict_next(self) -> np.ndarray:
+        if not self._initialised:
+            return np.zeros(self.n_requests)
+        return self._state.copy()

@@ -1,0 +1,31 @@
+"""Time-slot simulation engine and metrics.
+
+Drives any :class:`repro.core.Controller` over a horizon against an
+:class:`repro.mec.MECNetwork` and a :class:`repro.workload.DemandModel`,
+recording the per-slot series the paper's figures plot (average delay,
+controller running time) plus regret and cache-churn diagnostics.
+"""
+
+from repro.sim.engine import run_simulation
+from repro.sim.failures import FailureSchedule, run_with_failures
+from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.sim.multirun import (
+    MetricSummary,
+    PairedComparison,
+    RepetitionStudy,
+    compare_controllers,
+    run_repetitions,
+)
+
+__all__ = [
+    "run_simulation",
+    "FailureSchedule",
+    "run_with_failures",
+    "SimulationResult",
+    "SlotRecord",
+    "MetricSummary",
+    "PairedComparison",
+    "RepetitionStudy",
+    "compare_controllers",
+    "run_repetitions",
+]

@@ -1,0 +1,117 @@
+"""The time-slot simulation loop.
+
+One slot of :func:`run_simulation`:
+
+1. the demand model realises `rho_l(t)` (Eq. 1);
+2. the controller decides (timed — this is the running-time series of the
+   paper's (b) sub-figures), seeing the true demands only in the
+   given-demands setting;
+3. the delay process realises `d_i(t)` and the assignment's cost is
+   evaluated (extended Eq. 3, see :mod:`repro.core.assignment`);
+4. optionally, the clairvoyant optimum of the slot is computed for regret;
+5. the controller observes the realised demands and the delays of the
+   stations it played.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.assignment import Assignment, evaluate_assignment
+from repro.core.controller import Controller
+from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact
+from repro.mec.network import MECNetwork
+from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import require_positive
+from repro.workload.demand import DemandModel
+
+__all__ = ["run_simulation"]
+
+
+def run_simulation(
+    network: MECNetwork,
+    demand_model: DemandModel,
+    controller: Controller,
+    horizon: int,
+    demands_known: bool = True,
+    compute_optimal: bool = False,
+    exact_optimal: bool = False,
+) -> SimulationResult:
+    """Run ``controller`` for ``horizon`` slots; returns the metric series.
+
+    ``demands_known`` selects the §IV setting (true demands passed to the
+    controller) versus the §V setting (controller predicts internally).
+    ``compute_optimal`` additionally solves the slot's clairvoyant LP
+    (``exact_optimal`` upgrades it to the exact ILP — small instances
+    only); the optimum lands in each record for regret tracking.
+    """
+    require_positive("horizon", horizon)
+    if demand_model.n_requests != controller.n_requests:
+        raise ValueError(
+            f"demand model covers {demand_model.n_requests} requests, "
+            f"controller expects {controller.n_requests}"
+        )
+    requests = controller.requests
+    result = SimulationResult(controller_name=controller.name)
+    previous: Optional[Assignment] = None
+    decide_watch = Stopwatch()
+    observe_watch = Stopwatch()
+
+    for slot in range(horizon):
+        true_demands = demand_model.demand_at(slot)
+
+        with decide_watch:
+            assignment = controller.decide(
+                slot, true_demands if demands_known else None
+            )
+
+        unit_delays = network.delays.sample(slot)
+        delay_ms = evaluate_assignment(
+            assignment, network, requests, true_demands, unit_delays
+        )
+
+        optimal_ms: Optional[float] = None
+        if compute_optimal:
+            if exact_optimal:
+                optimal_ms = clairvoyant_cost_exact(
+                    network, requests, true_demands, unit_delays
+                )
+            else:
+                optimal_ms = clairvoyant_cost(
+                    network, requests, true_demands, unit_delays
+                )
+
+        prediction_mae: Optional[float] = None
+        last_prediction = getattr(controller, "last_prediction", None)
+        if not demands_known and last_prediction is not None:
+            prediction_mae = float(np.mean(np.abs(last_prediction - true_demands)))
+
+        with observe_watch:
+            controller.observe(slot, true_demands, unit_delays, assignment)
+
+        loads = assignment.loads_mhz(
+            true_demands, network.c_unit_mhz, network.n_stations
+        )
+        churn = assignment.cache_churn(previous) if previous is not None else len(
+            assignment.cached
+        )
+        result.append(
+            SlotRecord(
+                slot=slot,
+                average_delay_ms=delay_ms,
+                decision_seconds=decide_watch.laps[-1],
+                observe_seconds=observe_watch.laps[-1],
+                cache_churn=churn,
+                n_cached_instances=len(assignment.cached),
+                max_load_fraction=float(
+                    np.max(loads / network.capacities_mhz)
+                ),
+                optimal_delay_ms=optimal_ms,
+                prediction_mae_mb=prediction_mae,
+            )
+        )
+        previous = assignment
+    return result

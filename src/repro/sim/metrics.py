@@ -1,0 +1,133 @@
+"""Per-slot records and aggregate results of a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bandits.regret import RegretTracker
+
+__all__ = ["SlotRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Everything measured in one slot."""
+
+    slot: int
+    average_delay_ms: float
+    decision_seconds: float
+    observe_seconds: float
+    cache_churn: int
+    n_cached_instances: int
+    max_load_fraction: float
+    optimal_delay_ms: Optional[float] = None
+    prediction_mae_mb: Optional[float] = None
+
+
+@dataclass
+class SimulationResult:
+    """The full run: per-slot records plus aggregate accessors."""
+
+    controller_name: str
+    records: List[SlotRecord] = field(default_factory=list)
+
+    def append(self, record: SlotRecord) -> None:
+        if self.records and record.slot != self.records[-1].slot + 1:
+            raise ValueError(
+                f"slot {record.slot} out of order after {self.records[-1].slot}"
+            )
+        if not self.records and record.slot != 0:
+            raise ValueError(f"first record must be slot 0, got {record.slot}")
+        self.records.append(record)
+
+    @property
+    def horizon(self) -> int:
+        return len(self.records)
+
+    @property
+    def delays_ms(self) -> np.ndarray:
+        """Per-slot average delay (the Fig. 3a/4a/5a/6a/7 series)."""
+        return np.array([r.average_delay_ms for r in self.records])
+
+    @property
+    def decision_seconds(self) -> np.ndarray:
+        """Per-slot total controller time: decide + observe.
+
+        This is the running-time series of the paper's (b) sub-figures —
+        the full per-slot compute a controller costs, including online
+        model refinement done in ``observe`` (the GAN's per-slot training
+        in Algorithm 2 lines 14-15 happens there).
+        """
+        return np.array(
+            [r.decision_seconds + r.observe_seconds for r in self.records]
+        )
+
+    @property
+    def decide_only_seconds(self) -> np.ndarray:
+        """Per-slot decide() time alone (excluding observe/refinement)."""
+        return np.array([r.decision_seconds for r in self.records])
+
+    @property
+    def cache_churn(self) -> np.ndarray:
+        """Newly-instantiated service instances per slot."""
+        return np.array([r.cache_churn for r in self.records], dtype=int)
+
+    @property
+    def max_load_fractions(self) -> np.ndarray:
+        """Per-slot worst station load as a fraction of its capacity."""
+        return np.array([r.max_load_fraction for r in self.records])
+
+    @property
+    def prediction_maes(self) -> np.ndarray:
+        """Per-slot prediction MAE (NaN for given-demand runs)."""
+        return np.array(
+            [
+                np.nan if r.prediction_mae_mb is None else r.prediction_mae_mb
+                for r in self.records
+            ]
+        )
+
+    def mean_delay_ms(self, skip_warmup: int = 0) -> float:
+        """Mean per-slot delay, optionally skipping the first slots.
+
+        The paper's headline "%-better" comparisons are steady-state; the
+        warm-up skip excludes the exploration transient when asked.
+        """
+        if skip_warmup < 0:
+            raise ValueError("skip_warmup must be >= 0")
+        delays = self.delays_ms[skip_warmup:]
+        if delays.size == 0:
+            raise ValueError(
+                f"no slots left after skipping {skip_warmup} of {self.horizon}"
+            )
+        return float(delays.mean())
+
+    def mean_decision_seconds(self) -> float:
+        """Mean controller decision time per slot."""
+        if not self.records:
+            raise ValueError("empty result")
+        return float(self.decision_seconds.mean())
+
+    def regret_tracker(self) -> RegretTracker:
+        """Build the Eq. (10) tracker from slots that carry an optimum."""
+        tracker = RegretTracker()
+        for record in self.records:
+            if record.optimal_delay_ms is not None:
+                tracker.record(record.average_delay_ms, record.optimal_delay_ms)
+        return tracker
+
+    def summary(self) -> dict:
+        """Aggregate dictionary used by the experiment tables."""
+        return {
+            "controller": self.controller_name,
+            "horizon": self.horizon,
+            "mean_delay_ms": self.mean_delay_ms(),
+            "mean_decision_s": self.mean_decision_seconds(),
+            "total_churn": int(self.cache_churn.sum()),
+            "peak_load_fraction": float(self.max_load_fractions.max())
+            if self.records
+            else 0.0,
+        }

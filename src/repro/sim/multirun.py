@@ -1,0 +1,230 @@
+"""Multi-repetition orchestration: means, spreads, confidence intervals.
+
+The paper averages every figure over 80 topologies.  This module makes
+that pattern a first-class, tested utility: run a scenario across
+independently-seeded repetitions and aggregate any scalar metric with a
+normal-approximation confidence interval, plus a paired comparison helper
+(:func:`compare_controllers`) that reports whether one controller beats
+another consistently across seeds (sign test + paired mean difference).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.controller import Controller
+from repro.mec.network import MECNetwork
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import SimulationResult
+from repro.utils.seeding import RngRegistry
+from repro.utils.validation import require_positive, require_probability
+from repro.workload.demand import DemandModel
+
+__all__ = [
+    "MetricSummary",
+    "RepetitionStudy",
+    "run_repetitions",
+    "compare_controllers",
+    "PairedComparison",
+]
+
+# A scenario builder returns the world for one repetition.
+ScenarioBuilder = Callable[
+    [RngRegistry], Tuple[MECNetwork, DemandModel, List[Controller]]
+]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread / CI of one scalar metric across repetitions."""
+
+    name: str
+    values: Tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def _summarise(name: str, values: Sequence[float], confidence: float) -> MetricSummary:
+    array = np.asarray(list(values), dtype=float)
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if array.size > 1 else 0.0
+    if array.size > 1 and std > 0:
+        margin = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=array.size - 1)
+        half_width = margin * std / math.sqrt(array.size)
+    else:
+        half_width = 0.0
+    return MetricSummary(
+        name=name,
+        values=tuple(float(v) for v in array),
+        mean=mean,
+        std=std,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+@dataclass
+class RepetitionStudy:
+    """Results of a repeated scenario: per-controller metric summaries."""
+
+    horizon: int
+    repetitions: int
+    # controller name -> metric name -> summary
+    summaries: Dict[str, Dict[str, MetricSummary]]
+    # controller name -> raw per-repetition results
+    raw: Dict[str, List[SimulationResult]]
+
+    def summary(self, controller: str, metric: str) -> MetricSummary:
+        if controller not in self.summaries:
+            raise KeyError(
+                f"no controller {controller!r}; have {sorted(self.summaries)}"
+            )
+        metrics = self.summaries[controller]
+        if metric not in metrics:
+            raise KeyError(f"no metric {metric!r}; have {sorted(metrics)}")
+        return metrics[metric]
+
+    def table(self, metric: str = "mean_delay_ms") -> str:
+        """Aligned text table of one metric across controllers."""
+        lines = [
+            f"{'controller':<16} {'mean':>10} {'std':>10} {'95% CI':>23}  (n={self.repetitions})"
+        ]
+        for name in sorted(self.summaries):
+            s = self.summary(name, metric)
+            lines.append(
+                f"{name:<16} {s.mean:>10.3f} {s.std:>10.3f} "
+                f"[{s.ci_low:>9.3f}, {s.ci_high:>9.3f}]"
+            )
+        return "\n".join(lines)
+
+
+def run_repetitions(
+    build: ScenarioBuilder,
+    seed: int,
+    repetitions: int,
+    horizon: int,
+    demands_known: bool = True,
+    skip_warmup: Optional[int] = None,
+    confidence: float = 0.95,
+) -> RepetitionStudy:
+    """Run ``build`` across ``repetitions`` seeds and aggregate metrics.
+
+    ``build`` receives a per-repetition :class:`RngRegistry` and returns
+    ``(network, demand_model, controllers)``; every controller is run on
+    the same world of its repetition.  Aggregated metrics per controller:
+    ``mean_delay_ms``, ``mean_decision_s``, ``total_churn``.
+    """
+    require_positive("repetitions", repetitions)
+    require_positive("horizon", horizon)
+    require_probability("confidence", confidence)
+    if skip_warmup is None:
+        skip_warmup = max(horizon // 4, 1)
+    if skip_warmup >= horizon:
+        raise ValueError(
+            f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
+        )
+
+    metric_values: Dict[str, Dict[str, List[float]]] = {}
+    raw: Dict[str, List[SimulationResult]] = {}
+    for repetition in range(repetitions):
+        rngs = RngRegistry(seed=seed).child(f"rep{repetition}")
+        network, demand_model, controllers = build(rngs)
+        for controller in controllers:
+            result = run_simulation(
+                network,
+                demand_model,
+                controller,
+                horizon=horizon,
+                demands_known=demands_known,
+            )
+            store = metric_values.setdefault(controller.name, {})
+            store.setdefault("mean_delay_ms", []).append(
+                result.mean_delay_ms(skip_warmup=skip_warmup)
+            )
+            store.setdefault("mean_decision_s", []).append(
+                result.mean_decision_seconds()
+            )
+            store.setdefault("total_churn", []).append(
+                float(result.cache_churn.sum())
+            )
+            raw.setdefault(controller.name, []).append(result)
+
+    summaries = {
+        name: {
+            metric: _summarise(metric, values, confidence)
+            for metric, values in metrics.items()
+        }
+        for name, metrics in metric_values.items()
+    }
+    return RepetitionStudy(
+        horizon=horizon, repetitions=repetitions, summaries=summaries, raw=raw
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired across-seed comparison of two controllers on one metric."""
+
+    metric: str
+    name_a: str
+    name_b: str
+    mean_difference: float  # mean(b - a): positive => a is better (lower)
+    wins_a: int
+    wins_b: int
+    ties: int
+    sign_test_p: float
+
+    @property
+    def a_wins_majority(self) -> bool:
+        return self.wins_a > self.wins_b
+
+
+def compare_controllers(
+    study: RepetitionStudy,
+    name_a: str,
+    name_b: str,
+    metric: str = "mean_delay_ms",
+) -> PairedComparison:
+    """Paired comparison: per-seed differences, win counts, sign test.
+
+    The two controllers must have been run in the same study (same worlds
+    per repetition), which is what makes the pairing valid.
+    """
+    a = study.summary(name_a, metric).values
+    b = study.summary(name_b, metric).values
+    if len(a) != len(b):
+        raise ValueError(
+            f"controllers have different repetition counts: {len(a)} vs {len(b)}"
+        )
+    differences = np.asarray(b) - np.asarray(a)
+    wins_a = int(np.sum(differences > 0))
+    wins_b = int(np.sum(differences < 0))
+    ties = int(np.sum(differences == 0))
+    decisive = wins_a + wins_b
+    if decisive > 0:
+        sign_p = float(
+            scipy_stats.binomtest(wins_a, decisive, 0.5).pvalue
+        )
+    else:
+        sign_p = 1.0
+    return PairedComparison(
+        metric=metric,
+        name_a=name_a,
+        name_b=name_b,
+        mean_difference=float(differences.mean()),
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        sign_test_p=sign_p,
+    )

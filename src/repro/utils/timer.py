@@ -1,0 +1,72 @@
+"""Wall-clock timing used for the paper's running-time figures (3b, 4b, 6b)."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulates wall-clock time across repeated start/stop laps.
+
+    The running-time curves in the paper (Fig. 3(b), 4(b), 6(b)) report the
+    controller's decision time per slot; the simulation engine wraps each
+    controller invocation in a :class:`Stopwatch` lap.
+
+    Can also be used as a context manager::
+
+        watch = Stopwatch()
+        with watch:
+            controller.decide(...)
+        watch.total_seconds
+    """
+
+    def __init__(self) -> None:
+        self._laps: List[float] = []
+        self._started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin a lap; raises if a lap is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current lap and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch was not started")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self._laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def laps(self) -> List[float]:
+        """Durations of completed laps, in seconds."""
+        return list(self._laps)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all completed laps."""
+        return sum(self._laps)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean lap duration (0.0 when no laps have completed)."""
+        if not self._laps:
+            return 0.0
+        return self.total_seconds / len(self._laps)
+
+    def reset(self) -> None:
+        """Discard all laps and any in-progress lap."""
+        self._laps.clear()
+        self._started_at = None

@@ -1,0 +1,58 @@
+"""Unit conventions and conversions used throughout the reproduction.
+
+Conventions (fixed across the whole package, matching paper §VI-A):
+
+* delay — **milliseconds**
+* data volume — **megabytes (MB)**
+* compute capacity — **MHz** (the paper expresses cloudlet capacity this way)
+* bandwidth — **Mbps**
+* distance — **metres**
+* transmit power — **watts**
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_non_negative
+
+__all__ = [
+    "MS_PER_SECOND",
+    "GHZ_PER_MHZ",
+    "BITS_PER_MEGABYTE",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "mhz_to_ghz",
+    "mbps_to_mb_per_ms",
+]
+
+MS_PER_SECOND = 1000.0
+GHZ_PER_MHZ = 1.0 / 1000.0
+BITS_PER_MEGABYTE = 8.0 * 1024.0 * 1024.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    require_non_negative("seconds", seconds)
+    return seconds * MS_PER_SECOND
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    require_non_negative("ms", ms)
+    return ms / MS_PER_SECOND
+
+
+def mhz_to_ghz(mhz: float) -> float:
+    """Convert MHz to GHz."""
+    require_non_negative("mhz", mhz)
+    return mhz * GHZ_PER_MHZ
+
+
+def mbps_to_mb_per_ms(mbps: float) -> float:
+    """Convert a link rate in Mbps to megabytes per millisecond.
+
+    Useful for turning the paper's bandwidth capacities (500-1000 Mbps for a
+    macro cell) into per-slot transfer volumes.
+    """
+    require_non_negative("mbps", mbps)
+    megabytes_per_second = mbps / 8.0
+    return megabytes_per_second / MS_PER_SECOND

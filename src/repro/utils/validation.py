@@ -1,0 +1,59 @@
+"""Small argument-validation helpers used across the package.
+
+These raise ``ValueError`` with a message that names the offending argument,
+so misconfigured experiments fail at construction time instead of producing
+silently wrong figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in_range",
+]
+
+
+def _require_finite(name: str, value: Number) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def require_positive(name: str, value: Number) -> Number:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    _require_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: Number) -> Number:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    _require_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: Number) -> Number:
+    """Return ``value`` if within [0, 1], else raise ``ValueError``."""
+    _require_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def require_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
+    """Return ``value`` if within [low, high], else raise ``ValueError``."""
+    _require_finite(name, value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

@@ -1,0 +1,213 @@
+"""Burst processes: MMPP state chains and flash-crowd schedules.
+
+Burstiness in the paper is *location-correlated*: "users in the same
+location may have similar distributions of their data volumes. For example,
+a few users may be playing the same VR game" (§V-A).  We model each
+location cluster (hotspot) with a two-state Markov-modulated process:
+
+* ``NORMAL`` — no extra traffic beyond the basic demand;
+* ``BURST`` — every user at the hotspot draws a heavy burst volume.
+
+A :class:`FlashCrowdSchedule` additionally injects *deterministic* burst
+windows (the "sudden event" / museum-VR scenario) so experiments can place
+a known flash crowd and check how controllers absorb it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = ["MmppBurstProcess", "FlashCrowdSchedule"]
+
+NORMAL, BURST = 0, 1
+
+
+class MmppBurstProcess:
+    """Two-state Markov-modulated burst process for one hotspot.
+
+    Parameters
+    ----------
+    p_enter:
+        Per-slot probability of NORMAL -> BURST.
+    p_exit:
+        Per-slot probability of BURST -> NORMAL.  The mean burst length is
+        ``1 / p_exit`` slots; the stationary burst fraction is
+        ``p_enter / (p_enter + p_exit)``.
+    amplitude_shape, amplitude_scale:
+        Gamma parameters of the burst volume (MB).  A gamma with shape < 2
+        is right-skewed, matching the "explosive bursts" the paper cites.
+    amplitude_mode:
+        ``"slot"`` (default) redraws the burst volume every slot — the
+        high-variance "explosive bursts" regime of the multimedia traffic
+        the paper cites, where per-slot volume is hard to extrapolate
+        linearly.  ``"episode"`` draws one amplitude per burst episode
+        (a flash crowd of a fixed size, e.g. the museum-VR example) with a
+        small per-slot wobble controlled by ``slot_jitter``.
+
+    The state at slot `t` is a deterministic function of `(seed, t)` via a
+    cached recursive walk, so query order never changes the realisation.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        p_enter: float = 0.08,
+        p_exit: float = 0.35,
+        amplitude_shape: float = 1.8,
+        amplitude_scale: float = 2.5,
+        amplitude_mode: str = "slot",
+        slot_jitter: float = 0.1,
+        ramp_slots: int = 3,
+    ):
+        require_probability("p_enter", p_enter)
+        require_probability("p_exit", p_exit)
+        require_positive("amplitude_shape", amplitude_shape)
+        require_positive("amplitude_scale", amplitude_scale)
+        require_probability("slot_jitter", slot_jitter)
+        if amplitude_mode not in ("slot", "episode"):
+            raise ValueError(
+                f"amplitude_mode must be 'slot' or 'episode', got {amplitude_mode!r}"
+            )
+        if not isinstance(ramp_slots, (int, np.integer)) or ramp_slots < 1:
+            raise ValueError(f"ramp_slots must be a positive int, got {ramp_slots!r}")
+        self._p_enter = float(p_enter)
+        self._p_exit = float(p_exit)
+        self._shape = float(amplitude_shape)
+        self._scale = float(amplitude_scale)
+        self._amplitude_mode = amplitude_mode
+        self._slot_jitter = float(slot_jitter)
+        self._ramp_slots = int(ramp_slots)
+        self._seed = int(rng.integers(2**63 - 1))
+        self._state_cache: Dict[int, int] = {0: NORMAL}
+
+    def state_at(self, slot: int) -> int:
+        """The chain state (NORMAL or BURST) in ``slot``."""
+        require_non_negative("slot", slot)
+        if slot not in self._state_cache:
+            known = max(s for s in self._state_cache if s <= slot)
+            state = self._state_cache[known]
+            for t in range(known + 1, slot + 1):
+                u = float(np.random.default_rng((self._seed, 0, t)).uniform())
+                if state == NORMAL and u < self._p_enter:
+                    state = BURST
+                elif state == BURST and u < self._p_exit:
+                    state = NORMAL
+                self._state_cache[t] = state
+        return self._state_cache[slot]
+
+    def is_bursting(self, slot: int) -> bool:
+        """True when the hotspot is in the BURST state in ``slot``."""
+        return self.state_at(slot) == BURST
+
+    def episode_start(self, slot: int) -> int:
+        """First slot of the burst episode containing ``slot``.
+
+        Only meaningful while bursting; raises otherwise.
+        """
+        if not self.is_bursting(slot):
+            raise ValueError(f"slot {slot} is not inside a burst episode")
+        start = slot
+        while start > 0 and self.state_at(start - 1) == BURST:
+            start -= 1
+        return start
+
+    def amplitude_at(self, slot: int) -> float:
+        """Burst volume (MB) a user at this hotspot adds in ``slot``.
+
+        Zero outside burst windows.  Within a burst, all users of the
+        hotspot share the same amplitude (they are "playing the same VR
+        game"); per-user jitter is applied by the demand model on top.
+        """
+        if not self.is_bursting(slot):
+            return 0.0
+        # Flash crowds build up over `ramp_slots`: the crowd arrives over
+        # several slots rather than materialising at once.  The ramp is the
+        # learnable structure ("the rule of such burstiness") a linear
+        # extrapolator systematically lags.
+        start = self.episode_start(slot)
+        ramp = min(1.0, (slot - start + 1) / self._ramp_slots)
+        if self._amplitude_mode == "slot":
+            amp_rng = np.random.default_rng((self._seed, 1, int(slot)))
+            return ramp * float(amp_rng.gamma(self._shape, self._scale))
+        episode_rng = np.random.default_rng((self._seed, 1, start))
+        amplitude = float(episode_rng.gamma(self._shape, self._scale))
+        if self._slot_jitter > 0.0:
+            wobble_rng = np.random.default_rng((self._seed, 2, int(slot)))
+            amplitude *= float(
+                wobble_rng.uniform(1.0 - self._slot_jitter, 1.0 + self._slot_jitter)
+            )
+        return ramp * amplitude
+
+    @property
+    def stationary_burst_fraction(self) -> float:
+        """Long-run fraction of slots spent bursting."""
+        denominator = self._p_enter + self._p_exit
+        if denominator == 0.0:
+            return 0.0
+        return self._p_enter / denominator
+
+    @property
+    def mean_burst_amplitude(self) -> float:
+        """Expected per-slot burst volume given the chain is bursting."""
+        return self._shape * self._scale
+
+
+@dataclass(frozen=True)
+class _Window:
+    start: int
+    end: int  # exclusive
+    amplitude_mb: float
+
+
+class FlashCrowdSchedule:
+    """Deterministic burst windows layered on top of the MMPP chains.
+
+    Each window says: "between slots ``start`` and ``end``, hotspot
+    ``hotspot_index`` experiences a flash crowd of ``amplitude_mb`` extra
+    megabytes per user per slot".  Used by examples and failure-injection
+    tests to create *known* exceptions the learner must absorb.
+    """
+
+    def __init__(self) -> None:
+        self._windows: Dict[int, List[_Window]] = {}
+
+    def add_event(
+        self, hotspot_index: int, start: int, duration: int, amplitude_mb: float
+    ) -> "FlashCrowdSchedule":
+        """Register an event; returns self for chaining."""
+        require_non_negative("hotspot_index", hotspot_index)
+        require_non_negative("start", start)
+        require_positive("duration", duration)
+        require_positive("amplitude_mb", amplitude_mb)
+        window = _Window(start=start, end=start + duration, amplitude_mb=amplitude_mb)
+        self._windows.setdefault(hotspot_index, []).append(window)
+        self._windows[hotspot_index].sort(key=lambda w: w.start)
+        return self
+
+    def amplitude_at(self, hotspot_index: int, slot: int) -> float:
+        """Total scheduled flash-crowd amplitude at a hotspot in ``slot``."""
+        require_non_negative("slot", slot)
+        total = 0.0
+        for window in self._windows.get(hotspot_index, []):
+            if window.start <= slot < window.end:
+                total += window.amplitude_mb
+        return total
+
+    def events_for(self, hotspot_index: int) -> List[Tuple[int, int, float]]:
+        """All (start, end, amplitude) windows registered for a hotspot."""
+        return [(w.start, w.end, w.amplitude_mb) for w in self._windows.get(hotspot_index, [])]
+
+    @property
+    def n_events(self) -> int:
+        """Total number of registered windows."""
+        return sum(len(ws) for ws in self._windows.values())

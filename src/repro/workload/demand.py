@@ -1,0 +1,179 @@
+"""Demand models producing `rho_l(t)` for every request and slot (Eq. 1).
+
+Two concrete models:
+
+* :class:`ConstantDemandModel` — the "given demands" setting of §IV
+  (Figs. 3-5): every request's demand is its basic demand in every slot.
+* :class:`BurstyDemandModel` — the full setting of §V (Figs. 6-7): basic
+  demand plus hotspot-correlated MMPP bursts, per-user jitter, and optional
+  scheduled flash crowds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mec.requests import Request
+from repro.utils.validation import require_non_negative, require_probability
+from repro.workload.bursty import FlashCrowdSchedule, MmppBurstProcess
+
+__all__ = ["DemandModel", "ConstantDemandModel", "BurstyDemandModel"]
+
+
+class DemandModel(abc.ABC):
+    """Per-slot data volumes for a fixed request set `R`."""
+
+    def __init__(self, requests: Sequence[Request]):
+        if not requests:
+            raise ValueError("a demand model needs at least one request")
+        self._requests: List[Request] = list(requests)
+        self._basic = np.array([r.basic_demand_mb for r in requests], dtype=float)
+
+    @property
+    def requests(self) -> List[Request]:
+        """The request set `R` this model generates demand for."""
+        return list(self._requests)
+
+    @property
+    def n_requests(self) -> int:
+        """|R|."""
+        return len(self._requests)
+
+    @property
+    def basic_demands(self) -> np.ndarray:
+        """Vector of `rho_l^bsc` (a priori, §III-B)."""
+        return self._basic.copy()
+
+    @abc.abstractmethod
+    def bursty_at(self, slot: int) -> np.ndarray:
+        """`rho_l^bst(t)` per request; must be deterministic per slot."""
+
+    def demand_at(self, slot: int) -> np.ndarray:
+        """`rho_l(t) = rho_l^bsc + rho_l^bst(t)` per request (Eq. 1)."""
+        return self._basic + self.bursty_at(slot)
+
+    def matrix(self, horizon: int) -> np.ndarray:
+        """Demand matrix of shape ``(horizon, n_requests)`` for slots 0..T-1."""
+        require_non_negative("horizon", horizon)
+        return np.stack([self.demand_at(t) for t in range(horizon)]) if horizon else (
+            np.zeros((0, self.n_requests))
+        )
+
+
+class ConstantDemandModel(DemandModel):
+    """Given demands: `rho_l(t) = rho_l^bsc` for every slot (§IV setting)."""
+
+    def bursty_at(self, slot: int) -> np.ndarray:
+        require_non_negative("slot", slot)
+        return np.zeros(self.n_requests)
+
+
+class BurstyDemandModel(DemandModel):
+    """Hotspot-correlated bursty demand (§V setting).
+
+    Every hotspot runs its own :class:`MmppBurstProcess`; all requests
+    attached to a bursting hotspot draw the hotspot's shared slot amplitude
+    scaled by a per-user jitter factor in ``[1-jitter, 1+jitter]``.
+    Requests with no hotspot (``hotspot_index is None``) burst
+    independently with the same process parameters.
+
+    Parameters
+    ----------
+    requests:
+        The request set; ``hotspot_index`` attributes define correlation
+        groups.
+    rng:
+        Source for process seeds and jitter.
+    flash_crowds:
+        Optional deterministic event schedule added on top of the MMPP
+        bursts.
+    p_enter, p_exit, amplitude_shape, amplitude_scale, amplitude_mode:
+        MMPP parameters, shared across hotspots (per-hotspot chains remain
+        independent because they are independently seeded); see
+        :class:`repro.workload.bursty.MmppBurstProcess`.
+    jitter:
+        Relative per-user spread around the shared hotspot amplitude.
+    """
+
+    _SOLO_KEY = -1  # pseudo-hotspot for requests without one
+
+    def __init__(
+        self,
+        requests: Sequence[Request],
+        rng: np.random.Generator,
+        flash_crowds: Optional[FlashCrowdSchedule] = None,
+        p_enter: float = 0.08,
+        p_exit: float = 0.35,
+        amplitude_shape: float = 1.8,
+        amplitude_scale: float = 2.5,
+        amplitude_mode: str = "slot",
+        ramp_slots: int = 3,
+        jitter: float = 0.2,
+    ):
+        super().__init__(requests)
+        require_probability("jitter", jitter)
+        self._jitter = float(jitter)
+        self._flash_crowds = flash_crowds
+        self._jitter_seed = int(rng.integers(2**63 - 1))
+
+        hotspot_keys = sorted(
+            {r.hotspot_index for r in requests if r.hotspot_index is not None}
+        )
+        self._processes: Dict[int, MmppBurstProcess] = {}
+        for key in hotspot_keys:
+            self._processes[key] = MmppBurstProcess(
+                rng,
+                p_enter=p_enter,
+                p_exit=p_exit,
+                amplitude_shape=amplitude_shape,
+                amplitude_scale=amplitude_scale,
+                amplitude_mode=amplitude_mode,
+                ramp_slots=ramp_slots,
+            )
+        # Solo requests each get an independent chain keyed by request index.
+        self._solo_processes: Dict[int, MmppBurstProcess] = {}
+        for r in requests:
+            if r.hotspot_index is None:
+                self._solo_processes[r.index] = MmppBurstProcess(
+                    rng,
+                    p_enter=p_enter,
+                    p_exit=p_exit,
+                    amplitude_shape=amplitude_shape,
+                    amplitude_scale=amplitude_scale,
+                    amplitude_mode=amplitude_mode,
+                    ramp_slots=ramp_slots,
+                )
+
+    def bursty_at(self, slot: int) -> np.ndarray:
+        require_non_negative("slot", slot)
+        bursts = np.zeros(self.n_requests)
+        jitter_rng = np.random.default_rng((self._jitter_seed, int(slot)))
+        jitters = jitter_rng.uniform(
+            1.0 - self._jitter, 1.0 + self._jitter, size=self.n_requests
+        )
+        for position, request in enumerate(self._requests):
+            if request.hotspot_index is not None:
+                process = self._processes[request.hotspot_index]
+                amplitude = process.amplitude_at(slot)
+                if self._flash_crowds is not None:
+                    amplitude += self._flash_crowds.amplitude_at(
+                        request.hotspot_index, slot
+                    )
+            else:
+                amplitude = self._solo_processes[request.index].amplitude_at(slot)
+            bursts[position] = amplitude * jitters[position]
+        return bursts
+
+    def hotspot_state(self, hotspot_index: int, slot: int) -> bool:
+        """True when the hotspot's MMPP chain is bursting in ``slot``."""
+        if hotspot_index not in self._processes:
+            raise KeyError(f"no requests are attached to hotspot {hotspot_index}")
+        return self._processes[hotspot_index].is_bursting(slot)
+
+    @property
+    def hotspot_indices(self) -> List[int]:
+        """Hotspots that have at least one attached request."""
+        return sorted(self._processes)

@@ -1,0 +1,123 @@
+"""Tests for ArmStats (the theta_i / m_i bookkeeping of Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bandits.arms import ArmStats
+
+
+class TestArmStats:
+    def test_initial_state(self):
+        stats = ArmStats(4)
+        assert stats.n_arms == 4
+        np.testing.assert_array_equal(stats.counts, np.zeros(4, dtype=int))
+        assert stats.total_plays == 0
+
+    def test_observe_updates_mean_and_count(self):
+        stats = ArmStats(3)
+        stats.observe(1, 10.0)
+        stats.observe(1, 20.0)
+        assert stats.mean(1) == 15.0
+        assert stats.counts[1] == 2
+        assert stats.total_plays == 2
+
+    def test_unplayed_arm_reports_prior(self):
+        stats = ArmStats(2, prior_mean=5.0)
+        assert stats.mean(0) == 5.0
+        np.testing.assert_array_equal(stats.means, [5.0, 5.0])
+
+    def test_means_vector_mixes_played_and_prior(self):
+        stats = ArmStats(3, prior_mean=1.0)
+        stats.observe(2, 8.0)
+        np.testing.assert_array_equal(stats.means, [1.0, 1.0, 8.0])
+
+    def test_observe_many(self):
+        stats = ArmStats(3)
+        stats.observe_many([0, 0, 2], [1.0, 3.0, 4.0])
+        assert stats.mean(0) == 2.0
+        assert stats.mean(2) == 4.0
+
+    def test_observe_many_length_mismatch(self):
+        stats = ArmStats(3)
+        with pytest.raises(ValueError):
+            stats.observe_many([0, 1], [1.0])
+
+    def test_out_of_range_arm(self):
+        stats = ArmStats(2)
+        with pytest.raises(IndexError):
+            stats.observe(2, 1.0)
+        with pytest.raises(IndexError):
+            stats.mean(-1)
+        with pytest.raises(IndexError):
+            stats.variance(5)
+
+    def test_negative_observation_rejected(self):
+        stats = ArmStats(2)
+        with pytest.raises(ValueError):
+            stats.observe(0, -1.0)
+
+    def test_variance(self):
+        stats = ArmStats(1)
+        for v in [2.0, 4.0, 6.0]:
+            stats.observe(0, v)
+        # population variance of {2,4,6} = 8/3
+        assert stats.variance(0) == pytest.approx(8.0 / 3.0)
+
+    def test_variance_needs_two_plays(self):
+        stats = ArmStats(1)
+        stats.observe(0, 5.0)
+        assert stats.variance(0) == 0.0
+
+    def test_unplayed_arms(self):
+        stats = ArmStats(4)
+        stats.observe(1, 1.0)
+        stats.observe(3, 1.0)
+        np.testing.assert_array_equal(stats.unplayed_arms(), [0, 2])
+
+    def test_confidence_radius_shrinks_with_plays(self):
+        stats = ArmStats(2)
+        stats.observe(0, 1.0)
+        stats.observe(1, 1.0)
+        wide = stats.confidence_radius(0)
+        for _ in range(50):
+            stats.observe(0, 1.0)
+        assert stats.confidence_radius(0) < wide
+
+    def test_confidence_radius_unplayed_is_inf(self):
+        stats = ArmStats(2)
+        assert stats.confidence_radius(0) == float("inf")
+
+    def test_snapshot(self):
+        stats = ArmStats(2)
+        stats.observe(0, 4.0)
+        means, counts = stats.snapshot()
+        np.testing.assert_array_equal(means, [4.0, 0.0])
+        np.testing.assert_array_equal(counts, [1, 0])
+
+    def test_reset(self):
+        stats = ArmStats(2)
+        stats.observe(0, 4.0)
+        stats.reset()
+        assert stats.total_plays == 0
+        assert stats.mean(0) == 0.0
+
+    def test_counts_returns_copy(self):
+        stats = ArmStats(2)
+        counts = stats.counts
+        counts[0] = 99
+        assert stats.counts[0] == 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    def test_mean_matches_numpy(self, values):
+        stats = ArmStats(1)
+        for v in values:
+            stats.observe(0, v)
+        assert stats.mean(0) == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=50))
+    def test_variance_matches_numpy(self, values):
+        stats = ArmStats(1)
+        for v in values:
+            stats.observe(0, v)
+        assert stats.variance(0) == pytest.approx(np.var(values), rel=1e-6, abs=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for the sliding-window arm statistics (non-stationarity extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bandits.windowed import WindowedArmStats
+
+
+class TestWindowedArmStats:
+    def test_mean_over_recent_only(self):
+        stats = WindowedArmStats(1, window=3)
+        for v in [10.0, 10.0, 1.0, 2.0, 3.0]:
+            stats.observe(0, v)
+        assert stats.mean(0) == pytest.approx(2.0)  # last three: 1, 2, 3
+
+    def test_counts_track_all_plays(self):
+        stats = WindowedArmStats(1, window=2)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            stats.observe(0, v)
+        assert stats.counts[0] == 4  # plays never forgotten
+        assert stats.mean(0) == pytest.approx(3.5)  # estimate forgets
+
+    def test_prior_before_any_play(self):
+        stats = WindowedArmStats(2, window=5, prior_mean=7.0)
+        assert stats.mean(0) == 7.0
+        np.testing.assert_array_equal(stats.means, [7.0, 7.0])
+
+    def test_means_vector(self):
+        stats = WindowedArmStats(3, window=2, prior_mean=1.0)
+        stats.observe(1, 4.0)
+        stats.observe(1, 6.0)
+        stats.observe(1, 8.0)
+        np.testing.assert_array_equal(stats.means, [1.0, 7.0, 1.0])
+
+    def test_variance_windowed(self):
+        stats = WindowedArmStats(1, window=3)
+        for v in [100.0, 2.0, 4.0, 6.0]:
+            stats.observe(0, v)
+        assert stats.variance(0) == pytest.approx(np.var([2.0, 4.0, 6.0]))
+
+    def test_variance_needs_two_recent(self):
+        stats = WindowedArmStats(1, window=3)
+        stats.observe(0, 5.0)
+        assert stats.variance(0) == 0.0
+
+    def test_tracks_drifting_mean_better_than_cumulative(self):
+        from repro.bandits.arms import ArmStats
+
+        cumulative = ArmStats(1)
+        windowed = WindowedArmStats(1, window=10)
+        rng = np.random.default_rng(0)
+        level = 10.0
+        for t in range(200):
+            level += 0.2  # steady upward drift
+            value = max(level + rng.normal(0, 0.5), 0.0)
+            cumulative.observe(0, value)
+            windowed.observe(0, value)
+        true_now = level
+        assert abs(windowed.mean(0) - true_now) < abs(cumulative.mean(0) - true_now)
+
+    def test_reset_clears_window(self):
+        stats = WindowedArmStats(1, window=3, prior_mean=9.0)
+        stats.observe(0, 1.0)
+        stats.reset()
+        assert stats.mean(0) == 9.0
+        assert stats.total_plays == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowedArmStats(2, window=0)
+
+    def test_index_validation(self):
+        stats = WindowedArmStats(2, window=3)
+        with pytest.raises(IndexError):
+            stats.mean(5)
+        with pytest.raises(IndexError):
+            stats.variance(-1)
+
+    def test_ol_gd_accepts_estimator_window(self):
+        from repro.core import OlGdController
+        from repro.mec.network import MECNetwork
+        from repro.mec.requests import Request
+        from repro.utils.seeding import RngRegistry
+
+        rngs = RngRegistry(seed=1)
+        network = MECNetwork.synthetic(8, 2, rngs)
+        requests = [Request(index=0, service_index=0, basic_demand_mb=1.0)]
+        controller = OlGdController(
+            network, requests, rngs.get("ctrl"), estimator_window=5
+        )
+        assert isinstance(controller.arms, WindowedArmStats)
+        demands = np.array([1.0])
+        assignment = controller.decide(0, demands)
+        controller.observe(0, demands, network.delays.sample(0), assignment)
+        assert controller.arms.total_plays >= 1

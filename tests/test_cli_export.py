@@ -1,0 +1,121 @@
+"""Tests for the CLI and figure export."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    load_figure_json,
+)
+from repro.experiments.figures import FigureResult
+from repro.workload import WifiTrace
+
+
+def sample_figure():
+    figure = FigureResult("figX", "demo", "slot", [0.0, 1.0, 2.0])
+    for t in range(3):
+        figure.add_point("delay_ms", "A", 10.0 + t)
+        figure.add_point("delay_ms", "B", 20.0 + t)
+        figure.add_point("runtime_s", "A", 0.1)
+        figure.add_point("runtime_s", "B", 0.2)
+    figure.panels["as1755_delay_ms"] = {"A": [5.0], "B": [6.0]}
+    return figure
+
+
+class TestExport:
+    def test_dict_round_trip_fields(self):
+        data = figure_to_dict(sample_figure())
+        assert data["figure_id"] == "figX"
+        assert data["panels"]["delay_ms"]["A"] == [10.0, 11.0, 12.0]
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "fig.json"
+        figure_to_json(sample_figure(), path)
+        loaded = load_figure_json(path)
+        np.testing.assert_array_equal(
+            loaded.series("delay_ms", "B"), [20.0, 21.0, 22.0]
+        )
+        assert loaded.panels["as1755_delay_ms"]["A"] == [5.0]
+
+    def test_json_string_without_path(self):
+        text = figure_to_json(sample_figure())
+        assert json.loads(text)["x_label"] == "slot"
+
+    def test_csv_files_written(self, tmp_path):
+        written = figure_to_csv(sample_figure(), tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "figX_delay_ms.csv",
+            "figX_runtime_s.csv",
+            "figX_as1755_delay_ms.csv",
+        }
+        content = (tmp_path / "figX_delay_ms.csv").read_text().splitlines()
+        assert content[0] == "slot,A,B"
+        assert content[1] == "0.0,10.0,20.0"
+
+    def test_scalar_panel_csv(self, tmp_path):
+        figure_to_csv(sample_figure(), tmp_path)
+        content = (tmp_path / "figX_as1755_delay_ms.csv").read_text().splitlines()
+        assert content == ["A,B", "5.0,6.0"]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in FIGURES:
+            assert figure_id in out
+
+    def test_trace_command(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--hotspots", "4", "--users", "8", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        trace = WifiTrace.from_csv(tmp_path / "hotspots.csv", tmp_path / "users.csv")
+        assert trace.n_hotspots == 4
+        assert trace.n_users == 8
+
+    def test_trace_reproducible_by_seed(self, tmp_path):
+        main(["trace", "--users", "5", "--seed", "9", "--out", str(tmp_path / "a")])
+        main(["trace", "--users", "5", "--seed", "9", "--out", str(tmp_path / "b")])
+        assert (tmp_path / "a" / "users.csv").read_text() == (
+            tmp_path / "b" / "users.csv"
+        ).read_text()
+
+    def test_figure_json_requires_out(self, capsys):
+        assert main(["figure", "fig3", "--json"]) == 2
+
+    def test_parser_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    @pytest.mark.slow
+    def test_figure_command_with_export(self, tmp_path, capsys, monkeypatch):
+        # Shrink the quick profile so the CLI path runs in seconds.
+        import repro.cli as cli
+        from repro.experiments import QUICK_PROFILE
+
+        tiny = dataclasses.replace(
+            QUICK_PROFILE,
+            horizon=4,
+            n_requests=8,
+            n_services=2,
+            n_hotspots=2,
+            base_stations=10,
+            repetitions=1,
+        )
+        monkeypatch.setitem(cli._PROFILES, "quick", tiny)
+        code = main(
+            ["figure", "fig3", "--out", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        assert (tmp_path / "fig3.json").exists()
+        assert (tmp_path / "fig3_delay_ms.csv").exists()
+        loaded = load_figure_json(tmp_path / "fig3.json")
+        assert loaded.figure_id == "fig3"

@@ -1,0 +1,179 @@
+"""Tests for candidate sets (Eq. 9), sampling and capacity repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.candidates import (
+    build_candidate_sets,
+    repair_capacity,
+    sample_assignment,
+)
+
+
+class TestBuildCandidateSets:
+    def test_threshold_applied(self):
+        x = np.array([[0.5, 0.3, 0.2], [0.05, 0.9, 0.05]])
+        candidates = build_candidate_sets(x, gamma=0.25)
+        np.testing.assert_array_equal(candidates[0], [0, 1])
+        np.testing.assert_array_equal(candidates[1], [1])
+
+    def test_empty_set_falls_back_to_argmax(self):
+        x = np.array([[0.4, 0.35, 0.25]])
+        candidates = build_candidate_sets(x, gamma=0.9)
+        np.testing.assert_array_equal(candidates[0], [0])
+
+    def test_gamma_zero_includes_all(self):
+        x = np.array([[0.2, 0.0, 0.8]])
+        candidates = build_candidate_sets(x, gamma=0.0)
+        np.testing.assert_array_equal(candidates[0], [0, 1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_candidate_sets(np.zeros((2, 3)), gamma=1.5)
+        with pytest.raises(ValueError):
+            build_candidate_sets(np.zeros(3), gamma=0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_never_empty(self, n_requests, n_stations, gamma):
+        rng = np.random.default_rng(0)
+        x = rng.dirichlet(np.ones(n_stations), size=n_requests)
+        for c in build_candidate_sets(x, gamma):
+            assert c.size >= 1
+
+
+class TestSampleAssignment:
+    def test_exploit_stays_in_candidates(self):
+        x = np.array([[0.6, 0.4, 0.0], [0.0, 0.1, 0.9]])
+        candidates = build_candidate_sets(x, gamma=0.05)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            stations = sample_assignment(x, candidates, rng)
+            assert stations[0] in (0, 1)
+            assert stations[1] in (1, 2)
+
+    def test_exploit_respects_probabilities(self):
+        x = np.array([[0.9, 0.1]])
+        candidates = build_candidate_sets(x, gamma=0.05)
+        rng = np.random.default_rng(1)
+        draws = [sample_assignment(x, candidates, rng)[0] for _ in range(2000)]
+        frequency = np.mean(np.array(draws) == 0)
+        assert 0.85 <= frequency <= 0.95
+
+    def test_explore_leaves_candidates(self):
+        x = np.array([[0.9, 0.1, 0.0, 0.0]])
+        candidates = build_candidate_sets(x, gamma=0.5)  # candidate = {0}
+        rng = np.random.default_rng(2)
+        mask = np.array([True])
+        for _ in range(50):
+            station = sample_assignment(x, candidates, rng, explore_mask=mask)[0]
+            assert station != 0  # outside the candidate set (line 9)
+
+    def test_explore_with_full_candidate_set_falls_back(self):
+        x = np.array([[0.5, 0.5]])
+        candidates = [np.array([0, 1])]  # covers every station
+        rng = np.random.default_rng(3)
+        station = sample_assignment(x, candidates, rng, explore_mask=np.array([True]))[0]
+        assert station in (0, 1)
+
+    def test_zero_mass_candidates_sampled_uniformly(self):
+        x = np.zeros((1, 3))
+        candidates = [np.array([1, 2])]
+        rng = np.random.default_rng(4)
+        draws = {sample_assignment(x, candidates, rng)[0] for _ in range(50)}
+        assert draws <= {1, 2}
+
+    def test_validation(self):
+        x = np.zeros((2, 3))
+        with pytest.raises(ValueError, match="candidate"):
+            sample_assignment(x, [np.array([0])], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="explore_mask"):
+            sample_assignment(
+                x,
+                [np.array([0]), np.array([0])],
+                np.random.default_rng(0),
+                explore_mask=np.array([True]),
+            )
+
+
+class TestRepairCapacity:
+    def test_feasible_assignment_untouched(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        stations = np.array([0, 1])
+        repaired = repair_capacity(
+            stations, x, np.array([1.0, 1.0]), np.array([10.0, 10.0]), 1.0
+        )
+        np.testing.assert_array_equal(repaired, stations)
+
+    def test_overload_moved_to_next_best(self):
+        # Both requests on station 0 (capacity 1.5) with demand 1.0 each.
+        x = np.array([[0.9, 0.1], [0.6, 0.4]])
+        stations = np.array([0, 0])
+        repaired = repair_capacity(
+            stations, x, np.array([1.0, 1.0]), np.array([1.5, 10.0]), 1.0
+        )
+        # Request 1 (smaller x* on station 0) moves to station 1.
+        np.testing.assert_array_equal(repaired, [0, 1])
+
+    def test_repair_restores_feasibility(self):
+        rng = np.random.default_rng(5)
+        n_requests, n_stations = 20, 5
+        x = rng.dirichlet(np.ones(n_stations), size=n_requests)
+        demands = rng.uniform(0.5, 2.0, size=n_requests)
+        capacities = np.full(n_stations, demands.sum() / n_stations * 1.5)
+        stations = np.full(n_requests, 0)  # everything piled on station 0
+        repaired = repair_capacity(stations, x, demands, capacities, 1.0)
+        loads = np.zeros(n_stations)
+        np.add.at(loads, repaired, demands)
+        assert np.all(loads <= capacities + 1e-9)
+
+    def test_impossible_overload_left_in_place(self):
+        """When nothing fits anywhere, the request stays (penalty prices it)."""
+        x = np.array([[1.0, 0.0]])
+        stations = np.array([0])
+        repaired = repair_capacity(
+            stations, x, np.array([5.0]), np.array([1.0, 1.0]), 1.0
+        )
+        np.testing.assert_array_equal(repaired, [0])
+
+    def test_input_not_mutated(self):
+        stations = np.array([0, 0])
+        x = np.array([[0.9, 0.1], [0.6, 0.4]])
+        repair_capacity(stations, x, np.array([1.0, 1.0]), np.array([1.5, 10.0]), 1.0)
+        np.testing.assert_array_equal(stations, [0, 0])
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=30)
+    def test_repair_never_worsens_total_overload(self, n_requests, n_stations):
+        rng = np.random.default_rng(n_requests * 100 + n_stations)
+        x = rng.dirichlet(np.ones(n_stations), size=n_requests)
+        demands = rng.uniform(0.5, 2.0, size=n_requests)
+        capacities = rng.uniform(1.0, 4.0, size=n_stations)
+        stations = rng.integers(0, n_stations, size=n_requests)
+
+        def total_overload(assignment):
+            loads = np.zeros(n_stations)
+            np.add.at(loads, assignment, demands)
+            return np.maximum(loads - capacities, 0.0).sum()
+
+        repaired = repair_capacity(stations, x, demands, capacities, 1.0)
+        assert total_overload(repaired) <= total_overload(stations) + 1e-9
+
+
+class TestNonFiniteGuard:
+    def test_nan_fractional_rejected(self):
+        x = np.array([[np.nan, 1.0]])
+        candidates = [np.array([0, 1])]
+        with pytest.raises(ValueError, match="non-finite"):
+            sample_assignment(x, candidates, np.random.default_rng(0))
+
+    def test_inf_fractional_rejected(self):
+        x = np.array([[np.inf, 0.0]])
+        candidates = [np.array([0, 1])]
+        with pytest.raises(ValueError, match="non-finite"):
+            sample_assignment(x, candidates, np.random.default_rng(0))

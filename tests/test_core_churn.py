@@ -1,0 +1,157 @@
+"""Tests for churn-aware costing and the hysteresis wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, GreedyController, OlGdController, evaluate_assignment
+from repro.core.churn import HysteresisController, evaluate_with_churn
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+
+@pytest.fixture
+def setting():
+    rngs = RngRegistry(seed=13)
+    network = MECNetwork.synthetic(12, 2, rngs)
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+        )
+        for i in range(6)
+    ]
+    demands = np.array([r.basic_demand_mb for r in requests])
+    return rngs, network, requests, demands
+
+
+class TestEvaluateWithChurn:
+    def test_first_slot_equals_plain(self, setting):
+        _, network, requests, demands = setting
+        assignment = Assignment.from_stations([0, 1, 2, 0, 1, 2], requests)
+        d_t = network.delays.sample(0)
+        plain = evaluate_assignment(assignment, network, requests, demands, d_t)
+        churned = evaluate_with_churn(
+            assignment, network, requests, demands, d_t, previous=None
+        )
+        assert churned == pytest.approx(plain)
+
+    def test_stable_cache_amortised(self, setting):
+        _, network, requests, demands = setting
+        assignment = Assignment.from_stations([0, 1, 2, 0, 1, 2], requests)
+        d_t = network.delays.sample(1)
+        plain = evaluate_assignment(assignment, network, requests, demands, d_t)
+        churned = evaluate_with_churn(
+            assignment, network, requests, demands, d_t, previous=assignment
+        )
+        # All instantiation costs amortised away.
+        total_ins = sum(
+            network.services.instantiation_delay(i, k) for k, i in assignment.cached
+        )
+        assert churned == pytest.approx(plain - total_ins / len(requests))
+
+    def test_partial_overlap(self, setting):
+        _, network, requests, demands = setting
+        first = Assignment.from_stations([0, 1, 2, 0, 1, 2], requests)
+        second = Assignment.from_stations([0, 1, 3, 0, 1, 3], requests)
+        d_t = network.delays.sample(2)
+        plain = evaluate_assignment(second, network, requests, demands, d_t)
+        churned = evaluate_with_churn(
+            second, network, requests, demands, d_t, previous=first
+        )
+        kept = second.cached & first.cached
+        amortised = sum(
+            network.services.instantiation_delay(i, k) for k, i in kept
+        )
+        assert churned == pytest.approx(plain - amortised / len(requests))
+        assert churned < plain
+
+
+class TestHysteresisController:
+    def test_name_decorated(self, setting):
+        rngs, network, requests, _ = setting
+        wrapped = HysteresisController(
+            OlGdController(network, requests, rngs.get("inner"))
+        )
+        assert wrapped.name == "OL_GD+hyst"
+
+    def test_first_slot_passthrough(self, setting):
+        rngs, network, requests, demands = setting
+        inner = GreedyController(network, requests, rngs.get("inner"))
+        wrapped = HysteresisController(inner)
+        plain = GreedyController(network, requests, rngs.get("inner2"))
+        a = wrapped.decide(0, demands)
+        b = plain.decide(0, demands)
+        np.testing.assert_array_equal(a.station_of, b.station_of)
+
+    def test_reduces_churn(self, setting):
+        rngs, network, requests, demands = setting
+        from repro.mec.delay import DriftingDelay
+
+        network.delays = DriftingDelay(
+            network.stations, rngs.get("drift"), drift_ms=1.0
+        )
+        model = ConstantDemandModel(requests)
+
+        def total_churn(controller):
+            previous, churn = None, 0
+            for t in range(25):
+                d = model.demand_at(t)
+                assignment = controller.decide(t, d)
+                if previous is not None:
+                    churn += assignment.cache_churn(previous)
+                controller.observe(t, d, network.delays.sample(t), assignment)
+                previous = assignment
+            return churn
+
+        plain = OlGdController(network, requests, rngs.get("plain"))
+        wrapped = HysteresisController(
+            OlGdController(network, requests, rngs.get("wrapped"))
+        )
+        assert total_churn(wrapped) < total_churn(plain)
+
+    def test_moves_when_saving_is_large(self, setting):
+        """A station whose estimate collapses must still attract moves."""
+        rngs, network, requests, demands = setting
+        inner = OlGdController(network, requests, rngs.get("inner"))
+        wrapped = HysteresisController(inner, switch_threshold_ms=0.5)
+        first = wrapped.decide(0, demands)
+        wrapped.observe(0, demands, network.delays.sample(0), first)
+        # Forge arm statistics: one station becomes overwhelmingly better.
+        inner.arms.reset()
+        best = 0 if first.station_of[0] != 0 else 1
+        for i in range(network.n_stations):
+            value = 0.1 if i == best else 60.0
+            inner.arms.observe(i, value)
+        second = wrapped.decide(1, demands)
+        assert np.any(second.station_of == best)
+
+    def test_requires_arm_statistics(self, setting):
+        rngs, network, requests, demands = setting
+        from repro.core import Controller
+
+        class NoArms(Controller):
+            name = "NoArms"
+
+            def decide(self, slot, demands):
+                return Assignment.from_stations(
+                    [0] * len(self.requests), self.requests
+                )
+
+            def observe(self, slot, demands, unit_delays, assignment):
+                pass
+
+        inner = NoArms(network, requests)
+        wrapped = HysteresisController(inner)
+        wrapped.decide(0, demands)  # first slot never needs theta
+        with pytest.raises(TypeError, match="arm"):
+            wrapped.decide(1, demands)
+
+    def test_threshold_validated(self, setting):
+        rngs, network, requests, _ = setting
+        inner = OlGdController(network, requests, rngs.get("inner"))
+        with pytest.raises(ValueError):
+            HysteresisController(inner, switch_threshold_ms=-1.0)

@@ -1,0 +1,92 @@
+"""Tests for the LP-free CMAB controllers (ablation baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cmab import CmabController, cmab_thompson, cmab_ucb
+from repro.bandits.policies import Ucb1
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+
+def build(seed=3, n_stations=12, n_requests=6):
+    rngs = RngRegistry(seed=seed)
+    network = MECNetwork.synthetic(n_stations, 2, rngs)
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+        )
+        for i in range(n_requests)
+    ]
+    return rngs, network, requests
+
+
+class TestCmabController:
+    def test_factories_name_controllers(self):
+        rngs, network, requests = build()
+        assert cmab_ucb(network, requests, rngs.get("a")).name == "CMAB_UCB"
+        assert cmab_thompson(network, requests, rngs.get("b")).name == "CMAB_TS"
+
+    def test_decide_produces_valid_assignment(self):
+        rngs, network, requests = build()
+        controller = cmab_ucb(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        assert assignment.n_requests == len(requests)
+        assert np.all(assignment.station_of < network.n_stations)
+
+    def test_capacity_packed_greedily(self):
+        rngs, network, requests = build()
+        controller = cmab_ucb(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        loads = assignment.loads_mhz(demands, network.c_unit_mhz, network.n_stations)
+        assert np.all(loads <= network.capacities_mhz + 1e-6)
+
+    def test_requires_demands(self):
+        rngs, network, requests = build()
+        controller = cmab_ucb(network, requests, rngs.get("ctrl"))
+        with pytest.raises(ValueError):
+            controller.decide(0, None)
+
+    def test_observe_updates_played_arms_only(self):
+        rngs, network, requests = build()
+        controller = cmab_thompson(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        controller.observe(0, demands, network.delays.sample(0), assignment)
+        played = set(assignment.stations_used().tolist())
+        for i in range(network.n_stations):
+            assert (controller.arms.counts[i] > 0) == (i in played)
+
+    def test_converges_to_fast_stations(self):
+        rngs, network, requests = build(n_stations=10, n_requests=4)
+        controller = cmab_ucb(network, requests, rngs.get("ctrl"))
+        model = ConstantDemandModel(requests)
+        run_simulation(network, model, controller, horizon=80)
+        true = network.delays.true_means
+        # Most plays should land on below-median-delay stations eventually.
+        counts = controller.arms.counts
+        fast = true <= np.median(true)
+        assert counts[fast].sum() > 0.6 * counts.sum()
+
+    def test_custom_name(self):
+        rngs, network, requests = build()
+        controller = CmabController(
+            network, requests, rngs.get("ctrl"), Ucb1(), name="MyCmab"
+        )
+        assert controller.name == "MyCmab"
+
+    def test_oversized_demand_falls_back(self):
+        rngs, network, requests = build(n_requests=1)
+        controller = cmab_ucb(network, requests, rngs.get("ctrl"))
+        huge = np.array([10 * network.capacities_mhz.max() / network.c_unit_mhz])
+        assignment = controller.decide(0, huge)
+        # Falls back to the largest station rather than crashing.
+        assert assignment.station_of[0] == int(np.argmax(network.capacities_mhz))

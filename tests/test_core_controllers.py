@@ -1,0 +1,264 @@
+"""Tests for OL_GD, Greedy_GD, Pri_GD, OL_Reg, OL_GAN and theory bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExplorationConfig,
+    GreedyController,
+    OlGanController,
+    OlGdController,
+    OlRegController,
+    PriorityController,
+    lemma1_gap,
+    theorem1_regret_bound,
+)
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+from repro.workload import BurstyDemandModel, ConstantDemandModel
+
+
+def build_setting(n_stations=12, n_services=3, n_requests=8, seed=7, hotspots=None):
+    rngs = RngRegistry(seed=seed)
+    network = MECNetwork.synthetic(n_stations, n_services, rngs)
+    rng = rngs.get("requests")
+    requests = []
+    for i in range(n_requests):
+        anchor = network.stations[int(rng.integers(n_stations))]
+        requests.append(
+            Request(
+                index=i,
+                service_index=int(rng.integers(n_services)),
+                basic_demand_mb=float(rng.uniform(1.0, 2.5)),
+                location=anchor.position,
+                hotspot_index=None if hotspots is None else i % hotspots,
+            )
+        )
+    return rngs, network, requests
+
+
+class TestExplorationConfig:
+    def test_decaying_schedule(self):
+        config = ExplorationConfig(schedule="decaying", c=0.5)
+        assert config.epsilon(0) == 0.5
+        assert config.epsilon(9) == pytest.approx(0.05)
+
+    def test_constant_schedule(self):
+        config = ExplorationConfig(schedule="constant", c=0.25)
+        assert config.epsilon(0) == config.epsilon(99) == 0.25
+
+    def test_paper_literal(self):
+        config = ExplorationConfig.paper_literal()
+        assert config.schedule == "constant"
+        assert config.c == 0.25
+        assert config.scope == "slot"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplorationConfig(schedule="bogus")
+        with pytest.raises(ValueError):
+            ExplorationConfig(scope="bogus")
+        with pytest.raises(ValueError):
+            ExplorationConfig(c=1.5)
+        with pytest.raises(ValueError):
+            ExplorationConfig(schedule="decaying", c=0.0)
+
+
+class TestOlGd:
+    def test_decide_returns_feasible_assignment(self):
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        assert assignment.n_requests == len(requests)
+        loads = assignment.loads_mhz(demands, network.c_unit_mhz, network.n_stations)
+        assert np.all(loads <= network.capacities_mhz + 1e-6)
+
+    def test_requires_demands(self):
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        with pytest.raises(ValueError, match="given-demands"):
+            controller.decide(0, None)
+
+    def test_observe_updates_only_played_arms(self):
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        d_t = network.delays.sample(0)
+        controller.observe(0, demands, d_t, assignment)
+        played = set(assignment.stations_used().tolist())
+        for i in range(network.n_stations):
+            if i in played:
+                assert controller.arms.counts[i] >= 1
+            else:
+                assert controller.arms.counts[i] == 0
+
+    def test_learning_improves_station_choice(self):
+        """After many slots, OL_GD's mean estimates of played stations
+        should be close to the true means (the learning actually works)."""
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        model = ConstantDemandModel(requests)
+        run_simulation(network, model, controller, horizon=60)
+        true = network.delays.true_means
+        played = controller.arms.counts >= 5
+        assert played.sum() >= 2  # the learner may converge onto few stations
+        estimated = controller.arms.means[played]
+        np.testing.assert_allclose(estimated, true[played], rtol=0.25)
+
+    def test_fractional_solution_cached_for_inspection(self):
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        controller.decide(0, demands)
+        assert controller.last_fractional.shape == (len(requests), network.n_stations)
+
+    def test_gamma_validated(self):
+        rngs, network, requests = build_setting()
+        with pytest.raises(ValueError):
+            OlGdController(network, requests, rngs.get("ctrl"), gamma=1.5)
+
+
+class TestBaselines:
+    def test_greedy_respects_capacity_when_possible(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        loads = assignment.loads_mhz(demands, network.c_unit_mhz, network.n_stations)
+        assert np.all(loads <= network.capacities_mhz + 1e-6)
+
+    def test_greedy_requires_demands(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        with pytest.raises(ValueError):
+            controller.decide(0, None)
+
+    def test_greedy_reuses_cached_instances(self):
+        """Requests of one service should co-locate to amortise d_ins."""
+        rngs, network, requests = build_setting(n_requests=6)
+        same_service = [
+            Request(index=i, service_index=0, basic_demand_mb=0.5)
+            for i in range(6)
+        ]
+        controller = GreedyController(network, same_service, rngs.get("ctrl"))
+        assignment = controller.decide(0, np.full(6, 0.5))
+        # All six fit easily in one station; instantiation pushes them together.
+        assert len(set(assignment.station_of.tolist())) == 1
+
+    def test_priority_orders_by_coverage(self):
+        rngs, network, requests = build_setting()
+        controller = PriorityController(network, requests, rngs.get("ctrl"))
+        priorities = controller.priorities
+        assert priorities.shape == (len(requests),)
+        # Users placed at station positions must be covered at least once.
+        assert np.all(priorities >= 1)
+
+    def test_priority_prefers_covering_station(self):
+        rngs, network, requests = build_setting()
+        controller = PriorityController(network, requests, rngs.get("ctrl"))
+        demands = np.full(len(requests), 0.01)  # capacity never binds
+        assignment = controller.decide(0, demands)
+        for l, request in enumerate(requests):
+            covering = network.covering_stations(request.location)
+            assert assignment.station_of[l] in covering
+
+    def test_priority_requires_demands(self):
+        rngs, network, requests = build_setting()
+        controller = PriorityController(network, requests, rngs.get("ctrl"))
+        with pytest.raises(ValueError):
+            controller.decide(0, None)
+
+
+class TestPredictiveControllers:
+    def test_ol_reg_rejects_given_demands(self):
+        rngs, network, requests = build_setting(hotspots=2)
+        controller = OlRegController(network, requests, rngs.get("ctrl"))
+        with pytest.raises(ValueError, match="unknown-demands"):
+            controller.decide(0, np.ones(len(requests)))
+
+    def test_ol_reg_first_prediction_is_basic_demand(self):
+        rngs, network, requests = build_setting(hotspots=2)
+        controller = OlRegController(network, requests, rngs.get("ctrl"))
+        controller.decide(0, None)
+        np.testing.assert_array_equal(
+            controller.last_prediction,
+            np.array([r.basic_demand_mb for r in requests]),
+        )
+
+    def test_ol_reg_prediction_floors_at_basic(self):
+        rngs, network, requests = build_setting(hotspots=2)
+        controller = OlRegController(network, requests, rngs.get("ctrl"))
+        model = BurstyDemandModel(requests, rngs.get("demand"))
+        run_simulation(network, model, controller, horizon=5, demands_known=False)
+        basic = np.array([r.basic_demand_mb for r in requests])
+        assert np.all(controller.last_prediction >= basic - 1e-12)
+
+    def test_ol_gan_runs_end_to_end(self):
+        rngs, network, requests = build_setting(hotspots=2)
+        controller = OlGanController(
+            network,
+            requests,
+            rngs.get("ctrl"),
+            n_hotspots=2,
+            online_steps=0,  # keep the test fast
+            window=4,
+            hidden_size=6,
+        )
+        model = BurstyDemandModel(requests, rngs.get("demand"))
+        result = run_simulation(
+            network, model, controller, horizon=4, demands_known=False
+        )
+        assert result.horizon == 4
+        assert controller.predictor.n_observed == 4
+
+    def test_ol_gan_rejects_given_demands(self):
+        rngs, network, requests = build_setting(hotspots=2)
+        controller = OlGanController(
+            network, requests, rngs.get("ctrl"), n_hotspots=2,
+            online_steps=0, hidden_size=6,
+        )
+        with pytest.raises(ValueError, match="unknown-demands"):
+            controller.decide(0, np.ones(len(requests)))
+
+
+class TestTheory:
+    def test_lemma1_gap_positive(self):
+        sigma = lemma1_gap(
+            n_requests=10, d_max_ms=50.0, d_min_ms=5.0, delta_ins_ms=8.0, gamma=0.1
+        )
+        assert sigma > 0
+
+    def test_lemma1_case1_dominates_for_small_gamma(self):
+        # gamma -> 0: case1 ~ |R| * (d_max + delta), case2 ~ delta.
+        sigma = lemma1_gap(10, 50.0, 5.0, 8.0, gamma=0.001)
+        assert sigma == pytest.approx(10 * (50.0 - 0.001 * 5.0 + 8.0))
+
+    def test_lemma1_validation(self):
+        with pytest.raises(ValueError):
+            lemma1_gap(10, 5.0, 50.0, 8.0, 0.1)  # d_min > d_max
+        with pytest.raises(ValueError):
+            lemma1_gap(10, 50.0, 5.0, -1.0, 0.1)
+
+    def test_theorem1_bound_grows_logarithmically(self):
+        sigma = 100.0
+        b1 = theorem1_regret_bound(sigma, horizon=100, c=0.5)
+        b2 = theorem1_regret_bound(sigma, horizon=10_000, c=0.5)
+        assert b2 > b1 > 0
+        # Log growth: squaring the horizon roughly doubles the bound.
+        assert b2 < 3.0 * b1
+
+    def test_theorem1_zero_inside_transient(self):
+        # e^(1/0.2) + 1 ~ 149.4: horizon 100 is inside the transient.
+        assert theorem1_regret_bound(100.0, horizon=100, c=0.2) == 0.0
+
+    def test_theorem1_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_regret_bound(100.0, horizon=100, c=0.0)
+        with pytest.raises(ValueError):
+            theorem1_regret_bound(-1.0, horizon=100, c=0.5)

@@ -1,0 +1,104 @@
+"""Tests for the best-fixed-assignment hindsight comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core import OlGdController, clairvoyant_cost
+from repro.core.optimal import static_hindsight_cost
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+from repro.workload import BurstyDemandModel, ConstantDemandModel
+
+
+@pytest.fixture
+def world():
+    rngs = RngRegistry(seed=23)
+    network = MECNetwork.synthetic(6, 2, rngs)
+    requests = [
+        Request(index=0, service_index=0, basic_demand_mb=1.0, hotspot_index=0),
+        Request(index=1, service_index=1, basic_demand_mb=1.5, hotspot_index=0),
+        Request(index=2, service_index=0, basic_demand_mb=2.0, hotspot_index=1),
+    ]
+    return rngs, network, requests
+
+
+def matrices(network, demand_model, horizon):
+    demands = demand_model.matrix(horizon)
+    delays = np.stack([network.delays.sample(t) for t in range(horizon)])
+    return demands, delays
+
+
+class TestStaticHindsight:
+    def test_at_least_mean_clairvoyant(self, world):
+        """A fixed plan can never beat re-optimising every slot."""
+        _, network, requests = world
+        model = BurstyDemandModel(requests, np.random.default_rng(0))
+        demands, delays = matrices(network, model, horizon=6)
+        hindsight = static_hindsight_cost(network, requests, demands, delays)
+        per_slot = np.mean(
+            [
+                clairvoyant_cost(network, requests, demands[t], delays[t])
+                for t in range(6)
+            ]
+        )
+        assert hindsight >= per_slot - 1e-9
+
+    def test_constant_world_matches_clairvoyant(self, world):
+        """With constant demands and delays, fixed == per-slot optimal."""
+        _, network, requests = world
+        demands = np.tile([1.0, 1.5, 2.0], (4, 1))
+        delays = np.tile(network.delays.sample(0), (4, 1))
+        hindsight = static_hindsight_cost(network, requests, demands, delays)
+        per_slot = clairvoyant_cost(network, requests, demands[0], delays[0])
+        assert hindsight == pytest.approx(per_slot, rel=1e-6)
+
+    def test_exact_at_least_lp(self, world):
+        _, network, requests = world
+        model = BurstyDemandModel(requests, np.random.default_rng(1))
+        demands, delays = matrices(network, model, horizon=4)
+        lp = static_hindsight_cost(network, requests, demands, delays, exact=False)
+        ilp = static_hindsight_cost(network, requests, demands, delays, exact=True)
+        assert ilp >= lp - 1e-9
+
+    def test_ol_gd_eventually_tracks_hindsight(self, world):
+        """Sanity: the learner's realised mean cost lands in the right
+        ball-park of the hindsight LP bound (within a small factor)."""
+        rngs, network, requests = world
+        model = ConstantDemandModel(requests)
+        horizon = 30
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(network, model, controller, horizon=horizon)
+        demands, delays = matrices(network, model, horizon)
+        hindsight = static_hindsight_cost(network, requests, demands, delays)
+        assert result.mean_delay_ms(skip_warmup=10) <= 3.0 * hindsight
+
+    def test_shape_validation(self, world):
+        _, network, requests = world
+        with pytest.raises(ValueError, match="demand_matrix"):
+            static_hindsight_cost(
+                network, requests, np.ones((4, 2)), np.ones((4, 6))
+            )
+        with pytest.raises(ValueError, match="delay_matrix"):
+            static_hindsight_cost(
+                network, requests, np.ones((4, 3)), np.ones((3, 6))
+            )
+        with pytest.raises(ValueError, match="slot"):
+            static_hindsight_cost(
+                network, requests, np.ones((0, 3)), np.ones((0, 6))
+            )
+
+    def test_peak_capacity_enforced(self, world):
+        """The fixed plan must fit the peak slot, not the average."""
+        _, network, requests = world
+        # One slot with demand far beyond the average.
+        demands = np.array([[1.0, 1.0, 1.0], [50.0, 50.0, 50.0]])
+        delays = np.tile(network.delays.sample(0), (2, 1))
+        total_peak_need = 150.0 * network.c_unit_mhz
+        if total_peak_need > network.total_capacity_mhz():
+            with pytest.raises(RuntimeError):
+                static_hindsight_cost(network, requests, demands, delays)
+        else:
+            cost = static_hindsight_cost(network, requests, demands, delays)
+            assert np.isfinite(cost)

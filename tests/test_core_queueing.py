@@ -1,0 +1,84 @@
+"""Tests for the M/M/1 queueing cost extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Assignment, evaluate_assignment
+from repro.core.queueing import evaluate_mm1, mm1_factor
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.utils.seeding import RngRegistry
+
+
+class TestMm1Factor:
+    def test_idle_station_factor_one(self):
+        np.testing.assert_allclose(mm1_factor(np.array([0.0])), [1.0])
+
+    def test_half_load_factor_two(self):
+        np.testing.assert_allclose(mm1_factor(np.array([0.5])), [2.0])
+
+    def test_saturation_clipped(self):
+        np.testing.assert_allclose(
+            mm1_factor(np.array([1.0, 2.0]), max_factor=20.0), [20.0, 20.0]
+        )
+
+    def test_monotone(self):
+        utils = np.linspace(0.0, 1.2, 30)
+        factors = mm1_factor(utils)
+        assert np.all(np.diff(factors) >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_factor(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            mm1_factor(np.array([0.5]), max_factor=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.94))
+    def test_exact_formula_below_saturation(self, u):
+        assert mm1_factor(np.array([u]))[0] == pytest.approx(1.0 / (1.0 - u))
+
+
+class TestEvaluateMm1:
+    @pytest.fixture
+    def setting(self):
+        rngs = RngRegistry(seed=15)
+        network = MECNetwork.synthetic(6, 2, rngs)
+        requests = [
+            Request(index=i, service_index=i % 2, basic_demand_mb=1.0)
+            for i in range(4)
+        ]
+        demands = np.ones(4)
+        return network, requests, demands
+
+    def test_costs_at_least_plain_evaluation(self, setting):
+        """Queueing can only add delay relative to the load-free model."""
+        network, requests, demands = setting
+        assignment = Assignment.from_stations([0, 1, 2, 3], requests)
+        d_t = network.delays.sample(0)
+        plain = evaluate_assignment(assignment, network, requests, demands, d_t)
+        queued = evaluate_mm1(assignment, network, requests, demands, d_t)
+        assert queued >= plain - 1e-9
+
+    def test_concentration_costs_more_than_spreading(self, setting):
+        network, requests, demands = setting
+        # Push loads high enough for the M/M/1 factor to bite: pack all
+        # four requests onto the *smallest* station (utilisation > 1).
+        network.c_unit_mhz = 0.3 * float(network.capacities_mhz.min())
+        d_t = np.full(network.n_stations, 10.0)
+        smallest = int(np.argmin(network.capacities_mhz))
+        others = [i for i in range(network.n_stations) if i != smallest][:4]
+        packed = Assignment.from_stations([smallest] * 4, requests)
+        spread = Assignment.from_stations(others, requests)
+        assert evaluate_mm1(
+            packed, network, requests, demands, d_t
+        ) > evaluate_mm1(spread, network, requests, demands, d_t)
+
+    def test_shape_validation(self, setting):
+        network, requests, demands = setting
+        assignment = Assignment.from_stations([0, 1, 2, 3], requests)
+        d_t = network.delays.sample(0)
+        with pytest.raises(ValueError, match="covers"):
+            evaluate_mm1(assignment, network, requests[:2], demands[:2], d_t)
+        with pytest.raises(ValueError, match="unit delay"):
+            evaluate_mm1(assignment, network, requests, demands, d_t[:-1])

@@ -1,0 +1,203 @@
+"""Tests for the experiment harness: profiles, figure generators, tables."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.experiments.figures import FigureResult, _build_setting
+from repro.experiments.tables import render_figure, render_series_table
+from repro.utils.seeding import RngRegistry
+
+# A tiny profile so figure generators run in seconds inside the test suite.
+TINY = dataclasses.replace(
+    QUICK_PROFILE,
+    name="tiny",
+    horizon=6,
+    n_requests=10,
+    n_services=2,
+    n_hotspots=3,
+    base_stations=15,
+    sweep_sizes=(12, 18),
+    sweep_sizes_wide=(12, 18),
+    repetitions=1,
+    gan_pretrain_slots=6,
+    gan_pretrain_epochs=1,
+    gan_window=3,
+    gan_hidden=4,
+)
+
+
+class TestProfiles:
+    def test_builtin_profiles_valid(self):
+        assert FULL_PROFILE.horizon == 100
+        assert QUICK_PROFILE.horizon < FULL_PROFILE.horizon
+        assert FULL_PROFILE.sweep_sizes == (50, 100, 150, 200)
+        assert FULL_PROFILE.sweep_sizes_wide[-1] == 300
+
+    def test_active_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert active_profile() is FULL_PROFILE
+        monkeypatch.setenv("REPRO_PROFILE", "quick")
+        assert active_profile() is QUICK_PROFILE
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            active_profile()
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(QUICK_PROFILE, horizon=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(QUICK_PROFILE, femto_requests=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(QUICK_PROFILE, drift_ms=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(QUICK_PROFILE, sweep_sizes=())
+
+
+class TestBuildSetting:
+    def test_gtitm_setting(self):
+        rngs = RngRegistry(seed=1)
+        network, requests, demand_model = _build_setting(TINY, rngs, 15)
+        assert network.n_stations == 15
+        assert len(requests) == 10
+        assert demand_model.n_requests == 10
+
+    def test_as1755_setting(self):
+        rngs = RngRegistry(seed=1)
+        network, _, _ = _build_setting(TINY, rngs, 0, topology="as1755")
+        assert network.n_stations == 87
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            _build_setting(TINY, RngRegistry(seed=1), 15, topology="mesh")
+
+    def test_c_unit_calibration_femto_usable(self):
+        """A femtocell must host at least one average request."""
+        rngs = RngRegistry(seed=2)
+        network, requests, _ = _build_setting(TINY, rngs, 15)
+        mean_demand = float(np.mean([r.basic_demand_mb for r in requests]))
+        smallest = float(network.capacities_mhz.min())
+        assert mean_demand * network.c_unit_mhz <= smallest
+
+    def test_bursty_flag_changes_model(self):
+        rngs = RngRegistry(seed=3)
+        _, _, constant = _build_setting(TINY, rngs, 15, bursty=False)
+        rngs = RngRegistry(seed=3)
+        _, _, bursty = _build_setting(TINY, rngs, 15, bursty=True)
+        assert np.array_equal(constant.matrix(5), np.tile(constant.basic_demands, (5, 1)))
+        assert not np.array_equal(bursty.matrix(40), constant.matrix(40))
+
+
+class TestFigureResult:
+    def test_add_and_series(self):
+        figure = FigureResult("f", "t", "x", [0, 1])
+        figure.add_point("p", "a", 1.0)
+        figure.add_point("p", "a", 2.0)
+        np.testing.assert_array_equal(figure.series("p", "a"), [1.0, 2.0])
+        figure.validate()
+
+    def test_validate_catches_short_series(self):
+        figure = FigureResult("f", "t", "x", [0, 1, 2])
+        figure.add_point("p", "a", 1.0)
+        with pytest.raises(ValueError, match="points"):
+            figure.validate()
+
+    def test_validate_skips_as1755_panels(self):
+        figure = FigureResult("f", "t", "x", [0, 1, 2])
+        figure.panels["as1755_runtime_s"] = {"a": [0.5]}
+        figure.validate()
+
+
+class TestFigureGenerators:
+    def test_figure3_structure(self):
+        figure = figure3(TINY)
+        assert figure.figure_id == "fig3"
+        assert set(figure.panels) == {"delay_ms", "runtime_s"}
+        assert set(figure.panels["delay_ms"]) == {"OL_GD", "Greedy_GD", "Pri_GD"}
+        assert len(figure.x_values) == TINY.horizon
+        for series in figure.panels["delay_ms"].values():
+            assert all(np.isfinite(v) and v > 0 for v in series)
+
+    def test_figure4_structure(self):
+        figure = figure4(TINY)
+        assert figure.x_values == [12.0, 18.0]
+        assert set(figure.panels["runtime_s"]) == {"OL_GD", "Greedy_GD", "Pri_GD"}
+        for series in figure.panels["delay_ms"].values():
+            assert len(series) == 2
+
+    def test_figure5_structure(self):
+        figure = figure5(TINY)
+        assert figure.figure_id == "fig5"
+        assert set(figure.panels["delay_ms"]) == {"OL_GD", "Greedy_GD", "Pri_GD"}
+
+    @pytest.mark.slow
+    def test_figure6_structure(self):
+        figure = figure6(TINY)
+        assert set(figure.panels) == {"delay_ms", "runtime_s", "prediction_mae_mb"}
+        assert set(figure.panels["delay_ms"]) == {"OL_GAN", "OL_Reg"}
+        maes = figure.panels["prediction_mae_mb"]
+        # After the first decided slot, prediction errors are recorded.
+        assert np.isfinite(maes["OL_Reg"][1:]).all()
+
+    @pytest.mark.slow
+    def test_figure7_structure(self):
+        figure = figure7(TINY)
+        assert set(figure.panels) >= {
+            "delay_ms",
+            "runtime_s",
+            "as1755_runtime_s",
+            "as1755_delay_ms",
+        }
+        assert len(figure.panels["delay_ms"]["OL_GAN"]) == 2
+        assert len(figure.panels["as1755_delay_ms"]["OL_Reg"]) == 1
+
+    def test_figures_reproducible(self):
+        a = figure3(TINY)
+        b = figure3(TINY)
+        np.testing.assert_array_equal(
+            a.series("delay_ms", "OL_GD"), b.series("delay_ms", "OL_GD")
+        )
+
+
+class TestTables:
+    def test_render_series_table(self):
+        text = render_series_table("x", [1.0, 2.0], {"a": [3.0, 4.0], "b": [5.0, 6.0]})
+        assert "a" in text and "b" in text
+        assert "3.000" in text and "6.000" in text
+
+    def test_render_subsamples_long_series(self):
+        text = render_series_table(
+            "slot", list(range(100)), {"a": list(range(100))}, max_rows=5
+        )
+        # Header + separator + 5 rows.
+        assert len(text.splitlines()) == 7
+
+    def test_render_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series_table("x", [1.0], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            render_series_table("x", [1.0], {})
+
+    def test_render_figure_includes_panels(self):
+        figure = figure3(TINY)
+        text = render_figure(figure)
+        assert "fig3" in text
+        assert "delay_ms" in text and "runtime_s" in text
+
+    def test_render_figure_scalar_panels(self):
+        figure = FigureResult("f", "t", "x", [0.0])
+        figure.add_point("delay_ms", "a", 1.0)
+        figure.panels["as1755_runtime_s"] = {"a": [0.25]}
+        text = render_figure(figure)
+        assert "0.2500" in text

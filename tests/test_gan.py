@@ -1,0 +1,224 @@
+"""Tests for the Info-RNN-GAN: components, training dynamics, predictor."""
+
+import numpy as np
+import pytest
+
+from repro.gan import Discriminator, GanDemandPredictor, Generator, InfoRnnGan, QHead
+from repro.mec.requests import Request
+from repro.nn.tensor import Tensor
+from repro.prediction import ArPredictor
+from repro.workload import BurstyDemandModel, encode_request_locations
+
+
+def make_gan(seed=0, **kwargs):
+    return InfoRnnGan(code_dim=3, rng=np.random.default_rng(seed), hidden_size=8, **kwargs)
+
+
+def toy_batch(seed=0, window=5, batch=4, cond_channels=1):
+    rng = np.random.default_rng(seed)
+    real = np.abs(rng.normal(2.0, 1.0, size=(window, batch, 1)))
+    cond = np.abs(rng.normal(2.0, 1.0, size=(window, batch, cond_channels)))
+    codes = np.eye(3)[rng.integers(0, 3, size=batch)]
+    return real, cond, codes
+
+
+class TestGenerator:
+    def test_output_shape_and_positivity(self):
+        rng = np.random.default_rng(0)
+        gen = Generator(noise_dim=4, code_dim=3, rng=rng, hidden_size=8)
+        noise = gen.sample_noise(6, 2, rng)
+        codes = Tensor(np.eye(3)[[0, 2]])
+        prev = Tensor(np.abs(rng.normal(size=(6, 2, 1))))
+        out = gen(noise, codes, prev)
+        assert out.shape == (6, 2, 1)
+        assert np.all(out.data > 0)  # softplus head
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(0)
+        gen = Generator(noise_dim=4, code_dim=3, rng=rng, hidden_size=8)
+        noise = gen.sample_noise(6, 2, rng)
+        codes = Tensor(np.eye(3)[[0, 2]])
+        with pytest.raises(ValueError, match="conditioning"):
+            gen(noise, codes, Tensor(np.zeros((6, 2, 5))))
+        with pytest.raises(ValueError, match="codes"):
+            gen(noise, Tensor(np.zeros((2, 7))), Tensor(np.zeros((6, 2, 1))))
+        with pytest.raises(ValueError, match="noise"):
+            gen(Tensor(np.zeros((6, 2, 9))), codes, Tensor(np.zeros((6, 2, 1))))
+
+    def test_multi_channel_conditioning(self):
+        rng = np.random.default_rng(0)
+        gen = Generator(noise_dim=2, code_dim=3, rng=rng, cond_channels=2, hidden_size=8)
+        noise = gen.sample_noise(4, 2, rng)
+        out = gen(noise, Tensor(np.eye(3)[[0, 1]]), Tensor(np.ones((4, 2, 2))))
+        assert out.shape == (4, 2, 1)
+
+    def test_code_changes_output(self):
+        """The latent code must influence generation (InfoGAN requirement)."""
+        rng = np.random.default_rng(0)
+        gen = Generator(noise_dim=2, code_dim=3, rng=rng, hidden_size=8)
+        noise = gen.sample_noise(4, 1, np.random.default_rng(1))
+        prev = Tensor(np.ones((4, 1, 1)))
+        out_a = gen(noise, Tensor(np.eye(3)[[0]]), prev).data
+        out_b = gen(noise, Tensor(np.eye(3)[[2]]), prev).data
+        assert not np.allclose(out_a, out_b)
+
+
+class TestDiscriminator:
+    def test_probability_range(self):
+        disc = Discriminator(np.random.default_rng(0), hidden_size=8)
+        series = Tensor(np.abs(np.random.default_rng(1).normal(size=(5, 3, 1))))
+        probs, pooled = disc(series)
+        assert probs.shape == (3, 1)
+        assert np.all((probs.data > 0) & (probs.data < 1))
+        assert pooled.shape == (3, disc.feature_size)
+
+    def test_series_shape_checked(self):
+        disc = Discriminator(np.random.default_rng(0), hidden_size=8)
+        with pytest.raises(ValueError):
+            disc(Tensor(np.zeros((5, 3, 2))))
+
+
+class TestQHead:
+    def test_logit_shape(self):
+        q = QHead(feature_size=16, code_dim=3, rng=np.random.default_rng(0))
+        logits = q(Tensor(np.zeros((4, 16))))
+        assert logits.shape == (4, 3)
+
+    def test_info_loss_decreases_when_trained(self):
+        """Q must be able to learn codes from features correlated with them."""
+        rng = np.random.default_rng(0)
+        q = QHead(feature_size=6, code_dim=3, rng=rng)
+        from repro.nn.optim import Adam
+
+        optimizer = Adam(q.parameters(), lr=0.05)
+        codes = np.eye(3)[rng.integers(0, 3, size=30)]
+        features = codes @ rng.normal(size=(3, 6)) + 0.1 * rng.normal(size=(30, 6))
+        first = q.info_loss(Tensor(features), codes).item()
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = q.info_loss(Tensor(features), codes)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.5 * first
+
+
+class TestInfoRnnGan:
+    def test_train_step_returns_losses(self):
+        gan = make_gan()
+        real, cond, codes = toy_batch()
+        losses = gan.train_step(real, cond, codes)
+        assert losses.discriminator > 0
+        assert losses.generator_total == pytest.approx(
+            losses.adversarial + losses.mutual_information + losses.supervised
+        )
+
+    def test_shape_validation(self):
+        gan = make_gan()
+        real, cond, codes = toy_batch()
+        with pytest.raises(ValueError, match="conditioning"):
+            gan.train_step(real, cond[:, :, :0], codes)
+        with pytest.raises(ValueError, match="codes batch"):
+            gan.train_step(real, cond, codes[:2])
+        with pytest.raises(ValueError, match="real_series"):
+            gan.train_step(real[:, :, 0], cond, codes)
+
+    def test_supervised_loss_decreases(self):
+        """Training must reduce the prediction error on a fixed batch."""
+        gan = make_gan(seed=1)
+        real, cond, codes = toy_batch(seed=1)
+        first = gan.train_step(real, cond, codes).supervised
+        for _ in range(40):
+            last = gan.train_step(real, cond, codes).supervised
+        assert last < 0.5 * first
+
+    def test_generate_shape_and_determinism_of_mean(self):
+        gan = make_gan(seed=2)
+        _, cond, codes = toy_batch(seed=2)
+        out = gan.generate(codes, cond, n_samples=3)
+        assert out.shape == (5, 4, 1)
+        assert np.all(out > 0)
+
+    def test_zero_weights_disable_terms(self):
+        gan = make_gan(seed=3, info_lambda=0.0, supervised_weight=0.0)
+        real, cond, codes = toy_batch(seed=3)
+        losses = gan.train_step(real, cond, codes)
+        assert losses.mutual_information == 0.0
+        assert losses.supervised == 0.0
+
+    def test_fit_returns_epoch_history(self):
+        gan = make_gan(seed=4)
+        rng = np.random.default_rng(4)
+        windows = np.abs(rng.normal(2, 1, size=(10, 5, 1)))
+        cond = np.abs(rng.normal(2, 1, size=(10, 5, 1)))
+        codes = np.eye(3)[rng.integers(0, 3, size=10)]
+        history = gan.fit(windows, cond, codes, epochs=2, batch_size=4)
+        assert len(history) == 2
+
+
+class TestGanDemandPredictor:
+    def _setup(self, n_req=9, n_hot=3, horizon=60, seed=5):
+        requests = [
+            Request(index=i, service_index=0, basic_demand_mb=1.0, hotspot_index=i % n_hot)
+            for i in range(n_req)
+        ]
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(seed), p_enter=0.15, p_exit=0.3
+        )
+        demand = model.matrix(horizon)
+        codes = encode_request_locations(requests, n_hot)
+        return demand, codes
+
+    def test_predict_before_observation_is_zero(self):
+        _, codes = self._setup()
+        predictor = GanDemandPredictor(codes, np.random.default_rng(0), online_steps=0)
+        np.testing.assert_array_equal(predictor.predict_next(), np.zeros(9))
+
+    def test_predictions_positive_after_observation(self):
+        demand, codes = self._setup()
+        predictor = GanDemandPredictor(codes, np.random.default_rng(0), online_steps=0)
+        predictor.observe(demand[0])
+        assert np.all(predictor.predict_next() > 0)
+
+    def test_warmup_too_short_raises(self):
+        _, codes = self._setup()
+        with pytest.raises(ValueError, match="2 slots"):
+            GanDemandPredictor(
+                codes,
+                np.random.default_rng(0),
+                warmup_history=np.ones((1, 9)),
+            )
+
+    def test_warmup_shape_checked(self):
+        _, codes = self._setup()
+        with pytest.raises(ValueError, match="warmup_history"):
+            GanDemandPredictor(
+                codes, np.random.default_rng(0), warmup_history=np.ones((5, 4))
+            )
+
+    def test_codes_must_be_2d(self):
+        with pytest.raises(ValueError):
+            GanDemandPredictor(np.ones(4), np.random.default_rng(0))
+
+    @pytest.mark.slow
+    def test_gan_beats_ar_on_bursty_demand(self):
+        """The fig-6 mechanism: GAN prediction error below AR (Eq. 27)."""
+        demand, codes = self._setup(horizon=100)
+        warm, live = demand[:40], demand[40:]
+        predictor = GanDemandPredictor(
+            codes,
+            np.random.default_rng(3),
+            window=8,
+            warmup_history=warm,
+            pretrain_epochs=12,
+            online_steps=1,
+        )
+        ar = ArPredictor(9, order=5)
+        for row in warm:
+            ar.observe(row)
+        gan_err, ar_err = [], []
+        for actual in live:
+            gan_err.append(np.mean(np.abs(predictor.predict_next() - actual)))
+            ar_err.append(np.mean(np.abs(ar.predict_next() - actual)))
+            predictor.observe(actual)
+            ar.observe(actual)
+        assert np.mean(gan_err) < np.mean(ar_err)

@@ -1,0 +1,108 @@
+"""Tests for the LP model builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lp.model import LpModel, Sense
+
+
+class TestAddVariable:
+    def test_indices_sequential(self):
+        model = LpModel()
+        assert model.add_variable() == 0
+        assert model.add_variable() == 1
+        assert model.n_variables == 2
+
+    def test_default_name(self):
+        model = LpModel()
+        model.add_variable()
+        assert model.variables[0].name == "v0"
+
+    def test_binary_shortcut(self):
+        model = LpModel()
+        index = model.add_binary(objective=3.0, name="y")
+        var = model.variables[index]
+        assert (var.low, var.high, var.integer) == (0.0, 1.0, True)
+
+    def test_invalid_bounds_rejected(self):
+        model = LpModel()
+        with pytest.raises(ValueError):
+            model.add_variable(low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            model.add_variable(low=math.inf)
+        with pytest.raises(ValueError):
+            model.add_variable(objective=math.nan)
+
+
+class TestAddConstraint:
+    def test_unknown_variable_rejected(self):
+        model = LpModel()
+        model.add_variable()
+        with pytest.raises(ValueError, match="references variable"):
+            model.add_constraint({5: 1.0}, Sense.LE, 1.0)
+
+    def test_empty_constraint_rejected(self):
+        model = LpModel()
+        with pytest.raises(ValueError):
+            model.add_constraint({}, Sense.LE, 1.0)
+
+    def test_non_finite_rejected(self):
+        model = LpModel()
+        x = model.add_variable()
+        with pytest.raises(ValueError):
+            model.add_constraint({x: math.inf}, Sense.LE, 1.0)
+        with pytest.raises(ValueError):
+            model.add_constraint({x: 1.0}, Sense.LE, math.nan)
+
+
+class TestRelaxedAndBounds:
+    def test_relaxed_drops_integrality(self):
+        model = LpModel()
+        model.add_binary()
+        model.add_variable(integer=True)
+        relaxed = model.relaxed()
+        assert relaxed.integer_indices == []
+        assert model.integer_indices == [0, 1]  # original untouched
+
+    def test_relaxed_preserves_constraints(self):
+        model = LpModel()
+        x = model.add_variable(objective=1.0)
+        model.add_constraint({x: 2.0}, Sense.GE, 4.0)
+        relaxed = model.relaxed()
+        assert relaxed.n_constraints == 1
+        assert relaxed.constraints[0].rhs == 4.0
+
+    def test_with_bounds_overrides(self):
+        model = LpModel()
+        x = model.add_binary()
+        patched = model.with_bounds({x: (1.0, 1.0)})
+        assert patched.variables[x].low == 1.0
+        assert model.variables[x].low == 0.0  # original untouched
+
+
+class TestToArrays:
+    def test_senses_mapped(self):
+        model = LpModel()
+        x = model.add_variable(objective=1.0)
+        y = model.add_variable(objective=-1.0)
+        model.add_constraint({x: 1.0}, Sense.LE, 5.0)
+        model.add_constraint({y: 2.0}, Sense.GE, 4.0)
+        model.add_constraint({x: 1.0, y: 1.0}, Sense.EQ, 3.0)
+        c, a_ub, b_ub, a_eq, b_eq, bounds = model.to_arrays()
+        np.testing.assert_array_equal(c, [1.0, -1.0])
+        assert a_ub.shape == (2, 2)
+        # GE was negated into LE.
+        np.testing.assert_array_equal(a_ub.toarray()[1], [0.0, -2.0])
+        assert b_ub[1] == -4.0
+        np.testing.assert_array_equal(a_eq.toarray(), [[1.0, 1.0]])
+        np.testing.assert_array_equal(b_eq, [3.0])
+        assert bounds == [(0.0, None), (0.0, None)]
+
+    def test_no_constraints_gives_none(self):
+        model = LpModel()
+        model.add_variable()
+        _, a_ub, b_ub, a_eq, b_eq, _ = model.to_arrays()
+        assert a_ub is None and b_ub is None
+        assert a_eq is None and b_eq is None

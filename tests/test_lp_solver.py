@@ -1,0 +1,170 @@
+"""Tests for the LP solver and the exact branch-and-bound ILP solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp.branch_and_bound import solve_ilp
+from repro.lp.model import LpModel, Sense
+from repro.lp.solver import solve_lp
+
+
+def knapsack_model(values, weights, capacity, integer=True):
+    """max sum(v*x) s.t. sum(w*x) <= capacity  ->  min -sum(v*x)."""
+    model = LpModel("knapsack")
+    indices = [
+        model.add_variable(low=0.0, high=1.0, objective=-v, integer=integer)
+        for v in values
+    ]
+    model.add_constraint(
+        {i: w for i, w in zip(indices, weights)}, Sense.LE, capacity
+    )
+    return model
+
+
+class TestSolveLp:
+    def test_simple_minimum(self):
+        model = LpModel()
+        x = model.add_variable(objective=2.0)
+        y = model.add_variable(objective=3.0)
+        model.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 4.0)
+        solution = solve_lp(model)
+        assert solution.is_optimal
+        # All weight goes to the cheaper variable.
+        assert solution.value_of(x) == pytest.approx(4.0)
+        assert solution.value_of(y) == pytest.approx(0.0)
+        assert solution.objective == pytest.approx(8.0)
+
+    def test_equality_constraint(self):
+        model = LpModel()
+        x = model.add_variable(objective=1.0)
+        model.add_constraint({x: 2.0}, Sense.EQ, 6.0)
+        solution = solve_lp(model)
+        assert solution.value_of(x) == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        model = LpModel()
+        x = model.add_variable(low=0.0, high=1.0, objective=1.0)
+        model.add_constraint({x: 1.0}, Sense.GE, 5.0)
+        solution = solve_lp(model)
+        assert solution.status == "infeasible"
+        assert not solution.is_optimal
+        assert math.isnan(solution.objective)
+
+    def test_unbounded(self):
+        model = LpModel()
+        model.add_variable(objective=-1.0)  # minimise -x, x unbounded above
+        solution = solve_lp(model)
+        assert solution.status == "unbounded"
+
+    def test_value_of_raises_when_not_optimal(self):
+        model = LpModel()
+        x = model.add_variable(low=0.0, high=1.0)
+        model.add_constraint({x: 1.0}, Sense.GE, 5.0)
+        solution = solve_lp(model)
+        with pytest.raises(RuntimeError):
+            solution.value_of(x)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp(LpModel())
+
+    def test_values_respect_bounds(self):
+        model = LpModel()
+        x = model.add_variable(low=0.0, high=1.0, objective=-1.0)
+        solution = solve_lp(model)
+        assert 0.0 <= solution.value_of(x) <= 1.0
+
+    def test_lp_relaxation_is_fractional_for_knapsack(self):
+        model = knapsack_model([6.0, 5.0], [5.0, 4.0], 6.0, integer=False)
+        solution = solve_lp(model)
+        values = solution.values
+        assert any(0.01 < v < 0.99 for v in values)
+
+
+class TestSolveIlp:
+    def test_knapsack_exact(self):
+        # capacity 10: best is items 1+2 (values 6+5=11, weights 5+4=9),
+        # not the greedy item 0 (value 9, weight 8).
+        model = knapsack_model([9.0, 6.0, 5.0], [8.0, 5.0, 4.0], 10.0)
+        result = solve_ilp(model)
+        assert result.proven_optimal
+        assert result.objective == pytest.approx(-11.0)
+        np.testing.assert_allclose(result.values, [0.0, 1.0, 1.0])
+
+    def test_integral_lp_shortcut(self):
+        """When the LP relaxation is already integral, one node suffices."""
+        model = LpModel()
+        x = model.add_binary(objective=-1.0)
+        result = solve_ilp(model)
+        assert result.proven_optimal
+        assert result.values[x] == 1.0
+        assert result.nodes_explored == 1
+
+    def test_infeasible(self):
+        model = LpModel()
+        x = model.add_binary(objective=1.0)
+        model.add_constraint({x: 1.0}, Sense.GE, 2.0)
+        result = solve_ilp(model)
+        assert result.status == "infeasible"
+        assert not result.has_solution
+        assert result.gap == math.inf
+
+    def test_ilp_never_better_than_lp(self):
+        model = knapsack_model([9.0, 6.0, 5.0, 4.0], [8.0, 5.0, 4.0, 3.0], 11.0)
+        lp = solve_lp(model.relaxed())
+        ilp = solve_ilp(model)
+        assert ilp.objective >= lp.objective - 1e-9
+
+    def test_node_limit_respected(self):
+        values = [7.0, 5.0, 6.0, 4.0, 8.0, 3.0, 9.0, 2.0]
+        weights = [6.0, 4.0, 5.0, 3.0, 7.0, 2.0, 8.0, 1.0]
+        model = knapsack_model(values, weights, 17.0)
+        result = solve_ilp(model, node_limit=2)
+        assert result.nodes_explored <= 2
+
+    def test_invalid_node_limit(self):
+        with pytest.raises(ValueError):
+            solve_ilp(LpModel(), node_limit=0)
+
+    def test_gap_zero_when_proven(self):
+        model = knapsack_model([3.0, 2.0], [2.0, 1.0], 2.0)
+        result = solve_ilp(model)
+        assert result.gap == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=10.0),
+                st.floats(min_value=1.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=7,
+        ),
+        st.floats(min_value=1.0, max_value=30.0),
+    )
+    def test_matches_brute_force(self, items, capacity):
+        """B&B must agree with exhaustive enumeration on small knapsacks."""
+        values = [v for v, _ in items]
+        weights = [w for _, w in items]
+        model = knapsack_model(values, weights, capacity)
+        result = solve_ilp(model)
+
+        best = 0.0
+        for mask in range(2 ** len(items)):
+            picked = [(mask >> i) & 1 for i in range(len(items))]
+            weight = sum(w * p for w, p in zip(weights, picked))
+            if weight <= capacity + 1e-9:
+                best = max(best, sum(v * p for v, p in zip(values, picked)))
+        assert result.proven_optimal
+        assert -result.objective == pytest.approx(best, abs=1e-6)
+
+    def test_solution_satisfies_constraints(self):
+        model = knapsack_model([9.0, 6.0, 5.0], [8.0, 5.0, 4.0], 10.0)
+        result = solve_ilp(model)
+        weight = float(np.dot(result.values, [8.0, 5.0, 4.0]))
+        assert weight <= 10.0 + 1e-9
+        assert all(v in (0.0, 1.0) for v in result.values)

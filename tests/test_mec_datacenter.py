@@ -1,0 +1,72 @@
+"""Tests for the remote data center and the cloud-only baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mec.datacenter import RemoteDataCenter, cloud_only_delay_ms
+from repro.mec.requests import Request
+
+
+class TestRemoteDataCenter:
+    def test_paper_default_band(self):
+        dc = RemoteDataCenter(np.random.default_rng(0))
+        assert dc.delay_band_ms == (50.0, 100.0)
+        assert dc.mean_unit_delay_ms == 75.0
+
+    def test_delays_within_band(self):
+        dc = RemoteDataCenter(np.random.default_rng(1))
+        for t in range(100):
+            assert 50.0 <= dc.unit_delay_ms(t) <= 100.0
+
+    def test_slot_deterministic_and_order_independent(self):
+        dc1 = RemoteDataCenter(np.random.default_rng(2))
+        dc2 = RemoteDataCenter(np.random.default_rng(2))
+        forward = [dc1.unit_delay_ms(t) for t in range(20)]
+        backward = [dc2.unit_delay_ms(t) for t in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_custom_band(self):
+        dc = RemoteDataCenter(np.random.default_rng(3), delay_band_ms=(10.0, 20.0))
+        assert all(10.0 <= dc.unit_delay_ms(t) <= 20.0 for t in range(30))
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            RemoteDataCenter(np.random.default_rng(0), delay_band_ms=(100.0, 50.0))
+        with pytest.raises(ValueError):
+            RemoteDataCenter(np.random.default_rng(0), delay_band_ms=(0.0, 50.0))
+
+    def test_negative_slot_rejected(self):
+        dc = RemoteDataCenter(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dc.unit_delay_ms(-1)
+
+
+class TestCloudOnlyBaseline:
+    def _requests(self, n=4):
+        return [
+            Request(index=i, service_index=0, basic_demand_mb=1.0 + i)
+            for i in range(n)
+        ]
+
+    def test_matches_hand_computation(self):
+        dc = RemoteDataCenter(np.random.default_rng(4))
+        requests = self._requests()
+        demands = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = demands.mean() * dc.unit_delay_ms(7)
+        assert cloud_only_delay_ms(dc, requests, demands, 7) == pytest.approx(expected)
+
+    def test_dominated_by_typical_edge_delay(self):
+        """The premise: edge unit delays (5-50 ms) beat the cloud's 50-100."""
+        dc = RemoteDataCenter(np.random.default_rng(5))
+        requests = self._requests()
+        demands = np.ones(4)
+        cloud = cloud_only_delay_ms(dc, requests, demands, 0)
+        best_edge = demands.mean() * 5.0  # femto lower bound
+        assert cloud > best_edge
+
+    def test_shape_validation(self):
+        dc = RemoteDataCenter(np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            cloud_only_delay_ms(dc, self._requests(), np.ones(2), 0)
+        with pytest.raises(ValueError):
+            cloud_only_delay_ms(dc, self._requests(), -np.ones(4), 0)

@@ -1,0 +1,86 @@
+"""Tests for planar geometry and disk coverage."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mec.geometry import Point, distance, points_within, random_point_in_disk
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_matches_hypot(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_function_matches_method(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert distance(a, b) == a.distance_to(b)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    def test_points_are_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert hash(p) == hash(Point(1, 2))
+        with pytest.raises(AttributeError):
+            p.x = 3  # type: ignore[misc]
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords, coords)
+    def test_distance_to_self_is_zero(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0
+
+
+class TestPointsWithin:
+    def test_selects_only_inside(self):
+        center = Point(0, 0)
+        pts = [Point(0, 1), Point(0, 5), Point(3, 0), Point(10, 10)]
+        assert points_within(center, 4.0, pts) == [0, 2]
+
+    def test_boundary_point_included(self):
+        assert points_within(Point(0, 0), 5.0, [Point(3, 4)]) == [0]
+
+    def test_empty_candidates(self):
+        assert points_within(Point(0, 0), 5.0, []) == []
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            points_within(Point(0, 0), -1.0, [Point(0, 0)])
+
+    def test_zero_radius_matches_only_center(self):
+        pts = [Point(0, 0), Point(0.001, 0)]
+        assert points_within(Point(0, 0), 0.0, pts) == [0]
+
+
+class TestRandomPointInDisk:
+    def test_points_stay_inside(self):
+        rng = np.random.default_rng(0)
+        center = Point(10, -5)
+        for _ in range(200):
+            p = random_point_in_disk(center, 7.0, rng)
+            assert center.distance_to(p) <= 7.0 + 1e-9
+
+    def test_area_uniformity(self):
+        """Roughly one quarter of samples should land within half the radius."""
+        rng = np.random.default_rng(1)
+        center = Point(0, 0)
+        samples = [random_point_in_disk(center, 10.0, rng) for _ in range(4000)]
+        inner = sum(1 for p in samples if center.distance_to(p) <= 5.0)
+        assert 0.2 <= inner / len(samples) <= 0.3
+
+    def test_zero_radius_returns_center(self):
+        rng = np.random.default_rng(2)
+        p = random_point_in_disk(Point(3, 4), 0.0, rng)
+        assert p.distance_to(Point(3, 4)) == pytest.approx(0.0)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            random_point_in_disk(Point(0, 0), -2.0, np.random.default_rng(0))

@@ -1,0 +1,130 @@
+"""Tests for the service catalog, instantiation delays and requests."""
+
+import numpy as np
+import pytest
+
+from repro.mec.geometry import Point
+from repro.mec.requests import Request
+from repro.mec.services import Service, ServiceCatalog
+
+
+class TestService:
+    def test_valid_service(self):
+        s = Service(index=0, name="vr", image_size_mb=100.0)
+        assert s.name == "vr"
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            Service(index=0, name="vr", image_size_mb=0.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Service(index=-1, name="vr")
+
+
+class TestServiceCatalog:
+    def test_generate_shape(self):
+        catalog = ServiceCatalog.generate(5, 20, np.random.default_rng(0))
+        assert len(catalog) == 5
+        assert catalog.n_stations == 20
+        assert catalog.instantiation_matrix.shape == (20, 5)
+
+    def test_delays_non_negative(self):
+        catalog = ServiceCatalog.generate(4, 10, np.random.default_rng(1))
+        assert np.all(catalog.instantiation_matrix >= 0)
+
+    def test_instantiation_delay_lookup(self):
+        catalog = ServiceCatalog.generate(3, 6, np.random.default_rng(2))
+        matrix = catalog.instantiation_matrix
+        assert catalog.instantiation_delay(4, 2) == matrix[4, 2]
+
+    def test_indices_in_order(self):
+        catalog = ServiceCatalog.generate(6, 5, np.random.default_rng(3))
+        assert [s.index for s in catalog] == list(range(6))
+
+    def test_by_name(self):
+        catalog = ServiceCatalog.generate(2, 4, np.random.default_rng(4))
+        first = catalog[0]
+        assert catalog.by_name(first.name) is first
+
+    def test_by_name_missing_raises(self):
+        catalog = ServiceCatalog.generate(2, 4, np.random.default_rng(5))
+        with pytest.raises(KeyError):
+            catalog.by_name("no-such-service")
+
+    def test_custom_names(self):
+        catalog = ServiceCatalog.generate(
+            2, 3, np.random.default_rng(6), names=["alpha", "beta"]
+        )
+        assert [s.name for s in catalog] == ["alpha", "beta"]
+
+    def test_names_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ServiceCatalog.generate(3, 3, np.random.default_rng(7), names=["only-one"])
+
+    def test_many_services_get_unique_names(self):
+        catalog = ServiceCatalog.generate(20, 3, np.random.default_rng(8))
+        names = [s.name for s in catalog]
+        assert len(set(names)) == 20
+
+    def test_constructor_validates_shape(self):
+        services = [Service(index=0, name="a")]
+        with pytest.raises(ValueError, match="shape"):
+            ServiceCatalog(services, np.zeros((4, 2)))
+
+    def test_constructor_validates_order(self):
+        services = [Service(index=1, name="a")]
+        with pytest.raises(ValueError, match="indices"):
+            ServiceCatalog(services, np.zeros((4, 1)))
+
+    def test_constructor_rejects_negative_delays(self):
+        services = [Service(index=0, name="a")]
+        with pytest.raises(ValueError, match="non-negative"):
+            ServiceCatalog(services, -np.ones((4, 1)))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceCatalog([], np.zeros((0, 0)))
+
+    def test_bigger_images_cost_more_on_average(self):
+        rng = np.random.default_rng(9)
+        catalog = ServiceCatalog.generate(8, 200, rng)
+        sizes = np.array([s.image_size_mb for s in catalog])
+        mean_delays = catalog.instantiation_matrix.mean(axis=0)
+        # Correlation between image size and mean instantiation delay.
+        corr = np.corrcoef(sizes, mean_delays)[0, 1]
+        assert corr > 0.5
+
+
+class TestRequest:
+    def test_demand_at_adds_burst(self):
+        r = Request(index=0, service_index=1, basic_demand_mb=2.0)
+        assert r.demand_at(3.0) == 5.0
+
+    def test_demand_at_zero_burst_is_basic(self):
+        r = Request(index=0, service_index=1, basic_demand_mb=2.0)
+        assert r.demand_at(0.0) == 2.0
+
+    def test_negative_burst_rejected(self):
+        r = Request(index=0, service_index=1, basic_demand_mb=2.0)
+        with pytest.raises(ValueError):
+            r.demand_at(-1.0)
+
+    def test_zero_basic_demand_rejected(self):
+        with pytest.raises(ValueError, match="basic_demand_mb"):
+            Request(index=0, service_index=0, basic_demand_mb=0.0)
+
+    def test_default_location(self):
+        r = Request(index=0, service_index=0, basic_demand_mb=1.0)
+        assert r.location == Point(0.0, 0.0)
+
+    def test_hotspot_and_group_tag(self):
+        r = Request(
+            index=3,
+            service_index=2,
+            basic_demand_mb=1.0,
+            hotspot_index=5,
+            group_tag="tourist",
+        )
+        assert r.hotspot_index == 5
+        assert r.group_tag == "tourist"

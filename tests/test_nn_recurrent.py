@@ -1,0 +1,117 @@
+"""Tests for the GRU layers and the BiRNN factory."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradcheck
+from repro.nn.layers import BiLSTM
+from repro.nn.recurrent import BiGRU, GRU, GRUCell, make_birnn
+from repro.nn.tensor import Tensor
+
+
+class TestGruCell:
+    def test_shapes(self):
+        cell = GRUCell(3, 5, np.random.default_rng(0))
+        h = cell.initial_state(batch=2)
+        h2 = cell(Tensor(np.ones((2, 3))), h)
+        assert h2.shape == (2, 5)
+
+    def test_input_shape_checked(self):
+        cell = GRUCell(3, 5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            cell(Tensor(np.ones((2, 4))), cell.initial_state(2))
+
+    def test_zero_update_gate_is_interpolation(self):
+        """h' interpolates between candidate and previous state, so it
+        stays within [-1, 1] when h does."""
+        cell = GRUCell(2, 4, np.random.default_rng(1))
+        h = Tensor(np.random.default_rng(2).uniform(-1, 1, size=(3, 4)))
+        h2 = cell(Tensor(np.random.default_rng(3).normal(size=(3, 2))), h)
+        assert np.all(np.abs(h2.data) <= 1.0 + 1e-9)
+
+    def test_gradcheck(self):
+        cell = GRUCell(2, 3, np.random.default_rng(4))
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 2)))
+
+        def f():
+            return (cell(x, cell.initial_state(2)) ** 2).sum()
+
+        gradcheck(f, cell.parameters(), rtol=1e-3)
+
+
+class TestGru:
+    def test_output_shape(self):
+        gru = GRU(3, 6, np.random.default_rng(0), num_layers=2)
+        out = gru(Tensor(np.random.default_rng(1).normal(size=(7, 2, 3))))
+        assert out.shape == (7, 2, 6)
+
+    def test_causal(self):
+        gru = GRU(2, 4, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(5, 1, 2))
+        changed = base.copy()
+        changed[4] += 10.0
+        np.testing.assert_allclose(
+            gru(Tensor(base)).data[:4], gru(Tensor(changed)).data[:4]
+        )
+
+    def test_sequence_shape_checked(self):
+        gru = GRU(3, 6, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gru(Tensor(np.ones((7, 2, 5))))
+
+    def test_gradcheck(self):
+        gru = GRU(2, 3, np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 2, 2)))
+        gradcheck(lambda: (gru(x) ** 2).sum(), gru.parameters(), rtol=1e-3)
+
+
+class TestBiGru:
+    def test_output_shape(self):
+        bigru = BiGRU(3, 4, np.random.default_rng(0))
+        out = bigru(Tensor(np.random.default_rng(1).normal(size=(6, 2, 3))))
+        assert out.shape == (6, 2, 8)
+        assert bigru.output_size == 8
+
+    def test_sees_both_directions(self):
+        bigru = BiGRU(2, 4, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(5, 1, 2))
+        changed = base.copy()
+        changed[4] += 10.0
+        out_base = bigru(Tensor(base)).data
+        out_changed = bigru(Tensor(changed)).data
+        assert not np.allclose(out_base[0], out_changed[0])
+
+    def test_gradcheck(self):
+        bigru = BiGRU(2, 2, np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 1, 2)))
+        gradcheck(lambda: (bigru(x) ** 2).sum(), bigru.parameters(), rtol=1e-3)
+
+
+class TestFactory:
+    def test_lstm_choice(self):
+        trunk = make_birnn("lstm", 3, 4, np.random.default_rng(0))
+        assert isinstance(trunk, BiLSTM)
+
+    def test_gru_choice(self):
+        trunk = make_birnn("gru", 3, 4, np.random.default_rng(0))
+        assert isinstance(trunk, BiGRU)
+
+    def test_invalid_choice(self):
+        with pytest.raises(ValueError):
+            make_birnn("vanilla", 3, 4, np.random.default_rng(0))
+
+    def test_gru_gan_trains(self):
+        """End-to-end: the GAN with GRU trunks reduces its anchor loss."""
+        from repro.gan import InfoRnnGan
+
+        rng = np.random.default_rng(7)
+        gan = InfoRnnGan(code_dim=3, rng=rng, hidden_size=8, rnn_type="gru")
+        real = np.abs(rng.normal(2.0, 1.0, size=(5, 4, 1)))
+        cond = np.abs(rng.normal(2.0, 1.0, size=(5, 4, 1)))
+        codes = np.eye(3)[rng.integers(0, 3, size=4)]
+        first = gan.train_step(real, cond, codes).supervised
+        for _ in range(40):
+            last = gan.train_step(real, cond, codes).supervised
+        assert last < 0.6 * first

@@ -1,0 +1,154 @@
+"""Tests for the predictor interface, AR (Eq. 27) and EWMA."""
+
+import numpy as np
+import pytest
+
+from repro.mec.requests import Request
+from repro.prediction import (
+    ArPredictor,
+    EwmaPredictor,
+    LastValuePredictor,
+    MeanPredictor,
+    OraclePredictor,
+)
+from repro.workload.demand import BurstyDemandModel, ConstantDemandModel
+
+
+class TestPredictorBase:
+    def test_history_accumulates(self):
+        predictor = LastValuePredictor(3)
+        predictor.observe(np.array([1.0, 2.0, 3.0]))
+        predictor.observe(np.array([4.0, 5.0, 6.0]))
+        assert predictor.n_observed == 2
+        assert predictor.history.shape == (2, 3)
+
+    def test_observe_shape_checked(self):
+        predictor = LastValuePredictor(3)
+        with pytest.raises(ValueError):
+            predictor.observe(np.array([1.0, 2.0]))
+
+    def test_observe_rejects_negative(self):
+        predictor = LastValuePredictor(2)
+        with pytest.raises(ValueError):
+            predictor.observe(np.array([1.0, -1.0]))
+
+    def test_prediction_error(self):
+        predictor = LastValuePredictor(2)
+        predictor.observe(np.array([1.0, 3.0]))
+        assert predictor.prediction_error(np.array([2.0, 5.0])) == pytest.approx(1.5)
+
+    def test_empty_history_returns_empty_matrix(self):
+        predictor = LastValuePredictor(4)
+        assert predictor.history.shape == (0, 4)
+
+
+class TestLastValueAndMean:
+    def test_last_value(self):
+        predictor = LastValuePredictor(2)
+        assert np.all(predictor.predict_next() == 0)
+        predictor.observe(np.array([1.0, 2.0]))
+        predictor.observe(np.array([5.0, 6.0]))
+        np.testing.assert_array_equal(predictor.predict_next(), [5.0, 6.0])
+
+    def test_mean(self):
+        predictor = MeanPredictor(2)
+        predictor.observe(np.array([1.0, 2.0]))
+        predictor.observe(np.array([3.0, 6.0]))
+        np.testing.assert_array_equal(predictor.predict_next(), [2.0, 4.0])
+
+
+class TestArPredictor:
+    def test_default_weights_valid(self):
+        predictor = ArPredictor(2, order=5)
+        w = predictor.weights
+        assert w.shape == (5,)
+        assert np.isclose(w.sum(), 1.0)
+        assert np.all(np.diff(w) <= 0)  # non-increasing (Eq. 27)
+        assert np.all((0 <= w) & (w <= 1))
+
+    def test_prediction_weighted_sum(self):
+        predictor = ArPredictor(1, order=2, weights=[0.75, 0.25])
+        predictor.observe(np.array([4.0]))  # lag 2
+        predictor.observe(np.array([8.0]))  # lag 1
+        assert predictor.predict_next()[0] == pytest.approx(0.75 * 8.0 + 0.25 * 4.0)
+
+    def test_short_history_renormalises(self):
+        predictor = ArPredictor(1, order=5)
+        predictor.observe(np.array([6.0]))
+        assert predictor.predict_next()[0] == pytest.approx(6.0)
+
+    def test_no_history_predicts_zero(self):
+        predictor = ArPredictor(3, order=4)
+        np.testing.assert_array_equal(predictor.predict_next(), np.zeros(3))
+
+    def test_constant_series_predicted_exactly(self):
+        predictor = ArPredictor(2, order=3)
+        for _ in range(10):
+            predictor.observe(np.array([5.0, 7.0]))
+        np.testing.assert_allclose(predictor.predict_next(), [5.0, 7.0])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ArPredictor(1, order=2, weights=[0.9, 0.3])
+        with pytest.raises(ValueError, match="non-increasing"):
+            ArPredictor(1, order=2, weights=[0.25, 0.75])
+        with pytest.raises(ValueError, match="length"):
+            ArPredictor(1, order=3, weights=[0.5, 0.5])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ArPredictor(1, order=2, weights=[1.5, -0.5])
+
+    def test_order_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArPredictor(1, order=0)
+
+
+class TestEwmaPredictor:
+    def test_first_observation_initialises_state(self):
+        predictor = EwmaPredictor(2, alpha=0.5)
+        predictor.observe(np.array([4.0, 8.0]))
+        np.testing.assert_array_equal(predictor.predict_next(), [4.0, 8.0])
+
+    def test_smoothing(self):
+        predictor = EwmaPredictor(1, alpha=0.5)
+        predictor.observe(np.array([0.0]))
+        predictor.observe(np.array([10.0]))
+        assert predictor.predict_next()[0] == pytest.approx(5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(1, alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(1, alpha=1.5)
+
+    def test_no_history_predicts_zero(self):
+        assert np.all(EwmaPredictor(3).predict_next() == 0)
+
+
+class TestOraclePredictor:
+    def _model(self):
+        requests = [
+            Request(index=i, service_index=0, basic_demand_mb=1.0 + i, hotspot_index=0)
+            for i in range(3)
+        ]
+        return BurstyDemandModel(requests, np.random.default_rng(0))
+
+    def test_oracle_has_zero_error(self):
+        model = self._model()
+        oracle = OraclePredictor(model)
+        for t in range(10):
+            actual = model.demand_at(t)
+            np.testing.assert_allclose(oracle.predict_next(), actual)
+            oracle.observe(actual)
+
+    def test_oracle_beats_ar_on_bursty_demand(self):
+        model = self._model()
+        oracle = OraclePredictor(model)
+        ar = ArPredictor(3, order=5)
+        oracle_err, ar_err = [], []
+        for t in range(80):
+            actual = model.demand_at(t)
+            oracle_err.append(np.mean(np.abs(oracle.predict_next() - actual)))
+            ar_err.append(np.mean(np.abs(ar.predict_next() - actual)))
+            oracle.observe(actual)
+            ar.observe(actual)
+        assert np.mean(oracle_err) < np.mean(ar_err)

@@ -1,0 +1,168 @@
+"""Tests for the simulation engine and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyController, OlGdController
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import SimulationResult, SlotRecord, run_simulation
+from repro.sim.metrics import SlotRecord
+from repro.utils.seeding import RngRegistry
+from repro.workload import BurstyDemandModel, ConstantDemandModel
+
+
+def build_setting(n_requests=6, seed=11):
+    rngs = RngRegistry(seed=seed)
+    network = MECNetwork.synthetic(8, 2, rngs)
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+            hotspot_index=i % 2,
+        )
+        for i in range(n_requests)
+    ]
+    return rngs, network, requests
+
+
+class TestRunSimulation:
+    def test_horizon_respected(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network, ConstantDemandModel(requests), controller, horizon=7
+        )
+        assert result.horizon == 7
+        assert [r.slot for r in result.records] == list(range(7))
+
+    def test_delays_positive_and_finite(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network, ConstantDemandModel(requests), controller, horizon=5
+        )
+        assert np.all(result.delays_ms > 0)
+        assert np.all(np.isfinite(result.delays_ms))
+
+    def test_decision_time_measured(self):
+        rngs, network, requests = build_setting()
+        controller = OlGdController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network, ConstantDemandModel(requests), controller, horizon=3
+        )
+        assert np.all(result.decision_seconds > 0)
+
+    def test_compute_optimal_fills_records(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            controller,
+            horizon=4,
+            compute_optimal=True,
+        )
+        tracker = result.regret_tracker()
+        assert tracker.n_slots == 4
+        # Achieved integer cost always >= the LP clairvoyant bound.
+        assert np.all(tracker.per_slot_regret >= -1e-9)
+
+    def test_first_slot_churn_counts_all_instances(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network, ConstantDemandModel(requests), controller, horizon=2
+        )
+        assert result.records[0].cache_churn == result.records[0].n_cached_instances
+
+    def test_mismatched_request_counts_rejected(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        other_model = ConstantDemandModel(requests[:-1])
+        with pytest.raises(ValueError, match="requests"):
+            run_simulation(network, other_model, controller, horizon=2)
+
+    def test_unknown_demands_records_prediction_error(self):
+        from repro.core import OlRegController
+
+        rngs, network, requests = build_setting()
+        controller = OlRegController(network, requests, rngs.get("ctrl"))
+        model = BurstyDemandModel(requests, rngs.get("demand"))
+        result = run_simulation(
+            network, model, controller, horizon=5, demands_known=False
+        )
+        maes = result.prediction_maes
+        assert np.all(np.isfinite(maes))
+        assert np.all(maes >= 0)
+
+    def test_known_demands_have_no_prediction_error(self):
+        rngs, network, requests = build_setting()
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network, ConstantDemandModel(requests), controller, horizon=3
+        )
+        assert np.all(np.isnan(result.prediction_maes))
+
+    def test_reproducible_with_same_seed(self):
+        def run(seed):
+            rngs, network, requests = build_setting(seed=seed)
+            controller = OlGdController(network, requests, rngs.get("ctrl"))
+            return run_simulation(
+                network, ConstantDemandModel(requests), controller, horizon=6
+            ).delays_ms
+
+        np.testing.assert_array_equal(run(3), run(3))
+        assert not np.array_equal(run(3), run(4))
+
+
+class TestSimulationResult:
+    def _record(self, slot, delay=10.0):
+        return SlotRecord(
+            slot=slot,
+            average_delay_ms=delay,
+            decision_seconds=0.01,
+            observe_seconds=0.002,
+            cache_churn=1,
+            n_cached_instances=2,
+            max_load_fraction=0.5,
+        )
+
+    def test_append_enforces_order(self):
+        result = SimulationResult("x")
+        result.append(self._record(0))
+        with pytest.raises(ValueError):
+            result.append(self._record(2))
+
+    def test_first_record_must_be_slot_zero(self):
+        result = SimulationResult("x")
+        with pytest.raises(ValueError):
+            result.append(self._record(1))
+
+    def test_mean_delay_with_warmup_skip(self):
+        result = SimulationResult("x")
+        for t, delay in enumerate([100.0, 10.0, 10.0, 10.0]):
+            result.append(self._record(t, delay))
+        assert result.mean_delay_ms() == pytest.approx(32.5)
+        assert result.mean_delay_ms(skip_warmup=1) == pytest.approx(10.0)
+
+    def test_mean_delay_empty_after_skip_raises(self):
+        result = SimulationResult("x")
+        result.append(self._record(0))
+        with pytest.raises(ValueError):
+            result.mean_delay_ms(skip_warmup=5)
+
+    def test_summary_keys(self):
+        result = SimulationResult("OL_GD")
+        result.append(self._record(0))
+        summary = result.summary()
+        assert summary["controller"] == "OL_GD"
+        assert summary["horizon"] == 1
+        assert set(summary) >= {
+            "mean_delay_ms",
+            "mean_decision_s",
+            "total_churn",
+            "peak_load_fraction",
+        }

@@ -1,0 +1,64 @@
+"""Tests for the exact-ILP regret path of the engine (small instances)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyController
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+
+@pytest.fixture
+def tiny():
+    rngs = RngRegistry(seed=17)
+    network = MECNetwork.synthetic(4, 2, rngs)
+    requests = [
+        Request(index=0, service_index=0, basic_demand_mb=1.0),
+        Request(index=1, service_index=1, basic_demand_mb=1.5),
+    ]
+    return rngs, network, requests
+
+
+class TestExactOptimalPath:
+    def test_exact_optimum_recorded(self, tiny):
+        rngs, network, requests = tiny
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            controller,
+            horizon=3,
+            compute_optimal=True,
+            exact_optimal=True,
+        )
+        tracker = result.regret_tracker()
+        assert tracker.n_slots == 3
+        # The exact integral optimum is achievable, so regret >= 0 exactly.
+        assert np.all(tracker.per_slot_regret >= -1e-9)
+
+    def test_exact_at_least_lp_bound(self, tiny):
+        rngs, network, requests = tiny
+        controller = GreedyController(network, requests, rngs.get("ctrl"))
+        lp_result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            controller,
+            horizon=2,
+            compute_optimal=True,
+            exact_optimal=False,
+        )
+        controller2 = GreedyController(network, requests, rngs.fresh("ctrl"))
+        exact_result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            controller2,
+            horizon=2,
+            compute_optimal=True,
+            exact_optimal=True,
+        )
+        lp_optima = lp_result.regret_tracker().optimal
+        exact_optima = exact_result.regret_tracker().optimal
+        assert np.all(exact_optima >= lp_optima - 1e-9)

@@ -1,0 +1,109 @@
+"""Tests for repetition studies and paired controller comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyController, OlGdController
+from repro.mec import DriftingDelay, MECNetwork
+from repro.mec.requests import Request
+from repro.sim import compare_controllers, run_repetitions
+from repro.sim.multirun import MetricSummary, _summarise
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+
+def scenario(rngs: RngRegistry):
+    network = MECNetwork.synthetic(15, 2, rngs)
+    network.delays = DriftingDelay(
+        network.stations, rngs.get("drift"), drift_ms=1.0
+    )
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+        )
+        for i in range(10)
+    ]
+    mean_demand = float(np.mean([r.basic_demand_mb for r in requests]))
+    network.c_unit_mhz = float(network.capacities_mhz.min() / (2.0 * mean_demand))
+    controllers = [
+        OlGdController(network, requests, rngs.get("ol")),
+        GreedyController(network, requests, rngs.get("gr")),
+    ]
+    return network, ConstantDemandModel(requests), controllers
+
+
+class TestSummarise:
+    def test_single_value(self):
+        s = _summarise("m", [5.0], 0.95)
+        assert s.mean == 5.0 and s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_ci_contains_mean(self):
+        s = _summarise("m", [1.0, 2.0, 3.0, 4.0], 0.95)
+        assert s.ci_low < s.mean < s.ci_high
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_higher_confidence_wider_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = _summarise("m", values, 0.80)
+        wide = _summarise("m", values, 0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+
+class TestRunRepetitions:
+    def test_study_structure(self):
+        study = run_repetitions(scenario, seed=41, repetitions=2, horizon=10)
+        assert study.repetitions == 2
+        assert set(study.summaries) == {"OL_GD", "Greedy_GD"}
+        summary = study.summary("OL_GD", "mean_delay_ms")
+        assert summary.n == 2
+        assert all(np.isfinite(v) for v in summary.values)
+
+    def test_unknown_keys_raise(self):
+        study = run_repetitions(scenario, seed=41, repetitions=1, horizon=6)
+        with pytest.raises(KeyError, match="controller"):
+            study.summary("Nope", "mean_delay_ms")
+        with pytest.raises(KeyError, match="metric"):
+            study.summary("OL_GD", "nope")
+
+    def test_table_renders(self):
+        study = run_repetitions(scenario, seed=41, repetitions=2, horizon=8)
+        text = study.table()
+        assert "OL_GD" in text and "Greedy_GD" in text
+        assert "95% CI" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_repetitions(scenario, seed=1, repetitions=0, horizon=5)
+        with pytest.raises(ValueError):
+            run_repetitions(scenario, seed=1, repetitions=1, horizon=5, skip_warmup=9)
+
+    def test_reproducible(self):
+        a = run_repetitions(scenario, seed=43, repetitions=1, horizon=8)
+        b = run_repetitions(scenario, seed=43, repetitions=1, horizon=8)
+        assert (
+            a.summary("OL_GD", "mean_delay_ms").values
+            == b.summary("OL_GD", "mean_delay_ms").values
+        )
+
+
+class TestCompareControllers:
+    def test_paired_comparison_fields(self):
+        study = run_repetitions(scenario, seed=47, repetitions=3, horizon=12)
+        comparison = compare_controllers(study, "OL_GD", "Greedy_GD")
+        assert comparison.wins_a + comparison.wins_b + comparison.ties == 3
+        assert 0.0 <= comparison.sign_test_p <= 1.0
+        # mean difference consistent with the summaries.
+        a = np.mean(study.summary("OL_GD", "mean_delay_ms").values)
+        b = np.mean(study.summary("Greedy_GD", "mean_delay_ms").values)
+        assert comparison.mean_difference == pytest.approx(b - a)
+
+    def test_identical_controller_ties(self):
+        study = run_repetitions(scenario, seed=47, repetitions=2, horizon=8)
+        comparison = compare_controllers(study, "OL_GD", "OL_GD")
+        assert comparison.ties == 2
+        assert comparison.sign_test_p == 1.0
+        assert not comparison.a_wins_majority

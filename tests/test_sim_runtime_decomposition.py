@@ -1,0 +1,72 @@
+"""Tests for the decide/observe runtime decomposition in the metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Controller
+from repro.core.assignment import Assignment
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+from repro.sim import run_simulation
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+
+class SleepyController(Controller):
+    """Spends measurable time in observe() (like the GAN's online steps)."""
+
+    name = "Sleepy"
+
+    def decide(self, slot, demands):
+        return Assignment.from_stations([0] * len(self.requests), self.requests)
+
+    def observe(self, slot, demands, unit_delays, assignment):
+        import time
+
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def world():
+    rngs = RngRegistry(seed=19)
+    network = MECNetwork.synthetic(4, 2, rngs)
+    requests = [Request(index=0, service_index=0, basic_demand_mb=1.0)]
+    return network, requests
+
+
+class TestRuntimeDecomposition:
+    def test_observe_time_counted_in_total(self, world):
+        network, requests = world
+        result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            SleepyController(network, requests),
+            horizon=3,
+        )
+        # Total includes the 10 ms observe naps; decide-only does not.
+        assert np.all(result.decision_seconds >= 0.01)
+        assert np.all(result.decide_only_seconds < result.decision_seconds)
+
+    def test_observe_seconds_recorded_per_slot(self, world):
+        network, requests = world
+        result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            SleepyController(network, requests),
+            horizon=2,
+        )
+        for record in result.records:
+            assert record.observe_seconds >= 0.01
+            assert record.decision_seconds >= 0.0
+
+    def test_summary_uses_total_time(self, world):
+        network, requests = world
+        result = run_simulation(
+            network,
+            ConstantDemandModel(requests),
+            SleepyController(network, requests),
+            horizon=2,
+        )
+        assert result.summary()["mean_decision_s"] == pytest.approx(
+            float(result.decision_seconds.mean())
+        )

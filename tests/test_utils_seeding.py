@@ -1,0 +1,117 @@
+"""Tests for the deterministic RNG registry and seed derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.seeding import RngRegistry, fork_rng, spawn_seeds
+
+
+class TestRngRegistry:
+    def test_same_name_returns_cached_generator(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.get("a") is rngs.get("a")
+
+    def test_different_names_give_different_streams(self):
+        rngs = RngRegistry(seed=1)
+        a = rngs.get("a").integers(0, 2**31, size=16)
+        b = rngs.get("b").integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproduces_stream(self):
+        draws1 = RngRegistry(seed=5).get("topology").uniform(size=10)
+        draws2 = RngRegistry(seed=5).get("topology").uniform(size=10)
+        np.testing.assert_array_equal(draws1, draws2)
+
+    def test_different_seeds_differ(self):
+        draws1 = RngRegistry(seed=5).get("topology").uniform(size=10)
+        draws2 = RngRegistry(seed=6).get("topology").uniform(size=10)
+        assert not np.array_equal(draws1, draws2)
+
+    def test_stream_isolated_from_other_stream_usage(self):
+        """Drawing from stream A must not perturb stream B."""
+        rngs1 = RngRegistry(seed=9)
+        rngs1.get("noise").uniform(size=1000)  # heavy use of another stream
+        b1 = rngs1.get("delays").uniform(size=8)
+
+        rngs2 = RngRegistry(seed=9)
+        b2 = rngs2.get("delays").uniform(size=8)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_fresh_replaces_stream(self):
+        rngs = RngRegistry(seed=3)
+        first = rngs.get("x")
+        first.uniform(size=4)
+        replaced = rngs.fresh("x")
+        assert replaced is not first
+        # The fresh stream restarts from the beginning.
+        np.testing.assert_array_equal(
+            replaced.uniform(size=4), RngRegistry(seed=3).get("x").uniform(size=4)
+        )
+
+    def test_child_registry_is_deterministic(self):
+        a = RngRegistry(seed=11).child("rep0").get("s").uniform(size=4)
+        b = RngRegistry(seed=11).child("rep0").get("s").uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_registries_differ_by_name(self):
+        root = RngRegistry(seed=11)
+        a = root.child("rep0").get("s").uniform(size=4)
+        b = root.child("rep1").get("s").uniform(size=4)
+        assert not np.array_equal(a, b)
+
+    def test_names_lists_created_streams(self):
+        rngs = RngRegistry(seed=0)
+        rngs.get("b")
+        rngs.get("a")
+        assert rngs.names() == ["a", "b"]
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            RngRegistry(seed=-1)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed=1.5)  # type: ignore[arg-type]
+
+    def test_rejects_bool_seed(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed=True)  # type: ignore[arg-type]
+
+
+class TestForkRng:
+    def test_fork_count(self):
+        children = fork_rng(np.random.default_rng(0), 5)
+        assert len(children) == 5
+
+    def test_forked_streams_are_independent(self):
+        children = fork_rng(np.random.default_rng(0), 2)
+        a = children[0].uniform(size=16)
+        b = children[1].uniform(size=16)
+        assert not np.array_equal(a, b)
+
+    def test_fork_zero_returns_empty(self):
+        assert fork_rng(np.random.default_rng(0), 0) == []
+
+    def test_fork_negative_raises(self):
+        with pytest.raises(ValueError):
+            fork_rng(np.random.default_rng(0), -1)
+
+
+class TestSpawnSeeds:
+    def test_spawn_is_deterministic(self):
+        assert list(spawn_seeds(7, 4)) == list(spawn_seeds(7, 4))
+
+    def test_spawned_seeds_unique(self):
+        seeds = list(spawn_seeds(7, 100))
+        assert len(set(seeds)) == 100
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(spawn_seeds(7, -2))
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=32))
+    def test_spawn_yields_exactly_n_non_negative_seeds(self, seed, n):
+        seeds = list(spawn_seeds(seed, n))
+        assert len(seeds) == n
+        assert all(s >= 0 for s in seeds)

@@ -1,0 +1,80 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            require_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            require_positive("x", math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            require_positive("x", "3")  # type: ignore[arg-type]
+
+    @given(st.floats(min_value=1e-12, max_value=1e12, allow_nan=False))
+    def test_returns_value_unchanged(self, value):
+        assert require_positive("x", value) == value
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            require_non_negative("x", -0.001)
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert require_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            require_probability("p", p)
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range("x", 2, 2, 4) == 2
+        assert require_in_range("x", 4, 2, 4) == 4
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[2, 4\]"):
+            require_in_range("x", 5, 2, 4)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="capacity"):
+            require_in_range("capacity", -1, 0, 10)

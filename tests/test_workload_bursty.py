@@ -1,0 +1,129 @@
+"""Tests for MMPP burst processes and flash-crowd schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workload.bursty import BURST, NORMAL, FlashCrowdSchedule, MmppBurstProcess
+
+
+class TestMmppBurstProcess:
+    def test_starts_normal(self):
+        process = MmppBurstProcess(np.random.default_rng(0))
+        assert process.state_at(0) == NORMAL
+
+    def test_states_deterministic_per_slot(self):
+        process = MmppBurstProcess(np.random.default_rng(0))
+        states1 = [process.state_at(t) for t in range(50)]
+        states2 = [process.state_at(t) for t in range(50)]
+        assert states1 == states2
+
+    def test_order_independent(self):
+        p1 = MmppBurstProcess(np.random.default_rng(1))
+        p2 = MmppBurstProcess(np.random.default_rng(1))
+        backward = [p1.state_at(t) for t in reversed(range(40))]
+        forward = [p2.state_at(t) for t in range(40)]
+        assert backward == list(reversed(forward))
+
+    def test_burst_fraction_near_stationary(self):
+        process = MmppBurstProcess(np.random.default_rng(2), p_enter=0.1, p_exit=0.3)
+        states = [process.state_at(t) for t in range(5000)]
+        fraction = sum(states) / len(states)
+        assert abs(fraction - process.stationary_burst_fraction) < 0.05
+
+    def test_no_bursts_when_p_enter_zero(self):
+        process = MmppBurstProcess(np.random.default_rng(3), p_enter=0.0)
+        assert all(process.state_at(t) == NORMAL for t in range(100))
+
+    def test_amplitude_zero_outside_bursts(self):
+        process = MmppBurstProcess(np.random.default_rng(4), p_enter=0.0)
+        assert all(process.amplitude_at(t) == 0.0 for t in range(50))
+
+    def test_amplitude_positive_during_bursts(self):
+        process = MmppBurstProcess(np.random.default_rng(5), p_enter=1.0, p_exit=0.0)
+        # From slot 1 on the chain is bursting forever.
+        assert all(process.amplitude_at(t) > 0.0 for t in range(1, 30))
+
+    def test_amplitude_stable_within_slot(self):
+        process = MmppBurstProcess(np.random.default_rng(6), p_enter=1.0, p_exit=0.0)
+        assert process.amplitude_at(5) == process.amplitude_at(5)
+
+    def test_mean_burst_amplitude(self):
+        process = MmppBurstProcess(
+            np.random.default_rng(7), p_enter=1.0, p_exit=0.0,
+            amplitude_shape=2.0, amplitude_scale=3.0,
+        )
+        assert process.mean_burst_amplitude == 6.0
+        amplitudes = [process.amplitude_at(t) for t in range(1, 3000)]
+        assert abs(np.mean(amplitudes) - 6.0) < 0.4
+
+    def test_bursts_have_dwell_time(self):
+        """With small p_exit, bursts should persist across multiple slots."""
+        process = MmppBurstProcess(np.random.default_rng(8), p_enter=0.05, p_exit=0.1)
+        states = [process.state_at(t) for t in range(3000)]
+        runs = []
+        current = 0
+        for s in states:
+            if s == BURST:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected at least one burst in 3000 slots"
+        assert np.mean(runs) > 3.0  # mean dwell 1/p_exit = 10, allow slack
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            MmppBurstProcess(np.random.default_rng(0), p_enter=1.5)
+        with pytest.raises(ValueError):
+            MmppBurstProcess(np.random.default_rng(0), p_exit=-0.1)
+
+    def test_negative_slot_rejected(self):
+        process = MmppBurstProcess(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            process.state_at(-1)
+
+
+class TestFlashCrowdSchedule:
+    def test_amplitude_inside_window(self):
+        schedule = FlashCrowdSchedule().add_event(2, start=10, duration=5, amplitude_mb=8.0)
+        assert schedule.amplitude_at(2, 10) == 8.0
+        assert schedule.amplitude_at(2, 14) == 8.0
+
+    def test_amplitude_outside_window(self):
+        schedule = FlashCrowdSchedule().add_event(2, start=10, duration=5, amplitude_mb=8.0)
+        assert schedule.amplitude_at(2, 9) == 0.0
+        assert schedule.amplitude_at(2, 15) == 0.0  # end is exclusive
+
+    def test_other_hotspot_unaffected(self):
+        schedule = FlashCrowdSchedule().add_event(2, start=0, duration=5, amplitude_mb=8.0)
+        assert schedule.amplitude_at(3, 2) == 0.0
+
+    def test_overlapping_events_stack(self):
+        schedule = (
+            FlashCrowdSchedule()
+            .add_event(1, start=0, duration=10, amplitude_mb=3.0)
+            .add_event(1, start=5, duration=10, amplitude_mb=4.0)
+        )
+        assert schedule.amplitude_at(1, 7) == 7.0
+        assert schedule.amplitude_at(1, 2) == 3.0
+        assert schedule.amplitude_at(1, 12) == 4.0
+
+    def test_events_for_sorted_by_start(self):
+        schedule = (
+            FlashCrowdSchedule()
+            .add_event(0, start=20, duration=2, amplitude_mb=1.0)
+            .add_event(0, start=5, duration=2, amplitude_mb=2.0)
+        )
+        assert schedule.events_for(0) == [(5, 7, 2.0), (20, 22, 1.0)]
+
+    def test_n_events(self):
+        schedule = FlashCrowdSchedule()
+        assert schedule.n_events == 0
+        schedule.add_event(0, 0, 1, 1.0).add_event(1, 0, 1, 1.0)
+        assert schedule.n_events == 2
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ValueError):
+            FlashCrowdSchedule().add_event(0, start=0, duration=0, amplitude_mb=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdSchedule().add_event(0, start=0, duration=1, amplitude_mb=-1.0)

@@ -1,0 +1,144 @@
+"""Tests for constant and bursty demand models (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.mec.requests import Request
+from repro.workload.bursty import FlashCrowdSchedule
+from repro.workload.demand import BurstyDemandModel, ConstantDemandModel
+
+
+def make_requests(n=6, hotspots=(0, 0, 1, 1, None, None)):
+    return [
+        Request(
+            index=i,
+            service_index=i % 2,
+            basic_demand_mb=1.0 + i,
+            hotspot_index=hotspots[i % len(hotspots)],
+        )
+        for i in range(n)
+    ]
+
+
+class TestConstantDemandModel:
+    def test_demand_is_basic_everywhere(self):
+        model = ConstantDemandModel(make_requests())
+        for t in range(10):
+            np.testing.assert_array_equal(model.demand_at(t), model.basic_demands)
+
+    def test_bursty_is_zero(self):
+        model = ConstantDemandModel(make_requests())
+        assert np.all(model.bursty_at(3) == 0.0)
+
+    def test_matrix_shape(self):
+        model = ConstantDemandModel(make_requests(4, hotspots=(0, 1, None, 0)))
+        assert model.matrix(7).shape == (7, 4)
+
+    def test_matrix_zero_horizon(self):
+        model = ConstantDemandModel(make_requests())
+        assert model.matrix(0).shape == (0, 6)
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDemandModel([])
+
+    def test_requests_copy_returned(self):
+        requests = make_requests()
+        model = ConstantDemandModel(requests)
+        got = model.requests
+        got.pop()
+        assert model.n_requests == len(requests)
+
+
+class TestBurstyDemandModel:
+    def test_demand_at_least_basic(self):
+        model = BurstyDemandModel(make_requests(), np.random.default_rng(0))
+        for t in range(50):
+            assert np.all(model.demand_at(t) >= model.basic_demands - 1e-12)
+
+    def test_deterministic_per_slot(self):
+        model = BurstyDemandModel(make_requests(), np.random.default_rng(1))
+        np.testing.assert_array_equal(model.bursty_at(9), model.bursty_at(9))
+
+    def test_reproducible_across_instances(self):
+        a = BurstyDemandModel(make_requests(), np.random.default_rng(2))
+        b = BurstyDemandModel(make_requests(), np.random.default_rng(2))
+        np.testing.assert_array_equal(a.matrix(30), b.matrix(30))
+
+    def test_hotspot_correlation(self):
+        """Users on the same hotspot must burst in the same slots."""
+        requests = make_requests(4, hotspots=(0, 0, 1, 1))
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(3), p_enter=0.3, p_exit=0.3, jitter=0.0
+        )
+        for t in range(200):
+            bursts = model.bursty_at(t)
+            # Same hotspot, zero jitter -> identical burst volume.
+            assert bursts[0] == pytest.approx(bursts[1])
+            assert bursts[2] == pytest.approx(bursts[3])
+
+    def test_different_hotspots_independent(self):
+        requests = make_requests(4, hotspots=(0, 0, 1, 1))
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(4), p_enter=0.2, p_exit=0.3
+        )
+        states0 = [model.hotspot_state(0, t) for t in range(300)]
+        states1 = [model.hotspot_state(1, t) for t in range(300)]
+        assert states0 != states1
+
+    def test_jitter_spreads_users(self):
+        requests = make_requests(2, hotspots=(0, 0))
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(5), p_enter=1.0, p_exit=0.0, jitter=0.3
+        )
+        bursts = model.bursty_at(5)
+        assert bursts[0] != bursts[1]
+        # Ratio bounded by the jitter band.
+        ratio = bursts[0] / bursts[1]
+        assert 0.7 / 1.3 <= ratio <= 1.3 / 0.7
+
+    def test_flash_crowd_adds_amplitude(self):
+        requests = make_requests(2, hotspots=(0, 0))
+        quiet = BurstyDemandModel(
+            requests, np.random.default_rng(6), p_enter=0.0, jitter=0.0
+        )
+        schedule = FlashCrowdSchedule().add_event(0, start=3, duration=2, amplitude_mb=10.0)
+        crowded = BurstyDemandModel(
+            requests,
+            np.random.default_rng(6),
+            flash_crowds=schedule,
+            p_enter=0.0,
+            jitter=0.0,
+        )
+        np.testing.assert_array_equal(quiet.bursty_at(3), np.zeros(2))
+        np.testing.assert_array_equal(crowded.bursty_at(3), np.full(2, 10.0))
+        np.testing.assert_array_equal(crowded.bursty_at(5), np.zeros(2))
+
+    def test_solo_requests_burst_independently(self):
+        requests = make_requests(2, hotspots=(None, None))
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(7), p_enter=0.3, p_exit=0.3
+        )
+        series = model.matrix(400)
+        # Two independent chains almost surely diverge within 400 slots.
+        assert not np.array_equal(series[:, 0], series[:, 1])
+
+    def test_hotspot_state_unknown_raises(self):
+        model = BurstyDemandModel(make_requests(), np.random.default_rng(8))
+        with pytest.raises(KeyError):
+            model.hotspot_state(99, 0)
+
+    def test_hotspot_indices(self):
+        model = BurstyDemandModel(
+            make_requests(4, hotspots=(2, 0, 2, None)), np.random.default_rng(9)
+        )
+        assert model.hotspot_indices == [0, 2]
+
+    def test_bursts_are_bursty(self):
+        """The demand series must be right-skewed: burst peaks well above median."""
+        requests = make_requests(1, hotspots=(0,))
+        model = BurstyDemandModel(
+            requests, np.random.default_rng(10), p_enter=0.1, p_exit=0.4
+        )
+        series = model.matrix(2000)[:, 0]
+        assert series.max() > 3.0 * np.median(series)

@@ -1,0 +1,132 @@
+"""Tests for the hotspot-hopping mobility model and the mobile Pri_GD."""
+
+import numpy as np
+import pytest
+
+from repro.mec.geometry import Point
+from repro.mec.network import MECNetwork
+from repro.utils.seeding import RngRegistry
+from repro.workload import requests_from_trace, synthesize_nyc_wifi_trace
+from repro.workload.mobility import HotspotHoppingMobility, MobilePriorityController
+
+
+HOTSPOTS = [Point(0.0, 0.0), Point(100.0, 0.0), Point(0.0, 100.0)]
+
+
+def make_mobility(seed=0, n_users=5, **kwargs):
+    return HotspotHoppingMobility(
+        HOTSPOTS, n_users, np.random.default_rng(seed), **kwargs
+    )
+
+
+class TestHotspotHoppingMobility:
+    def test_deterministic_and_order_independent(self):
+        a, b = make_mobility(seed=1), make_mobility(seed=1)
+        forward = [a.hotspot_of(0, t) for t in range(40)]
+        backward = [b.hotspot_of(0, t) for t in reversed(range(40))]
+        assert forward == list(reversed(backward))
+
+    def test_dwell_respected(self):
+        mobility = make_mobility(seed=2, dwell_range=(5, 5))
+        series = [mobility.hotspot_of(0, t) for t in range(25)]
+        # Exactly 5-slot blocks of constant hotspot.
+        for block_start in range(0, 25, 5):
+            block = series[block_start : block_start + 5]
+            assert len(set(block)) == 1
+
+    def test_hops_change_hotspot(self):
+        mobility = make_mobility(seed=3, dwell_range=(3, 3))
+        series = [mobility.hotspot_of(0, t) for t in range(30)]
+        transitions = [
+            (series[t], series[t + 1])
+            for t in range(29)
+            if series[t] != series[t + 1]
+        ]
+        assert transitions, "the user must move at least once in 30 slots"
+        # A hop never 'hops' to the same hotspot.
+        for before, after in transitions:
+            assert before != after
+
+    def test_positions_near_current_hotspot(self):
+        mobility = make_mobility(seed=4, jitter_m=10.0)
+        for t in range(20):
+            for user in range(5):
+                hotspot = HOTSPOTS[mobility.hotspot_of(user, t)]
+                assert hotspot.distance_to(mobility.position_of(user, t)) <= 10.0 + 1e-9
+
+    def test_position_fixed_within_a_dwell(self):
+        mobility = make_mobility(seed=5, dwell_range=(6, 6))
+        p0 = mobility.position_of(0, 0)
+        p1 = mobility.position_of(0, 5)
+        assert p0.distance_to(p1) == pytest.approx(0.0)
+
+    def test_positions_at_covers_all_users(self):
+        mobility = make_mobility(seed=6, n_users=7)
+        assert len(mobility.positions_at(3)) == 7
+
+    def test_initial_hotspots_honoured(self):
+        mobility = make_mobility(seed=7, n_users=3, initial_hotspots=[2, 0, 1])
+        assert [mobility.hotspot_of(u, 0) for u in range(3)] == [2, 0, 1]
+
+    def test_single_hotspot_never_moves(self):
+        mobility = HotspotHoppingMobility(
+            [Point(0, 0)], 2, np.random.default_rng(8), dwell_range=(2, 2)
+        )
+        assert all(mobility.hotspot_of(0, t) == 0 for t in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotHoppingMobility([], 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            make_mobility(dwell_range=(0, 3))
+        with pytest.raises(ValueError):
+            make_mobility(n_users=2, initial_hotspots=[0])
+        with pytest.raises(ValueError):
+            make_mobility(n_users=1, initial_hotspots=[9])
+        mobility = make_mobility()
+        with pytest.raises(IndexError):
+            mobility.hotspot_of(99, 0)
+        with pytest.raises(ValueError):
+            mobility.hotspot_of(0, -1)
+
+
+class TestMobilePriorityController:
+    def _setting(self):
+        rngs = RngRegistry(seed=9)
+        trace = synthesize_nyc_wifi_trace(4, 10, rngs.get("trace"), horizon_slots=20)
+        anchors = [h.location for h in trace.hotspots]
+        network = MECNetwork.synthetic(20, 2, rngs, anchor_points=anchors)
+        requests = requests_from_trace(trace, network.services, rngs.get("trace"))
+        mobility = HotspotHoppingMobility(
+            anchors, len(requests), rngs.get("mobility"), dwell_range=(2, 4)
+        )
+        return rngs, network, requests, mobility
+
+    def test_priorities_follow_movement(self):
+        rngs, network, requests, mobility = self._setting()
+        controller = MobilePriorityController(
+            network, requests, rngs.get("ctrl"), mobility
+        )
+        demands = np.array([r.basic_demand_mb for r in requests])
+        seen = set()
+        for t in range(12):
+            assignment = controller.decide(t, demands)
+            seen.add(tuple(controller.priorities.tolist()))
+            controller.observe(t, demands, network.delays.sample(t), assignment)
+        assert len(seen) > 1, "moving users must change the priority vector"
+
+    def test_user_count_mismatch_rejected(self):
+        rngs, network, requests, mobility = self._setting()
+        with pytest.raises(ValueError, match="users"):
+            MobilePriorityController(
+                network, requests[:-1], rngs.get("ctrl"), mobility
+            )
+
+    def test_assignments_valid(self):
+        rngs, network, requests, mobility = self._setting()
+        controller = MobilePriorityController(
+            network, requests, rngs.get("ctrl"), mobility
+        )
+        demands = np.array([r.basic_demand_mb for r in requests])
+        assignment = controller.decide(0, demands)
+        assert np.all(assignment.station_of < network.n_stations)
