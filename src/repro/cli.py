@@ -16,6 +16,7 @@ dataset (hotspots.csv / users.csv) for use with
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -76,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="render Unicode sparklines instead of the numeric table",
     )
+    figure_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the repetition fan-out "
+             "(default: profile setting; 0 = all cores; results are "
+             "bit-identical for any worker count)",
+    )
 
     report_parser = sub.add_parser(
         "report", help="run every figure and write the claims scorecard"
@@ -90,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--out", type=Path, default=None,
         help="write the markdown report here (default: stdout only)",
+    )
+    report_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the repetition fan-out "
+             "(default: profile setting; 0 = all cores)",
     )
 
     trace_parser = sub.add_parser("trace", help="synthesise a Wi-Fi trace")
@@ -109,11 +121,19 @@ def _cmd_list() -> int:
     return 0
 
 
+def _select_profile(args: argparse.Namespace):
+    """The chosen profile, with the --jobs override applied if given."""
+    profile = _PROFILES[args.profile]
+    if getattr(args, "jobs", None) is not None:
+        profile = dataclasses.replace(profile, n_jobs=args.jobs)
+    return profile
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.json and args.out is None:
         print("--json requires --out", file=sys.stderr)
         return 2
-    profile = _PROFILES[args.profile]
+    profile = _select_profile(args)
     figure = FIGURES[args.figure_id](profile)
     if args.plot:
         print(render_figure_plots(figure))
@@ -138,7 +158,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    report = run_full_report(_PROFILES[args.profile], only=args.only)
+    report = run_full_report(_select_profile(args), only=args.only)
     print(render_report_markdown(report))
     if args.out is not None:
         path = write_report(report, args.out)

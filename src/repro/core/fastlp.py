@@ -97,6 +97,8 @@ class PerSlotLpSolver:
             l_of = (row_cols - i) // S
             self._capacity_data_index[i, l_of] = np.arange(start, end)
 
+        # Capacity RHS is a snapshot; stations can change capacity between
+        # slots (outages, recovery), so solve() re-reads the live values.
         self._b_ub = np.concatenate(
             [network.capacities_mhz, np.zeros(R * S)]
         )
@@ -137,6 +139,10 @@ class PerSlotLpSolver:
         data = self._a_ub.data
         for i in range(S):
             data[self._capacity_data_index[i]] = needs
+        # Re-patch the capacity RHS from the live stations: the snapshot
+        # taken at construction goes stale when capacities change
+        # mid-horizon (failure injection degrades/restores stations).
+        self._b_ub[:S] = self._network.capacities_mhz
 
         result = linprog(
             self._c,

@@ -48,6 +48,10 @@ class ExperimentProfile:
                                       # usable; contention comes from |R|)
     drift_ms: float = 0.5             # delay-mean random-walk step (§I's
                                       # "time-varying processing delays")
+    n_jobs: int = 1                   # repetition fan-out workers: 1 =
+                                      # in-process, 0/None-like = all cores,
+                                      # negative = joblib-style count-back
+                                      # (see repro.sim.parallel)
     seed: int = 2020                  # ICDCS 2020
 
     def __post_init__(self) -> None:
@@ -72,6 +76,10 @@ class ExperimentProfile:
             )
         if self.drift_ms < 0:
             raise ValueError(f"drift_ms must be >= 0, got {self.drift_ms}")
+        if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
+            raise TypeError(
+                f"n_jobs must be an int, got {type(self.n_jobs).__name__}"
+            )
 
 
 FULL_PROFILE = ExperimentProfile(

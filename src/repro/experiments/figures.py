@@ -5,13 +5,14 @@ tiered base stations, NYC-Wi-Fi-like user trace), runs the relevant
 algorithms over the horizon and returns a :class:`FigureResult` with the
 same series the paper plots.  Values are averaged over
 ``profile.repetitions`` independently-seeded topologies (the paper uses
-80).
+80); with ``profile.n_jobs != 1`` the repetitions fan out over a process
+pool (``repro.sim.parallel``) with bit-identical averages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +27,8 @@ from repro.core.controller import Controller
 from repro.experiments.config import ExperimentProfile
 from repro.mec.network import MECNetwork
 from repro.mec.requests import Request
-from repro.sim import SimulationResult, run_simulation
+from repro.sim import SimulationResult
+from repro.sim.parallel import ParallelRunner
 from repro.utils.seeding import RngRegistry
 from repro.workload import (
     BurstyDemandModel,
@@ -166,15 +168,56 @@ def _build_setting(
     return network, requests, demand_model
 
 
+@dataclass(frozen=True)
+class _FigureScenario:
+    """Picklable scenario builder for one figure setting.
+
+    The repetition fan-out ships the builder to worker processes, so it
+    must pickle — closures over ``profile`` cannot.  ``family`` selects the
+    controller set: ``"given"`` (OL_GD and the §IV baselines) or
+    ``"predictive"`` (OL_GAN vs OL_Reg, §V).
+    """
+
+    profile: ExperimentProfile
+    n_stations: int
+    topology: str = "gtitm"
+    bursty: bool = False
+    family: str = "given"
+
+    def __call__(self, rngs: RngRegistry):
+        network, requests, demand_model = _build_setting(
+            self.profile,
+            rngs,
+            self.n_stations,
+            topology=self.topology,
+            bursty=self.bursty,
+        )
+        if self.family == "given":
+            controllers = _given_demand_controllers(rngs, network, requests)
+        elif self.family == "predictive":
+            controllers = _predictive_controllers(
+                self.profile, rngs, network, requests
+            )
+        else:
+            raise ValueError(f"unknown controller family {self.family!r}")
+        return network, demand_model, controllers
+
+
+# Controller counts per family, so the parallel path can size its work
+# grid without a probe build (building a predictive scenario pretrains
+# the GAN — too expensive to do just for counting).
+_FAMILY_SIZES = {"given": 3, "predictive": 2}
+
+
 def _average_runs(
     profile: ExperimentProfile,
-    make_controllers: Callable[[RngRegistry, MECNetwork, List[Request]], List[Controller]],
+    family: str,
     n_stations: int,
     topology: str = "gtitm",
     bursty: bool = False,
     horizon: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
-    """Run all controllers over ``repetitions`` independent topologies.
+    """Run a controller family over ``repetitions`` independent topologies.
 
     Returns one merged :class:`SimulationResult` per controller whose
     delay / runtime / prediction-MAE series are element-wise means across
@@ -182,23 +225,39 @@ def _average_runs(
     80-topology averaging).  Slot-level integer diagnostics (cache churn,
     instance counts) are taken from repetition 0 — they are per-run
     observables, not averaged statistics.
+
+    Repetitions execute through :class:`repro.sim.ParallelRunner` honouring
+    ``profile.n_jobs`` (results are bit-identical across worker counts).
+    Figures need every repetition, so unlike ``run_repetitions`` a crashed
+    repetition is an error here — a silently missing seed would change the
+    averages the reproduction reports.
     """
     horizon = horizon if horizon is not None else profile.horizon
-    merged: Dict[str, List[SimulationResult]] = {}
-    for repetition in range(profile.repetitions):
-        rngs = RngRegistry(seed=profile.seed).child(f"rep{repetition}")
-        network, requests, demand_model = _build_setting(
-            profile, rngs, n_stations, topology=topology, bursty=bursty
+    scenario = _FigureScenario(
+        profile=profile,
+        n_stations=n_stations,
+        topology=topology,
+        bursty=bursty,
+        family=family,
+    )
+    runner = ParallelRunner(n_jobs=profile.n_jobs)
+    work = runner.run(
+        scenario,
+        seed=profile.seed,
+        repetitions=profile.repetitions,
+        horizon=horizon,
+        demands_known=not bursty,
+        n_controllers=_FAMILY_SIZES[family],
+    )
+    failed = [w for w in work if not w.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} of {len(work)} figure runs failed; first "
+            f"failure (rep{failed[0].repetition}):\n{failed[0].error_traceback}"
         )
-        for controller in make_controllers(rngs, network, requests):
-            result = run_simulation(
-                network,
-                demand_model,
-                controller,
-                horizon=horizon,
-                demands_known=not bursty,
-            )
-            merged.setdefault(controller.name, []).append(result)
+    merged: Dict[str, List[SimulationResult]] = {}
+    for w in work:  # sorted by (repetition, controller) — repetition order
+        merged.setdefault(w.controller_name, []).append(w.result)
 
     averaged: Dict[str, SimulationResult] = {}
     for name, results in merged.items():
@@ -295,7 +354,7 @@ def figure3(profile: ExperimentProfile) -> FigureResult:
     ``runtime_s``: per-slot decision time (Fig. 3b).
     """
     results = _average_runs(
-        profile, _given_demand_controllers, n_stations=profile.base_stations
+        profile, "given", n_stations=profile.base_stations
     )
     figure = FigureResult(
         figure_id="fig3",
@@ -321,7 +380,7 @@ def figure4(profile: ExperimentProfile) -> FigureResult:
         x_values=[float(s) for s in profile.sweep_sizes],
     )
     for size in profile.sweep_sizes:
-        results = _average_runs(profile, _given_demand_controllers, n_stations=size)
+        results = _average_runs(profile, "given", n_stations=size)
         for name, result in results.items():
             figure.add_point("delay_ms", name, result.mean_delay_ms())
             figure.add_point("runtime_s", name, result.mean_decision_seconds())
@@ -333,7 +392,7 @@ def figure5(profile: ExperimentProfile) -> FigureResult:
     """Fig. 5: the given-demand algorithms on the real topology AS1755."""
     results = _average_runs(
         profile,
-        _given_demand_controllers,
+        "given",
         n_stations=0,  # AS1755 fixes its own size
         topology="as1755",
     )
@@ -356,9 +415,7 @@ def figure6(profile: ExperimentProfile) -> FigureResult:
     """Fig. 6: OL_GAN vs OL_Reg with unknown (bursty) demands (GT-ITM)."""
     results = _average_runs(
         profile,
-        lambda rngs, network, requests: _predictive_controllers(
-            profile, rngs, network, requests
-        ),
+        "predictive",
         n_stations=profile.base_stations,
         bursty=True,
     )
@@ -397,9 +454,7 @@ def figure7(profile: ExperimentProfile) -> FigureResult:
     for size in profile.sweep_sizes_wide:
         results = _average_runs(
             profile,
-            lambda rngs, network, requests: _predictive_controllers(
-                profile, rngs, network, requests
-            ),
+            "predictive",
             n_stations=size,
             bursty=True,
         )
@@ -413,9 +468,7 @@ def figure7(profile: ExperimentProfile) -> FigureResult:
 
     as1755_results = _average_runs(
         profile,
-        lambda rngs, network, requests: _predictive_controllers(
-            profile, rngs, network, requests
-        ),
+        "predictive",
         n_stations=0,
         topology="as1755",
         bursty=True,

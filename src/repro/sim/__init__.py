@@ -16,6 +16,11 @@ from repro.sim.multirun import (
     compare_controllers,
     run_repetitions,
 )
+from repro.sim.parallel import (
+    ParallelRunner,
+    RepetitionFailure,
+    resolve_n_jobs,
+)
 
 __all__ = [
     "run_simulation",
@@ -26,6 +31,9 @@ __all__ = [
     "MetricSummary",
     "PairedComparison",
     "RepetitionStudy",
+    "RepetitionFailure",
+    "ParallelRunner",
     "compare_controllers",
     "run_repetitions",
+    "resolve_n_jobs",
 ]

@@ -6,37 +6,45 @@ independently-seeded repetitions and aggregate any scalar metric with a
 normal-approximation confidence interval, plus a paired comparison helper
 (:func:`compare_controllers`) that reports whether one controller beats
 another consistently across seeds (sign test + paired mean difference).
+
+Execution is delegated to :class:`repro.sim.parallel.ParallelRunner`:
+``n_jobs=1`` (default) runs in-process, ``n_jobs>1`` fans the
+``(repetition, controller)`` grid over a process pool with bit-identical
+results (see :mod:`repro.sim.parallel` for the determinism argument).
+Crashed repetitions are recorded in :attr:`RepetitionStudy.failures` and
+excluded from the summaries instead of killing the study.
 """
 
 from __future__ import annotations
 
+import logging
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats
 
-from repro.core.controller import Controller
-from repro.mec.network import MECNetwork
-from repro.sim.engine import run_simulation
 from repro.sim.metrics import SimulationResult
-from repro.utils.seeding import RngRegistry
-from repro.utils.validation import require_positive, require_probability
-from repro.workload.demand import DemandModel
+from repro.sim.parallel import (
+    ParallelRunner,
+    RepetitionFailure,
+    ScenarioBuilder,
+    WorkResult,
+)
+from repro.utils.validation import require_open_probability, require_positive
 
 __all__ = [
     "MetricSummary",
     "RepetitionStudy",
+    "RepetitionFailure",
     "run_repetitions",
     "compare_controllers",
     "PairedComparison",
 ]
 
-# A scenario builder returns the world for one repetition.
-ScenarioBuilder = Callable[
-    [RngRegistry], Tuple[MECNetwork, DemandModel, List[Controller]]
-]
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,9 @@ class MetricSummary:
 
 
 def _summarise(name: str, values: Sequence[float], confidence: float) -> MetricSummary:
+    # The closed endpoints are rejected: t.ppf(1.0) is +inf (an infinite
+    # CI) and confidence=0 is a zero-width interval nobody means to ask for.
+    require_open_probability("confidence", confidence)
     array = np.asarray(list(values), dtype=float)
     mean = float(array.mean())
     std = float(array.std(ddof=1)) if array.size > 1 else 0.0
@@ -76,7 +87,13 @@ def _summarise(name: str, values: Sequence[float], confidence: float) -> MetricS
 
 @dataclass
 class RepetitionStudy:
-    """Results of a repeated scenario: per-controller metric summaries."""
+    """Results of a repeated scenario: per-controller metric summaries.
+
+    Besides the summaries, the study carries the execution accounting of
+    the run that produced it: worker count, wall-clock versus summed
+    CPU-seconds of the work items, and any failed repetitions (crashes are
+    recorded here and excluded from the summaries, never fatal).
+    """
 
     horizon: int
     repetitions: int
@@ -84,6 +101,48 @@ class RepetitionStudy:
     summaries: Dict[str, Dict[str, MetricSummary]]
     # controller name -> raw per-repetition results
     raw: Dict[str, List[SimulationResult]]
+    # ---- execution accounting -------------------------------------- #
+    n_jobs: int = 1
+    wall_clock_seconds: float = 0.0
+    cpu_seconds: float = 0.0          # summed across work items
+    completed_runs: int = 0           # successful (repetition, controller) items
+    failures: List[RepetitionFailure] = field(default_factory=list)
+
+    @property
+    def n_failed(self) -> int:
+        """Work items that crashed and were excluded from the summaries."""
+        return len(self.failures)
+
+    @property
+    def runs_per_second(self) -> float:
+        """Completed (repetition, controller) runs per wall-clock second."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.completed_runs / self.wall_clock_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """CPU-seconds per wall-clock-second, normalised by worker count.
+
+        1.0 means every worker was busy the whole time; values sink with
+        pool start-up cost, stragglers, and (single-core) oversubscription.
+        """
+        if self.wall_clock_seconds <= 0 or self.n_jobs <= 0:
+            return 0.0
+        return self.cpu_seconds / (self.wall_clock_seconds * self.n_jobs)
+
+    def timing_table(self) -> str:
+        """Aligned text block of the execution accounting."""
+        lines = [
+            f"{'workers':<22} {self.n_jobs}",
+            f"{'wall clock [s]':<22} {self.wall_clock_seconds:.3f}",
+            f"{'cpu total [s]':<22} {self.cpu_seconds:.3f}",
+            f"{'completed runs':<22} {self.completed_runs}",
+            f"{'failed runs':<22} {self.n_failed}",
+            f"{'runs / second':<22} {self.runs_per_second:.3f}",
+            f"{'parallel efficiency':<22} {self.parallel_efficiency:.2f}",
+        ]
+        return "\n".join(lines)
 
     def summary(self, controller: str, metric: str) -> MetricSummary:
         if controller not in self.summaries:
@@ -117,6 +176,8 @@ def run_repetitions(
     demands_known: bool = True,
     skip_warmup: Optional[int] = None,
     confidence: float = 0.95,
+    n_jobs: int = 1,
+    n_controllers: Optional[int] = None,
 ) -> RepetitionStudy:
     """Run ``build`` across ``repetitions`` seeds and aggregate metrics.
 
@@ -124,10 +185,20 @@ def run_repetitions(
     ``(network, demand_model, controllers)``; every controller is run on
     the same world of its repetition.  Aggregated metrics per controller:
     ``mean_delay_ms``, ``mean_decision_s``, ``total_churn``.
+
+    ``n_jobs`` selects the execution mode: ``1`` (default) runs in-process,
+    anything else fans the ``(repetition, controller)`` grid over a process
+    pool (``None``/``0`` = all cores, negative = joblib-style count-back)
+    with bit-identical summaries.  The builder must be picklable for
+    ``n_jobs != 1``.  ``n_controllers`` (optional) skips the probe build
+    the pool path otherwise needs to size its work grid.
+
+    A repetition that raises is recorded in the study's ``failures`` with
+    its traceback and excluded from the summaries; the count is logged.
     """
     require_positive("repetitions", repetitions)
     require_positive("horizon", horizon)
-    require_probability("confidence", confidence)
+    require_open_probability("confidence", confidence)
     if skip_warmup is None:
         skip_warmup = max(horizon // 4, 1)
     if skip_warmup >= horizon:
@@ -135,30 +206,53 @@ def run_repetitions(
             f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
         )
 
+    runner = ParallelRunner(n_jobs=n_jobs)
+    wall_start = time.perf_counter()
+    work_results: List[WorkResult] = runner.run(
+        build,
+        seed=seed,
+        repetitions=repetitions,
+        horizon=horizon,
+        demands_known=demands_known,
+        n_controllers=n_controllers,
+    )
+    wall_clock = time.perf_counter() - wall_start
+
     metric_values: Dict[str, Dict[str, List[float]]] = {}
     raw: Dict[str, List[SimulationResult]] = {}
-    for repetition in range(repetitions):
-        rngs = RngRegistry(seed=seed).child(f"rep{repetition}")
-        network, demand_model, controllers = build(rngs)
-        for controller in controllers:
-            result = run_simulation(
-                network,
-                demand_model,
-                controller,
-                horizon=horizon,
-                demands_known=demands_known,
-            )
-            store = metric_values.setdefault(controller.name, {})
-            store.setdefault("mean_delay_ms", []).append(
-                result.mean_delay_ms(skip_warmup=skip_warmup)
-            )
-            store.setdefault("mean_decision_s", []).append(
-                result.mean_decision_seconds()
-            )
-            store.setdefault("total_churn", []).append(
-                float(result.cache_churn.sum())
-            )
-            raw.setdefault(controller.name, []).append(result)
+    failures: List[RepetitionFailure] = []
+    completed = 0
+    for item in work_results:  # already in (repetition, controller) order
+        if not item.ok:
+            failures.append(item.failure())
+            continue
+        completed += 1
+        result = item.result
+        store = metric_values.setdefault(item.controller_name, {})
+        store.setdefault("mean_delay_ms", []).append(
+            result.mean_delay_ms(skip_warmup=skip_warmup)
+        )
+        store.setdefault("mean_decision_s", []).append(
+            result.mean_decision_seconds()
+        )
+        store.setdefault("total_churn", []).append(
+            float(result.cache_churn.sum())
+        )
+        raw.setdefault(item.controller_name, []).append(result)
+
+    if failures:
+        for failure in failures:
+            logger.warning("repetition failed: %s", failure)
+        logger.warning(
+            "%d of %d runs failed and were excluded from the summaries",
+            len(failures),
+            len(work_results),
+        )
+    if not metric_values:
+        details = "\n".join(f.traceback for f in failures[:1])
+        raise RuntimeError(
+            f"all {len(work_results)} runs failed; first traceback:\n{details}"
+        )
 
     summaries = {
         name: {
@@ -168,7 +262,15 @@ def run_repetitions(
         for name, metrics in metric_values.items()
     }
     return RepetitionStudy(
-        horizon=horizon, repetitions=repetitions, summaries=summaries, raw=raw
+        horizon=horizon,
+        repetitions=repetitions,
+        summaries=summaries,
+        raw=raw,
+        n_jobs=runner.n_jobs,
+        wall_clock_seconds=wall_clock,
+        cpu_seconds=float(sum(r.cpu_seconds for r in work_results)),
+        completed_runs=completed,
+        failures=failures,
     )
 
 

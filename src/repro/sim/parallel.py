@@ -1,0 +1,347 @@
+"""Process-parallel repetition execution (the many-seed evaluation engine).
+
+Every figure in the paper is an average over 80 independently seeded
+topologies (§VI), and the serial loop in :mod:`repro.sim.multirun` was the
+single biggest wall-clock cost of regenerating them.  This module fans the
+``(repetition, controller)`` grid of a repetition study out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the results
+**bit-identical** to the serial path:
+
+* every repetition derives its own :class:`~repro.utils.seeding.RngRegistry`
+  via ``RngRegistry(seed).child(f"rep{r}")`` — the worker rebuilds the
+  repetition's world from that registry, and because all delay/demand
+  realisations are slot-keyed (functions of ``(seed, slot)`` only, never of
+  sampling order) a rebuilt world realises exactly the same trajectories as
+  the shared serial world;
+* each controller reads its own named stream from the registry, so running
+  controller ``j`` alone in a worker consumes exactly the state it would
+  have consumed in the serial loop.
+
+Failure semantics: a repetition that raises is captured as a
+:class:`RepetitionFailure` (message + traceback + work-item coordinates)
+and excluded from aggregation instead of killing the study; the caller
+logs the count.  Hard worker deaths (segfault, OOM-kill) still propagate
+as :class:`concurrent.futures.process.BrokenProcessPool` — those are
+infrastructure errors, not scenario errors.
+
+The scenario builder must be picklable (a module-level function, a
+``functools.partial`` of one, or an instance of a picklable callable
+class) because it is shipped to worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.controller import Controller
+from repro.mec.network import MECNetwork
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import SimulationResult
+from repro.utils.seeding import RngRegistry
+from repro.utils.validation import require_positive
+from repro.workload.demand import DemandModel
+
+__all__ = [
+    "ScenarioBuilder",
+    "WorkItem",
+    "WorkResult",
+    "RepetitionFailure",
+    "ParallelRunner",
+    "resolve_n_jobs",
+    "repetition_registry",
+]
+
+# A scenario builder returns the world for one repetition.
+ScenarioBuilder = Callable[
+    [RngRegistry], Tuple[MECNetwork, DemandModel, List[Controller]]
+]
+
+
+def repetition_registry(seed: int, repetition: int) -> RngRegistry:
+    """The canonical per-repetition registry: ``child(f"rep{r}")``.
+
+    Both the serial and the parallel paths derive repetition worlds through
+    this single helper, which is what makes their results bit-identical.
+    """
+    return RngRegistry(seed=seed).child(f"rep{repetition}")
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` or ``0`` means "all cores"; negative values count back from
+    the core count joblib-style (``-1`` == all cores, ``-2`` == all but
+    one); positive values are taken literally.
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One cell of the repetition × controller grid."""
+
+    repetition: int
+    controller_index: int
+
+
+@dataclass(frozen=True)
+class RepetitionFailure:
+    """A crashed work item: recorded, logged, excluded from summaries."""
+
+    repetition: int
+    controller_index: int
+    controller_name: Optional[str]  # None when build() itself crashed
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        who = self.controller_name or f"controller#{self.controller_index}"
+        return f"rep{self.repetition}/{who}: {self.error}"
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """Outcome of one work item, successful or not, with timing."""
+
+    repetition: int
+    controller_index: int
+    controller_name: Optional[str]
+    result: Optional[SimulationResult]
+    error: Optional[str]
+    error_traceback: Optional[str]
+    wall_seconds: float
+    cpu_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def failure(self) -> RepetitionFailure:
+        if self.ok:
+            raise ValueError("work item succeeded; no failure to report")
+        return RepetitionFailure(
+            repetition=self.repetition,
+            controller_index=self.controller_index,
+            controller_name=self.controller_name,
+            error=self.error,
+            traceback=self.error_traceback or "",
+        )
+
+
+def _execute_work_item(
+    build: ScenarioBuilder,
+    seed: int,
+    item: WorkItem,
+    horizon: int,
+    demands_known: bool,
+) -> WorkResult:
+    """Rebuild the repetition's world and run one controller over it.
+
+    Runs inside a worker process (but is equally valid in-process).  All
+    exceptions are converted to a failed :class:`WorkResult` so one bad
+    repetition cannot kill the study.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    name: Optional[str] = None
+    try:
+        rngs = repetition_registry(seed, item.repetition)
+        network, demand_model, controllers = build(rngs)
+        controller = controllers[item.controller_index]
+        name = controller.name
+        result = run_simulation(
+            network,
+            demand_model,
+            controller,
+            horizon=horizon,
+            demands_known=demands_known,
+        )
+        error = None
+        error_tb = None
+    except Exception as exc:  # noqa: BLE001 — graceful degradation by design
+        result = None
+        error = f"{type(exc).__name__}: {exc}"
+        error_tb = traceback.format_exc()
+    return WorkResult(
+        repetition=item.repetition,
+        controller_index=item.controller_index,
+        controller_name=name,
+        result=result,
+        error=error,
+        error_traceback=error_tb,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+    )
+
+
+class ParallelRunner:
+    """Fan a repetition study's work items over a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes.  ``1`` executes in-process (no pool, no pickling
+        requirement on the builder); ``None``/``0`` uses every core;
+        negative counts back from the core count.  See
+        :func:`resolve_n_jobs`.
+
+    The runner is stateless across :meth:`run` calls and safe to reuse.
+    """
+
+    def __init__(self, n_jobs: Optional[int] = 1):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        build: ScenarioBuilder,
+        seed: int,
+        repetitions: int,
+        horizon: int,
+        demands_known: bool = True,
+        n_controllers: Optional[int] = None,
+    ) -> List[WorkResult]:
+        """Execute the full repetition × controller grid.
+
+        Returns one :class:`WorkResult` per work item, sorted by
+        ``(repetition, controller_index)`` — the serial iteration order —
+        regardless of completion order.  ``n_controllers`` skips the probe
+        build when the caller already knows the controller count (building
+        a scenario can be expensive, e.g. GAN pretraining).
+        """
+        require_positive("repetitions", repetitions)
+        require_positive("horizon", horizon)
+        if self.n_jobs == 1:
+            return self._run_serial(
+                build, seed, repetitions, horizon, demands_known
+            )
+        if n_controllers is None:
+            n_controllers = self._probe_controller_count(build, seed)
+        require_positive("n_controllers", n_controllers)
+        items = [
+            WorkItem(repetition=r, controller_index=c)
+            for r in range(repetitions)
+            for c in range(n_controllers)
+        ]
+        results: List[WorkResult] = []
+        workers = min(self.n_jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_preferred_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _execute_work_item, build, seed, item, horizon, demands_known
+                )
+                for item in items
+            ]
+            for future in as_completed(futures):
+                results.append(future.result())
+        results.sort(key=lambda r: (r.repetition, r.controller_index))
+        return results
+
+    # ------------------------------------------------------------------ #
+
+    def _run_serial(
+        self,
+        build: ScenarioBuilder,
+        seed: int,
+        repetitions: int,
+        horizon: int,
+        demands_known: bool,
+    ) -> List[WorkResult]:
+        """In-process execution, one world build per repetition.
+
+        Produces the same :class:`WorkResult` stream as the pool path:
+        world realisations are slot-keyed and controller streams are
+        name-keyed, so sharing one build across a repetition's controllers
+        is observationally identical to rebuilding per controller.
+        """
+        results: List[WorkResult] = []
+        for repetition in range(repetitions):
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            try:
+                rngs = repetition_registry(seed, repetition)
+                network, demand_model, controllers = build(rngs)
+            except Exception as exc:  # noqa: BLE001
+                # The whole repetition is lost; report it as one failed
+                # item (the pool path reports one per controller, but the
+                # controller count is unknowable when build() crashes).
+                results.append(
+                    WorkResult(
+                        repetition=repetition,
+                        controller_index=0,
+                        controller_name=None,
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_traceback=traceback.format_exc(),
+                        wall_seconds=time.perf_counter() - wall_start,
+                        cpu_seconds=time.process_time() - cpu_start,
+                    )
+                )
+                continue
+            for index, controller in enumerate(controllers):
+                wall_start = time.perf_counter()
+                cpu_start = time.process_time()
+                try:
+                    result = run_simulation(
+                        network,
+                        demand_model,
+                        controller,
+                        horizon=horizon,
+                        demands_known=demands_known,
+                    )
+                    error = None
+                    error_tb = None
+                except Exception as exc:  # noqa: BLE001
+                    result = None
+                    error = f"{type(exc).__name__}: {exc}"
+                    error_tb = traceback.format_exc()
+                results.append(
+                    WorkResult(
+                        repetition=repetition,
+                        controller_index=index,
+                        controller_name=controller.name,
+                        result=result,
+                        error=error,
+                        error_traceback=error_tb,
+                        wall_seconds=time.perf_counter() - wall_start,
+                        cpu_seconds=time.process_time() - cpu_start,
+                    )
+                )
+        return results
+
+    @staticmethod
+    def _probe_controller_count(build: ScenarioBuilder, seed: int) -> int:
+        """Build repetition 0 once, in-parent, to size the work grid."""
+        rngs = repetition_registry(seed, 0)
+        _, _, controllers = build(rngs)
+        if not controllers:
+            raise ValueError("scenario builder returned no controllers")
+        return len(controllers)
+
+
+def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Fork where available: cheap start-up and inherited ``sys.path``.
+
+    On platforms without fork (Windows/macOS-spawn) the default context is
+    used; scenario builders then additionally need to live in importable
+    modules.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None

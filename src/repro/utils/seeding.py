@@ -31,6 +31,11 @@ def _stable_key_entropy(name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+# Domain-separation tag so a child registry's seed derivation can never
+# collide with the entropy tuple of a same-named stream from get().
+_CHILD_TAG = _stable_key_entropy("RngRegistry.child")
+
+
 class RngRegistry:
     """A registry of independent named random streams under one root seed.
 
@@ -76,8 +81,20 @@ class RngRegistry:
         return self.get(name)
 
     def child(self, name: str) -> "RngRegistry":
-        """Derive a sub-registry, e.g. one per repetition of an experiment."""
-        return RngRegistry(seed=(self._seed ^ _stable_key_entropy(name)) & (2**63 - 1))
+        """Derive a sub-registry, e.g. one per repetition of an experiment.
+
+        The child seed is drawn from a ``SeedSequence`` keyed on
+        ``(seed, tag, name)``.  The previous XOR composition
+        (``seed ^ hash(name)``) was commutative — ``child("a").child("b")``
+        equalled ``child("b").child("a")`` — and collided whenever two
+        ``(seed, name)`` pairs XORed to the same value, silently
+        correlating "independent" repetitions.  SeedSequence hashing is
+        neither commutative nor (practically) collision-prone.
+        """
+        seq = np.random.SeedSequence(
+            entropy=(self._seed, _CHILD_TAG, _stable_key_entropy(name))
+        )
+        return RngRegistry(seed=int(seq.generate_state(1, dtype=np.uint64)[0]))
 
     def names(self) -> List[str]:
         """Names of all streams created so far (for debugging/tests)."""

@@ -16,6 +16,7 @@ __all__ = [
     "require_positive",
     "require_non_negative",
     "require_probability",
+    "require_open_probability",
     "require_in_range",
 ]
 
@@ -48,6 +49,20 @@ def require_probability(name: str, value: Number) -> Number:
     _require_finite(name, value)
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def require_open_probability(name: str, value: Number) -> Number:
+    """Return ``value`` if within the *open* interval (0, 1).
+
+    Confidence levels must exclude the endpoints: ``t.ppf(1.0)`` is
+    infinite, so ``confidence=1.0`` would produce infinite CIs.
+    """
+    _require_finite(name, value)
+    if not 0.0 < value < 1.0:
+        raise ValueError(
+            f"{name} must be strictly between 0 and 1, got {value!r}"
+        )
     return value
 
 

@@ -95,6 +95,34 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_parser_accepts_jobs_flag(self):
+        args = build_parser().parse_args(["figure", "fig3", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["report", "--jobs", "0"])
+        assert args.jobs == 0
+        # Default: no override, the profile's n_jobs is used as-is.
+        assert build_parser().parse_args(["figure", "fig3"]).jobs is None
+
+    @pytest.mark.slow
+    def test_figure_command_with_jobs(self, tmp_path, capsys, monkeypatch):
+        """--jobs flows into the profile and the figure still renders."""
+        import repro.cli as cli
+        from repro.experiments import QUICK_PROFILE
+
+        tiny = dataclasses.replace(
+            QUICK_PROFILE,
+            horizon=4,
+            n_requests=8,
+            n_services=2,
+            n_hotspots=2,
+            base_stations=10,
+            repetitions=2,
+        )
+        monkeypatch.setitem(cli._PROFILES, "quick", tiny)
+        assert main(["figure", "fig3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+
     @pytest.mark.slow
     def test_figure_command_with_export(self, tmp_path, capsys, monkeypatch):
         # Shrink the quick profile so the CLI path runs in seconds.

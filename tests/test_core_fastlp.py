@@ -129,6 +129,51 @@ class TestPerSlotLpSolver:
         with pytest.raises(RuntimeError, match="per-slot LP failed"):
             solver.solve(huge, network.delays.true_means)
 
+    def test_tracks_capacity_changes_between_solves(self):
+        """Regression: b_ub snapshotted capacities at construction, so a
+        mid-horizon station failure left the cached LP solving against the
+        pre-outage network."""
+        network, requests, demands = make_instance(9, 6, 8)
+        theta = network.delays.true_means
+        solver = PerSlotLpSolver(network, requests)
+        x_before = solver.solve(demands, theta)
+        loads_before = (x_before * demands[:, None]).sum(axis=0) * network.c_unit_mhz
+
+        # Flip the most-loaded station down to near-zero capacity.
+        victim = int(np.argmax(loads_before))
+        assert loads_before[victim] > 0
+        original = network.stations[victim].capacity_mhz
+        try:
+            network.stations[victim].capacity_mhz = 1e-6
+            x_after = solver.solve(demands, theta)
+            loads_after = (x_after * demands[:, None]).sum(axis=0) * network.c_unit_mhz
+            # The LP must respect the reduced capacity: (near) nothing on
+            # the dead station, and all capacities still honoured.
+            assert loads_after[victim] <= 1e-6 + 1e-9
+            assert np.all(loads_after <= network.capacities_mhz + 1e-6)
+        finally:
+            network.stations[victim].capacity_mhz = original
+
+        # With the capacity restored the original solution comes back.
+        x_restored = solver.solve(demands, theta)
+        np.testing.assert_allclose(x_restored, x_before, atol=1e-9)
+
+    def test_capacity_recovery_tracked(self):
+        """A degraded-then-restored station regains LP assignment mass."""
+        network, requests, demands = make_instance(10, 5, 6)
+        theta = network.delays.true_means
+        solver = PerSlotLpSolver(network, requests)
+        x_healthy = solver.solve(demands, theta)
+        original = [bs.capacity_mhz for bs in network.stations]
+        try:
+            for bs in network.stations[1:]:
+                bs.capacity_mhz *= 0.5
+            solver.solve(demands, theta)  # degraded solve must not poison state
+        finally:
+            for bs, cap in zip(network.stations, original):
+                bs.capacity_mhz = cap
+        np.testing.assert_allclose(solver.solve(demands, theta), x_healthy, atol=1e-9)
+
     def test_ol_gd_uses_cached_solver(self):
         from repro.core import OlGdController
 

@@ -63,6 +63,31 @@ class TestProfiles:
             dataclasses.replace(QUICK_PROFILE, drift_ms=-1.0)
         with pytest.raises(ValueError):
             dataclasses.replace(QUICK_PROFILE, sweep_sizes=())
+        with pytest.raises(TypeError):
+            dataclasses.replace(QUICK_PROFILE, n_jobs=1.5)
+
+    def test_profile_n_jobs_variants_accepted(self):
+        # 0 = all cores, negative = joblib-style count-back.
+        for n_jobs in (0, 1, 4, -1):
+            assert dataclasses.replace(QUICK_PROFILE, n_jobs=n_jobs).n_jobs == n_jobs
+
+
+class TestStudyConfidence:
+    """Repetition summaries must reject the closed confidence endpoints:
+    t.ppf(1.0) is infinite, which silently produced infinite CIs."""
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0])
+    def test_summarise_rejects_closed_endpoints(self, confidence):
+        from repro.sim.multirun import _summarise
+
+        with pytest.raises(ValueError, match="strictly between"):
+            _summarise("mean_delay_ms", [1.0, 2.0, 3.0], confidence)
+
+    def test_interior_confidence_is_finite(self):
+        from repro.sim.multirun import _summarise
+
+        summary = _summarise("mean_delay_ms", [1.0, 2.0, 3.0], 0.95)
+        assert np.isfinite(summary.ci_low) and np.isfinite(summary.ci_high)
 
 
 class TestBuildSetting:
@@ -168,6 +193,16 @@ class TestFigureGenerators:
         np.testing.assert_array_equal(
             a.series("delay_ms", "OL_GD"), b.series("delay_ms", "OL_GD")
         )
+
+    def test_figures_identical_across_worker_counts(self):
+        """profile.n_jobs changes only the wall clock, never the figure."""
+        serial = figure3(TINY)
+        parallel = figure3(dataclasses.replace(TINY, n_jobs=2))
+        for algorithm in serial.panels["delay_ms"]:
+            np.testing.assert_array_equal(
+                serial.series("delay_ms", algorithm),
+                parallel.series("delay_ms", algorithm),
+            )
 
 
 class TestTables:

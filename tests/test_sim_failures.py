@@ -124,6 +124,41 @@ class TestRunWithFailures:
             )
         assert [bs.capacity_mhz for bs in network.stations] == before
 
+    def test_cached_lp_respects_outage_capacity(self, world):
+        """Regression: OL_GD's lazily cached PerSlotLpSolver snapshotted
+        capacities at construction, so mid-horizon outages were invisible
+        to the LP.  The fractional solution must respect the degraded
+        capacity inside the outage window."""
+        rngs, network, requests = world
+        model = ConstantDemandModel(requests)
+        outage_slot = 3
+
+        def station_loads(schedule):
+            controller = OlGdController(
+                network, requests, rngs.fresh("lp-ctrl")
+            )
+            run_with_failures(
+                network, model, controller, horizon=outage_slot + 1, failures=schedule
+            )
+            # last_fractional is the LP solution of the final (outage) slot.
+            demands = model.demand_at(outage_slot)
+            x = controller.last_fractional
+            return (x * demands[:, None]).sum(axis=0) * network.c_unit_mhz
+
+        # Fail the station the healthy run loads most, so the assertion
+        # is non-vacuous: the LP demonstrably wants that station.
+        healthy = station_loads(FailureSchedule())
+        victim = int(np.argmax(healthy))
+        assert healthy[victim] > 1.0
+
+        schedule = FailureSchedule().add_outage(
+            victim, start=outage_slot, duration=1, remaining_fraction=0.0
+        )
+        degraded = station_loads(schedule)
+        # The victim is down to zero capacity; the cached LP must place
+        # (essentially) nothing there and reroute the displaced load.
+        assert degraded[victim] <= 1e-6 + 1e-9
+
     def test_no_failures_matches_plain_engine(self, world):
         from repro.sim import run_simulation
 

@@ -52,6 +52,13 @@ class TestSummarise:
         wide = _summarise("m", values, 0.99)
         assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
 
+    @pytest.mark.parametrize("confidence", [0.0, 1.0])
+    def test_rejects_closed_endpoints(self, confidence):
+        """Regression: confidence=1.0 passed require_probability and then
+        t.ppf(1.0) = inf produced infinite CIs."""
+        with pytest.raises(ValueError, match="strictly between"):
+            _summarise("m", [1.0, 2.0, 3.0], confidence)
+
 
 class TestRunRepetitions:
     def test_study_structure(self):
@@ -80,6 +87,15 @@ class TestRunRepetitions:
             run_repetitions(scenario, seed=1, repetitions=0, horizon=5)
         with pytest.raises(ValueError):
             run_repetitions(scenario, seed=1, repetitions=1, horizon=5, skip_warmup=9)
+        with pytest.raises(ValueError, match="strictly between"):
+            run_repetitions(scenario, seed=1, repetitions=1, horizon=5, confidence=1.0)
+
+    def test_execution_accounting_present(self):
+        study = run_repetitions(scenario, seed=41, repetitions=2, horizon=6)
+        assert study.n_jobs == 1
+        assert study.completed_runs == 4  # 2 reps x 2 controllers
+        assert study.failures == []
+        assert study.wall_clock_seconds > 0
 
     def test_reproducible(self):
         a = run_repetitions(scenario, seed=43, repetitions=1, horizon=8)

@@ -1,0 +1,254 @@
+"""Tests for the process-parallel repetition engine (repro.sim.parallel)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyController, OlGdController, PriorityController
+from repro.mec import DriftingDelay, MECNetwork
+from repro.mec.requests import Request
+from repro.sim import ParallelRunner, resolve_n_jobs, run_repetitions
+from repro.sim.parallel import WorkItem, _execute_work_item, repetition_registry
+from repro.utils.seeding import RngRegistry
+from repro.workload import ConstantDemandModel
+
+# Metrics that are functions of the seed alone.  mean_decision_s is a
+# wall-clock measurement and differs between *any* two runs, serial or not.
+DETERMINISTIC_METRICS = ("mean_delay_ms", "total_churn")
+
+
+def _world(rngs: RngRegistry, n_requests: int = 8):
+    network = MECNetwork.synthetic(12, 2, rngs)
+    network.delays = DriftingDelay(
+        network.stations, rngs.get("drift"), drift_ms=1.0
+    )
+    rng = rngs.get("requests")
+    requests = [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+        )
+        for i in range(n_requests)
+    ]
+    mean_demand = float(np.mean([r.basic_demand_mb for r in requests]))
+    network.c_unit_mhz = float(network.capacities_mhz.min() / (2.0 * mean_demand))
+    return network, requests
+
+
+def scenario(rngs: RngRegistry):
+    """Two-controller scenario; module-level so it pickles to workers."""
+    network, requests = _world(rngs)
+    controllers = [
+        OlGdController(network, requests, rngs.get("ol")),
+        GreedyController(network, requests, rngs.get("gr")),
+    ]
+    return network, ConstantDemandModel(requests), controllers
+
+
+class CrashingController(GreedyController):
+    """Deliberately explodes mid-run (failure-reporting tests)."""
+
+    def decide(self, slot, demands):
+        if slot == 1:
+            raise RuntimeError("injected crash")
+        return super().decide(slot, demands)
+
+
+CRASH_STUDY_SEED = 71
+CRASH_REPETITION = 2
+
+
+def crashing_scenario(rngs: RngRegistry):
+    """One repetition's Greedy controller crashes; everything else runs."""
+    network, requests = _world(rngs, n_requests=5)
+    greedy_cls = GreedyController
+    if rngs.seed == repetition_registry(CRASH_STUDY_SEED, CRASH_REPETITION).seed:
+        greedy_cls = CrashingController
+    controllers = [
+        greedy_cls(network, requests, rngs.get("gr")),
+        PriorityController(network, requests, rngs.get("pri")),
+    ]
+    return network, ConstantDemandModel(requests), controllers
+
+
+def always_crashing_scenario(rngs: RngRegistry):
+    raise ValueError("nothing to build")
+
+
+class TestResolveNJobs:
+    def test_literal_positive(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        cores = os.cpu_count() or 1
+        assert resolve_n_jobs(None) == cores
+        assert resolve_n_jobs(0) == cores
+
+    def test_negative_counts_back_from_cores(self):
+        cores = os.cpu_count() or 1
+        assert resolve_n_jobs(-1) == cores
+        assert resolve_n_jobs(-cores) == max(1, 1)
+        assert resolve_n_jobs(-10 * cores) == 1  # floored at one worker
+
+
+class TestBitIdentity:
+    """Serial and parallel paths must agree bit-for-bit on seed-determined
+    metrics — the engine's core guarantee (2 controllers × 4 repetitions)."""
+
+    def test_parallel_matches_serial_summaries(self):
+        serial = run_repetitions(scenario, seed=101, repetitions=4, horizon=6)
+        parallel = run_repetitions(
+            scenario, seed=101, repetitions=4, horizon=6, n_jobs=2
+        )
+        assert set(serial.summaries) == set(parallel.summaries) == {
+            "OL_GD",
+            "Greedy_GD",
+        }
+        for controller in serial.summaries:
+            for metric in DETERMINISTIC_METRICS:
+                assert (
+                    serial.summary(controller, metric).values
+                    == parallel.summary(controller, metric).values
+                ), (controller, metric)
+
+    def test_parallel_matches_serial_raw_series(self):
+        serial = run_repetitions(scenario, seed=103, repetitions=2, horizon=5)
+        parallel = run_repetitions(
+            scenario, seed=103, repetitions=2, horizon=5, n_jobs=2
+        )
+        for controller in serial.raw:
+            for rep_serial, rep_parallel in zip(
+                serial.raw[controller], parallel.raw[controller]
+            ):
+                np.testing.assert_array_equal(
+                    rep_serial.delays_ms, rep_parallel.delays_ms
+                )
+                np.testing.assert_array_equal(
+                    rep_serial.cache_churn, rep_parallel.cache_churn
+                )
+
+    def test_worker_count_does_not_change_results(self):
+        two = run_repetitions(scenario, seed=107, repetitions=3, horizon=4, n_jobs=2)
+        three = run_repetitions(scenario, seed=107, repetitions=3, horizon=4, n_jobs=3)
+        for controller in two.summaries:
+            for metric in DETERMINISTIC_METRICS:
+                assert (
+                    two.summary(controller, metric).values
+                    == three.summary(controller, metric).values
+                )
+
+
+class TestFailureReporting:
+    """A crashed repetition is recorded and excluded, never fatal."""
+
+    def test_serial_crash_reported_not_fatal(self):
+        study = run_repetitions(
+            crashing_scenario, seed=CRASH_STUDY_SEED, repetitions=4, horizon=4
+        )
+        assert study.n_failed == 1
+        failure = study.failures[0]
+        assert failure.repetition == CRASH_REPETITION
+        assert "injected crash" in failure.error
+        assert "RuntimeError" in failure.traceback
+        # The crashed run is excluded; the partner controller keeps all 4.
+        assert study.summary("Greedy_GD", "mean_delay_ms").n == 3
+        assert study.summary("Pri_GD", "mean_delay_ms").n == 4
+        assert study.completed_runs == 7
+
+    def test_parallel_crash_reported_not_fatal(self):
+        study = run_repetitions(
+            crashing_scenario,
+            seed=CRASH_STUDY_SEED,
+            repetitions=4,
+            horizon=4,
+            n_jobs=2,
+        )
+        assert study.n_failed == 1
+        assert study.failures[0].repetition == CRASH_REPETITION
+        assert "injected crash" in study.failures[0].error
+        assert study.summary("Greedy_GD", "mean_delay_ms").n == 3
+        assert study.summary("Pri_GD", "mean_delay_ms").n == 4
+
+    def test_all_failures_raise(self):
+        with pytest.raises(RuntimeError, match="all .* runs failed"):
+            run_repetitions(
+                always_crashing_scenario, seed=1, repetitions=2, horizon=3
+            )
+
+    def test_str_names_the_work_item(self):
+        study = run_repetitions(
+            crashing_scenario, seed=CRASH_STUDY_SEED, repetitions=4, horizon=4
+        )
+        text = str(study.failures[0])
+        assert f"rep{CRASH_REPETITION}" in text
+
+
+class TestTimingAccounting:
+    def test_study_records_execution_accounting(self):
+        study = run_repetitions(
+            scenario, seed=109, repetitions=2, horizon=4, n_jobs=2
+        )
+        assert study.n_jobs == 2
+        assert study.wall_clock_seconds > 0
+        assert study.cpu_seconds > 0
+        assert study.completed_runs == 4  # 2 reps x 2 controllers
+        assert study.runs_per_second > 0
+        assert 0 < study.parallel_efficiency
+        table = study.timing_table()
+        assert "workers" in table and "runs / second" in table
+
+    def test_serial_accounting_defaults(self):
+        study = run_repetitions(scenario, seed=109, repetitions=2, horizon=4)
+        assert study.n_jobs == 1
+        assert study.completed_runs == 4
+        assert study.n_failed == 0
+
+
+class TestParallelRunner:
+    def test_results_sorted_by_grid_position(self):
+        runner = ParallelRunner(n_jobs=2)
+        work = runner.run(scenario, seed=113, repetitions=3, horizon=3)
+        coords = [(w.repetition, w.controller_index) for w in work]
+        assert coords == [(r, c) for r in range(3) for c in range(2)]
+
+    def test_probe_counts_controllers(self):
+        assert ParallelRunner._probe_controller_count(scenario, seed=113) == 2
+
+    def test_execute_work_item_in_process(self):
+        result = _execute_work_item(
+            scenario,
+            seed=113,
+            item=WorkItem(repetition=0, controller_index=1),
+            horizon=3,
+            demands_known=True,
+        )
+        assert result.ok
+        assert result.controller_name == "Greedy_GD"
+        assert result.result.horizon == 3
+        assert result.wall_seconds > 0
+
+    def test_failed_item_failure_conversion(self):
+        result = _execute_work_item(
+            always_crashing_scenario,
+            seed=1,
+            item=WorkItem(repetition=0, controller_index=0),
+            horizon=3,
+            demands_known=True,
+        )
+        assert not result.ok
+        failure = result.failure()
+        assert "nothing to build" in failure.error
+
+    def test_ok_item_has_no_failure(self):
+        result = _execute_work_item(
+            scenario,
+            seed=113,
+            item=WorkItem(repetition=0, controller_index=0),
+            horizon=3,
+            demands_known=True,
+        )
+        with pytest.raises(ValueError):
+            result.failure()

@@ -8,6 +8,7 @@ from hypothesis import given, strategies as st
 from repro.utils.validation import (
     require_in_range,
     require_non_negative,
+    require_open_probability,
     require_positive,
     require_probability,
 )
@@ -64,6 +65,21 @@ class TestRequireProbability:
     def test_rejects_out_of_range(self, p):
         with pytest.raises(ValueError):
             require_probability("p", p)
+
+
+class TestRequireOpenProbability:
+    @pytest.mark.parametrize("p", [0.001, 0.5, 0.999])
+    def test_accepts_interior(self, p):
+        assert require_open_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.01, 1.01])
+    def test_rejects_endpoints_and_outside(self, p):
+        with pytest.raises(ValueError, match="strictly between"):
+            require_open_probability("p", p)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            require_open_probability("p", math.nan)
 
 
 class TestRequireInRange:
