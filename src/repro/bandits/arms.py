@@ -9,7 +9,7 @@ early exploration visit every station at least once.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +85,9 @@ class ArmStats:
         return means
 
     def variance(self, arm: int) -> float:
-        """Empirical (population) variance of one arm; 0 with < 2 plays."""
+        """Empirical *population* variance (ddof=0) of one arm; 0 with < 2
+        plays.  :class:`repro.bandits.WindowedArmStats` follows the same
+        convention over its window."""
         if not 0 <= arm < self._n_arms:
             raise IndexError(f"arm {arm} out of range [0, {self._n_arms})")
         count = self._counts[arm]

@@ -8,17 +8,22 @@ discounting).  :class:`WindowedArmStats` is a drop-in replacement for
 :class:`repro.bandits.ArmStats` keeping only the last ``window``
 observations per arm — evaluated against the cumulative estimator in
 ``benchmarks/bench_ablation_window.py``.
+
+``means`` sits on `OL_GD`'s per-slot LP path (it feeds the Eq. 8
+objective every solve), so the window statistics are maintained as
+running sums updated on :meth:`observe` — reading a mean or variance is
+O(1) per arm instead of an `np.mean` pass over a deque.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, List
 
 import numpy as np
 
 from repro.bandits.arms import ArmStats
-from repro.utils.validation import require_non_negative, require_positive
+from repro.utils.validation import require_positive
 
 __all__ = ["WindowedArmStats"]
 
@@ -28,6 +33,10 @@ class WindowedArmStats(ArmStats):
 
     Play counts `m_i` still count *all* plays (they parameterise
     confidence radii); only the mean/variance estimates forget.
+
+    Like :meth:`ArmStats.variance`, :meth:`variance` is the *population*
+    variance (``ddof=0``, what ``np.var`` computes by default) over the
+    retained observations — the two estimators stay drop-in compatible.
     """
 
     def __init__(self, n_arms: int, window: int = 20, prior_mean: float = 0.0):
@@ -37,6 +46,14 @@ class WindowedArmStats(ArmStats):
         self._recent: List[Deque[float]] = [
             deque(maxlen=self._window) for _ in range(self.n_arms)
         ]
+        # Running window aggregates, updated on observe(): subtract the
+        # evicted observation, add the new one.  Centred moments are
+        # recomputed from these in O(1); the deques remain the source of
+        # truth (and bound the drift any float cancellation could cause
+        # to one window's worth of additions).
+        self._win_counts = np.zeros(self.n_arms, dtype=int)
+        self._win_sums = np.zeros(self.n_arms)
+        self._win_sq_sums = np.zeros(self.n_arms)
 
     @property
     def window(self) -> int:
@@ -45,33 +62,48 @@ class WindowedArmStats(ArmStats):
 
     def observe(self, arm: int, value: float) -> None:
         super().observe(arm, value)
-        self._recent[arm].append(float(value))
+        value = float(value)
+        recent = self._recent[arm]
+        if len(recent) == self._window:
+            evicted = recent[0]
+            self._win_sums[arm] -= evicted
+            self._win_sq_sums[arm] -= evicted * evicted
+        else:
+            self._win_counts[arm] += 1
+        recent.append(value)
+        self._win_sums[arm] += value
+        self._win_sq_sums[arm] += value * value
 
     def mean(self, arm: int) -> float:
         if not 0 <= arm < self.n_arms:
             raise IndexError(f"arm {arm} out of range [0, {self.n_arms})")
-        recent = self._recent[arm]
-        if not recent:
+        count = self._win_counts[arm]
+        if count == 0:
             return self._prior_mean
-        return float(np.mean(recent))
+        return float(self._win_sums[arm] / count)
 
     @property
     def means(self) -> np.ndarray:
+        played = self._win_counts > 0
         values = np.full(self.n_arms, self._prior_mean)
-        for arm, recent in enumerate(self._recent):
-            if recent:
-                values[arm] = float(np.mean(recent))
+        values[played] = self._win_sums[played] / self._win_counts[played]
         return values
 
     def variance(self, arm: int) -> float:
         if not 0 <= arm < self.n_arms:
             raise IndexError(f"arm {arm} out of range [0, {self.n_arms})")
-        recent = self._recent[arm]
-        if len(recent) < 2:
+        count = self._win_counts[arm]
+        if count < 2:
             return 0.0
-        return float(np.var(recent))
+        mean = self._win_sums[arm] / count
+        # Population variance (ddof=0), clipped against float cancellation
+        # — same convention and guard as ArmStats.variance.
+        return float(max(self._win_sq_sums[arm] / count - mean * mean, 0.0))
 
     def reset(self) -> None:
         super().reset()
         for recent in self._recent:
             recent.clear()
+        self._win_counts.fill(0)
+        self._win_sums.fill(0.0)
+        self._win_sq_sums.fill(0.0)

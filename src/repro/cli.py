@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.experiments import (
     FULL_PROFILE,
     QUICK_PROFILE,
@@ -83,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: profile setting; 0 = all cores; results are "
              "bit-identical for any worker count)",
     )
+    _add_telemetry_arguments(figure_parser)
 
     report_parser = sub.add_parser(
         "report", help="run every figure and write the claims scorecard"
@@ -103,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the repetition fan-out "
              "(default: profile setting; 0 = all cores)",
     )
+    _add_telemetry_arguments(report_parser)
 
     trace_parser = sub.add_parser("trace", help="synthesise a Wi-Fi trace")
     trace_parser.add_argument("--hotspots", type=int, default=20)
@@ -111,6 +115,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--horizon", type=int, default=100)
     trace_parser.add_argument("--out", type=Path, required=True)
     return parser
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="write merged repro.obs telemetry (counters + stage timing "
+             "histograms) as JSON; works for serial and --jobs runs "
+             "(workers report snapshots that are merged here)",
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="write a JSONL span trace (schema: repro.obs.trace); spans "
+             "are emitted by in-process execution, so use --jobs 1 for a "
+             "complete trace",
+    )
+
+
+def _run_with_telemetry(args: argparse.Namespace, fn: Callable[[], int]) -> int:
+    """Run ``fn`` under a CLI-installed telemetry registry when asked.
+
+    Without ``--metrics-out``/``--trace`` this is a plain call — telemetry
+    stays disabled and the hot paths keep their no-op spans.
+    """
+    metrics_out: Optional[Path] = getattr(args, "metrics_out", None)
+    trace_path: Optional[Path] = getattr(args, "trace", None)
+    if metrics_out is None and trace_path is None:
+        return fn()
+    writer = obs.TraceWriter(trace_path) if trace_path is not None else None
+    registry = obs.MetricsRegistry(trace=writer)
+    try:
+        with obs.activate(registry):
+            status = fn()
+    finally:
+        if writer is not None:
+            writer.close()
+    print("\ntelemetry:")
+    print(registry.table())
+    if metrics_out is not None:
+        metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        metrics_out.write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote metrics -> {metrics_out}")
+    if writer is not None:
+        print(f"wrote {writer.n_events} trace events -> {trace_path}")
+    return status
 
 
 def _cmd_list() -> int:
@@ -186,9 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "figure":
-        return _cmd_figure(args)
+        return _run_with_telemetry(args, lambda: _cmd_figure(args))
     if args.command == "report":
-        return _cmd_report(args)
+        return _run_with_telemetry(args, lambda: _cmd_report(args))
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,6 +21,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from repro import obs
 from repro.mec.network import MECNetwork
 from repro.mec.requests import Request
 
@@ -132,30 +133,35 @@ class PerSlotLpSolver:
         if np.any(demands_mb < 0):
             raise ValueError("demands must be non-negative")
 
-        # Patch the objective: c[x(l, i)] = rho_l * theta_i / R.
-        self._c[: R * S] = (np.outer(demands_mb, theta_ms) / R).reshape(-1)
-        # Patch the capacity coefficients: rho_l * C_unit.
-        needs = demands_mb * self._network.c_unit_mhz
-        data = self._a_ub.data
-        for i in range(S):
-            data[self._capacity_data_index[i]] = needs
-        # Re-patch the capacity RHS from the live stations: the snapshot
-        # taken at construction goes stale when capacities change
-        # mid-horizon (failure injection degrades/restores stations).
-        self._b_ub[:S] = self._network.capacities_mhz
+        with obs.span("lp.patch"):
+            # Patch the objective: c[x(l, i)] = rho_l * theta_i / R.
+            self._c[: R * S] = (np.outer(demands_mb, theta_ms) / R).reshape(-1)
+            # Patch the capacity coefficients: rho_l * C_unit.
+            needs = demands_mb * self._network.c_unit_mhz
+            data = self._a_ub.data
+            for i in range(S):
+                data[self._capacity_data_index[i]] = needs
+            # Re-patch the capacity RHS from the live stations: the snapshot
+            # taken at construction goes stale when capacities change
+            # mid-horizon (failure injection degrades/restores stations).
+            self._b_ub[:S] = self._network.capacities_mhz
 
-        result = linprog(
-            self._c,
-            A_ub=self._a_ub,
-            b_ub=self._b_ub,
-            A_eq=self._a_eq,
-            b_eq=self._b_eq,
-            bounds=self._bounds,
-            method="highs",
-        )
+        with obs.span("lp.solve"):
+            result = linprog(
+                self._c,
+                A_ub=self._a_ub,
+                b_ub=self._b_ub,
+                A_eq=self._a_eq,
+                b_eq=self._b_eq,
+                bounds=self._bounds,
+                method="highs",
+            )
         if result.status != 0:
             raise RuntimeError(
                 f"per-slot LP failed (status {result.status}): {result.message}"
             )
+        # HiGHS reports its simplex/IPM iteration count; fold it into the
+        # registry so the stage-level cost has an algorithmic denominator.
+        obs.inc("lp.iterations", int(getattr(result, "nit", 0)))
         x = np.clip(np.asarray(result.x[: R * S]), 0.0, 1.0)
         return x.reshape(R, S)

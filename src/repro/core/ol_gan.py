@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.assignment import Assignment
 from repro.core.controller import Controller
 from repro.core.ol_gd import ExplorationConfig, OlGdController
@@ -87,10 +88,11 @@ class OlGanController(Controller):
                 "OL_GAN is the unknown-demands algorithm; the engine must "
                 "pass demands=None and let the generator predict"
             )
-        if self.predictor.n_observed == 0:
-            predicted = self._basic.copy()
-        else:
-            predicted = np.maximum(self.predictor.predict_next(), self._basic)
+        with obs.span("gan.predict"):
+            if self.predictor.n_observed == 0:
+                predicted = self._basic.copy()
+            else:
+                predicted = np.maximum(self.predictor.predict_next(), self._basic)
         self._last_prediction = predicted
         return self.inner.decide(slot, predicted)
 
@@ -102,4 +104,7 @@ class OlGanController(Controller):
         assignment: Assignment,
     ) -> None:
         self.inner.observe(slot, demands, unit_delays, assignment)
-        self.predictor.observe(np.asarray(demands, dtype=float))
+        # Algorithm 2 lines 14-15: the per-slot GAN refinement — usually
+        # the dominant observe-side cost, hence its own span.
+        with obs.span("gan.refine"):
+            self.predictor.observe(np.asarray(demands, dtype=float))

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bandits.arms import ArmStats
 from repro.core.assignment import Assignment
 from repro.core.candidates import (
@@ -187,18 +188,21 @@ class OlGdController(Controller):
         demands = np.asarray(demands, dtype=float)
         x_fractional = self._solve_fractional(demands)
         self.last_fractional = x_fractional
-        candidates = build_candidate_sets(x_fractional, self.gamma)
-        stations = sample_assignment(
-            x_fractional, candidates, self._rng, self._explore_mask(slot)
-        )
-        if self._repair:
-            stations = repair_capacity(
-                stations,
-                x_fractional,
-                demands,
-                self.network.capacities_mhz,
-                self.network.c_unit_mhz,
+        with obs.span("olgd.candidates"):
+            candidates = build_candidate_sets(x_fractional, self.gamma)
+        with obs.span("olgd.sample"):
+            stations = sample_assignment(
+                x_fractional, candidates, self._rng, self._explore_mask(slot)
             )
+        if self._repair:
+            with obs.span("olgd.repair"):
+                stations = repair_capacity(
+                    stations,
+                    x_fractional,
+                    demands,
+                    self.network.capacities_mhz,
+                    self.network.c_unit_mhz,
+                )
         return Assignment.from_stations(stations, self.requests)
 
     def observe(
@@ -209,5 +213,7 @@ class OlGdController(Controller):
         assignment: Assignment,
     ) -> None:
         """Line 11: update `theta_i` for every played arm."""
-        played, observed = self.observed_delays(unit_delays, assignment)
-        self.arms.observe_many(played.tolist(), observed.tolist())
+        with obs.span("olgd.arm_update"):
+            played, observed = self.observed_delays(unit_delays, assignment)
+            self.arms.observe_many(played.tolist(), observed.tolist())
+        obs.inc("olgd.arms_played", len(played))

@@ -287,6 +287,7 @@ def _average_runs(
                         n_cached_instances=base.records[t].n_cached_instances,
                         max_load_fraction=base.records[t].max_load_fraction,
                         prediction_mae_mb=None if np.isnan(maes[t]) else float(maes[t]),
+                        initial_instantiations=base.records[t].initial_instantiations,
                     )
                 )
             averaged[name] = combined

@@ -1,0 +1,132 @@
+"""JSONL trace output: one event per line, schema below.
+
+A trace is an append-only file of JSON objects, one per line, written by
+:class:`TraceWriter` and read back with :func:`read_trace`.  Every event
+carries:
+
+``type``
+    Event kind.  ``"span"`` (a completed scoped timer), ``"counter"`` (an
+    explicit counter emission) or ``"event"`` (free-form marker).
+``name``
+    The dotted instrumentation-site name (``"sim.decide"``,
+    ``"lp.solve"``, ...) — same namespace as the metric keys.
+
+Type-specific fields:
+
+``seconds`` (span)
+    Duration of the span, seconds (``time.perf_counter`` delta — the
+    only wall-clock-derived quantity; no absolute timestamps are ever
+    written, so traces of identical runs differ only in durations).
+``value`` (counter / event)
+    The emitted numeric value.
+
+Any remaining keys are *context labels* attached by
+:meth:`repro.obs.MetricsRegistry.set_context` — the simulation loop sets
+``slot`` and ``controller``, so a trace line looks like::
+
+    {"type": "span", "name": "lp.solve", "seconds": 0.0021,
+     "slot": 17, "controller": "OL_GD"}
+
+Reserved keys (``type``, ``name``, ``seconds``, ``value``) must not be
+used as context labels; :func:`validate_event` enforces the schema and is
+what the round-trip tests run against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+__all__ = ["TraceWriter", "read_trace", "validate_event", "EVENT_TYPES"]
+
+#: The closed set of event kinds a trace may contain.
+EVENT_TYPES = ("span", "counter", "event")
+
+_RESERVED = {"type", "name"}
+_TYPE_FIELDS = {"span": "seconds", "counter": "value", "event": None}
+
+
+def validate_event(event: dict) -> dict:
+    """Check one decoded trace line against the schema; returns it.
+
+    Raises ``ValueError`` naming the offending field otherwise.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"trace event must be an object, got {type(event).__name__}")
+    kind = event.get("type")
+    if kind not in EVENT_TYPES:
+        raise ValueError(f"unknown trace event type {kind!r}; expected {EVENT_TYPES}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"trace event needs a non-empty string 'name', got {name!r}")
+    required = _TYPE_FIELDS[kind]
+    if required is not None:
+        value = event.get(required)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"{kind} event needs a numeric {required!r}, got {value!r}"
+            )
+    return event
+
+
+class TraceWriter:
+    """Append-only JSONL writer; safe to attach to a MetricsRegistry.
+
+    The file is opened lazily on the first event (so constructing a
+    writer for a path nobody traces into creates no file) and flushed per
+    event — a crashed run keeps every completed line.  Use as a context
+    manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self._n_events = 0
+
+    @property
+    def n_events(self) -> int:
+        """Events written so far."""
+        return self._n_events
+
+    def emit(self, event: dict) -> None:
+        """Validate and append one event as a JSON line."""
+        validate_event(event)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._n_events += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Read a JSONL trace back, validating every event against the schema."""
+    events: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from error
+            try:
+                events.append(validate_event(event))
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: {error}") from error
+    return events

@@ -11,6 +11,13 @@ One slot of :func:`run_simulation`:
 4. optionally, the clairvoyant optimum of the slot is computed for regret;
 5. the controller observes the realised demands and the delays of the
    stations it played.
+
+The :class:`~repro.utils.timer.Stopwatch` laps remain the *public* timing
+series (the figures' runtime panels); each phase is additionally wrapped
+in a :mod:`repro.obs` span (``sim.decide``, ``sim.evaluate``,
+``sim.optimal``, ``sim.observe``) so an activated registry — or the
+``metrics`` argument — sees the per-slot decomposition.  With telemetry
+off (the default) the spans are shared no-ops.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.assignment import Assignment, evaluate_assignment
 from repro.core.controller import Controller
 from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact
@@ -39,6 +47,7 @@ def run_simulation(
     demands_known: bool = True,
     compute_optimal: bool = False,
     exact_optimal: bool = False,
+    metrics: Optional["obs.MetricsRegistry"] = None,
 ) -> SimulationResult:
     """Run ``controller`` for ``horizon`` slots; returns the metric series.
 
@@ -47,6 +56,9 @@ def run_simulation(
     ``compute_optimal`` additionally solves the slot's clairvoyant LP
     (``exact_optimal`` upgrades it to the exact ILP — small instances
     only); the optimum lands in each record for regret tracking.
+    ``metrics`` activates the given :class:`repro.obs.MetricsRegistry` for
+    the duration of the run; when omitted, whatever registry is already
+    active (e.g. installed by the CLI) keeps receiving the spans.
     """
     require_positive("horizon", horizon)
     if demand_model.n_requests != controller.n_requests:
@@ -54,50 +66,90 @@ def run_simulation(
             f"demand model covers {demand_model.n_requests} requests, "
             f"controller expects {controller.n_requests}"
         )
+    with obs.activate(metrics) if metrics is not None else _KEEP_ACTIVE:
+        return _run_loop(
+            network,
+            demand_model,
+            controller,
+            horizon,
+            demands_known,
+            compute_optimal,
+            exact_optimal,
+        )
+
+
+class _KeepActive:
+    """No-op stand-in for ``obs.activate`` when no registry is passed."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_KEEP_ACTIVE = _KeepActive()
+
+
+def _run_loop(
+    network: MECNetwork,
+    demand_model: DemandModel,
+    controller: Controller,
+    horizon: int,
+    demands_known: bool,
+    compute_optimal: bool,
+    exact_optimal: bool,
+) -> SimulationResult:
     requests = controller.requests
     result = SimulationResult(controller_name=controller.name)
     previous: Optional[Assignment] = None
     decide_watch = Stopwatch()
     observe_watch = Stopwatch()
+    obs.set_context(controller=controller.name)
 
     for slot in range(horizon):
+        obs.set_context(slot=slot)
         true_demands = demand_model.demand_at(slot)
 
-        with decide_watch:
+        with decide_watch, obs.span("sim.decide"):
             assignment = controller.decide(
                 slot, true_demands if demands_known else None
             )
 
-        unit_delays = network.delays.sample(slot)
-        delay_ms = evaluate_assignment(
-            assignment, network, requests, true_demands, unit_delays
-        )
+        with obs.span("sim.evaluate"):
+            unit_delays = network.delays.sample(slot)
+            delay_ms = evaluate_assignment(
+                assignment, network, requests, true_demands, unit_delays
+            )
 
         optimal_ms: Optional[float] = None
         if compute_optimal:
-            if exact_optimal:
-                optimal_ms = clairvoyant_cost_exact(
-                    network, requests, true_demands, unit_delays
-                )
-            else:
-                optimal_ms = clairvoyant_cost(
-                    network, requests, true_demands, unit_delays
-                )
+            with obs.span("sim.optimal"):
+                if exact_optimal:
+                    optimal_ms = clairvoyant_cost_exact(
+                        network, requests, true_demands, unit_delays
+                    )
+                else:
+                    optimal_ms = clairvoyant_cost(
+                        network, requests, true_demands, unit_delays
+                    )
 
         prediction_mae: Optional[float] = None
         last_prediction = getattr(controller, "last_prediction", None)
         if not demands_known and last_prediction is not None:
             prediction_mae = float(np.mean(np.abs(last_prediction - true_demands)))
 
-        with observe_watch:
+        with observe_watch, obs.span("sim.observe"):
             controller.observe(slot, true_demands, unit_delays, assignment)
 
         loads = assignment.loads_mhz(
             true_demands, network.c_unit_mhz, network.n_stations
         )
-        churn = assignment.cache_churn(previous) if previous is not None else len(
-            assignment.cached
-        )
+        # Churn is change *between* slots; slot 0's cold-start placement is
+        # accounted separately so total_churn no longer absorbs it.
+        churn = assignment.cache_churn(previous) if previous is not None else 0
+        initial = len(assignment.cached) if previous is None else 0
+        obs.inc("sim.slots")
         result.append(
             SlotRecord(
                 slot=slot,
@@ -111,7 +163,9 @@ def run_simulation(
                 ),
                 optimal_delay_ms=optimal_ms,
                 prediction_mae_mb=prediction_mae,
+                initial_instantiations=initial,
             )
         )
         previous = assignment
+    obs.set_context(slot=None, controller=None)
     return result

@@ -143,11 +143,10 @@ def run_with_failures(
             loads = assignment.loads_mhz(
                 true_demands, network.c_unit_mhz, network.n_stations
             )
-            churn = (
-                assignment.cache_churn(previous)
-                if previous is not None
-                else len(assignment.cached)
-            )
+            # Same churn accounting as repro.sim.engine: slot 0's cold-start
+            # placement is initial_instantiations, not churn.
+            churn = assignment.cache_churn(previous) if previous is not None else 0
+            initial = len(assignment.cached) if previous is None else 0
             result.append(
                 SlotRecord(
                     slot=slot,
@@ -159,6 +158,7 @@ def run_with_failures(
                     max_load_fraction=float(
                         np.max(loads / network.capacities_mhz)
                     ),
+                    initial_instantiations=initial,
                 )
             )
             previous = assignment

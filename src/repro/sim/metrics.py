@@ -20,11 +20,17 @@ class SlotRecord:
     average_delay_ms: float
     decision_seconds: float
     observe_seconds: float
+    #: Instances newly created *relative to the previous slot*.  Slot 0 has
+    #: no previous slot, so its churn is 0 and the cold-start placement is
+    #: reported separately in ``initial_instantiations``.
     cache_churn: int
     n_cached_instances: int
     max_load_fraction: float
     optimal_delay_ms: Optional[float] = None
     prediction_mae_mb: Optional[float] = None
+    #: Cold-start instantiations (nonzero only at slot 0): the initial
+    #: cache is not churn — counting it as such inflated ``total_churn``.
+    initial_instantiations: int = 0
 
 
 @dataclass
@@ -72,8 +78,17 @@ class SimulationResult:
 
     @property
     def cache_churn(self) -> np.ndarray:
-        """Newly-instantiated service instances per slot."""
+        """Newly-instantiated service instances per slot.
+
+        Slot 0 reports 0: standing up the initial cache is not churn (see
+        :attr:`initial_instantiations`).
+        """
         return np.array([r.cache_churn for r in self.records], dtype=int)
+
+    @property
+    def initial_instantiations(self) -> int:
+        """Instances created at slot 0 to stand up the initial cache."""
+        return int(sum(r.initial_instantiations for r in self.records))
 
     @property
     def max_load_fractions(self) -> np.ndarray:
@@ -90,12 +105,26 @@ class SimulationResult:
             ]
         )
 
+    def _require_records(self) -> None:
+        """One consistent error for every aggregate over an empty result.
+
+        Previously ``summary()`` silently guarded ``peak_load_fraction``
+        while ``mean_delay_ms()`` raised first with a skip-specific
+        message — aggregates now fail up front, identically.
+        """
+        if not self.records:
+            raise ValueError(
+                f"empty SimulationResult for {self.controller_name!r}: "
+                "no slots recorded"
+            )
+
     def mean_delay_ms(self, skip_warmup: int = 0) -> float:
         """Mean per-slot delay, optionally skipping the first slots.
 
         The paper's headline "%-better" comparisons are steady-state; the
         warm-up skip excludes the exploration transient when asked.
         """
+        self._require_records()
         if skip_warmup < 0:
             raise ValueError("skip_warmup must be >= 0")
         delays = self.delays_ms[skip_warmup:]
@@ -107,8 +136,7 @@ class SimulationResult:
 
     def mean_decision_seconds(self) -> float:
         """Mean controller decision time per slot."""
-        if not self.records:
-            raise ValueError("empty result")
+        self._require_records()
         return float(self.decision_seconds.mean())
 
     def regret_tracker(self) -> RegretTracker:
@@ -120,14 +148,19 @@ class SimulationResult:
         return tracker
 
     def summary(self) -> dict:
-        """Aggregate dictionary used by the experiment tables."""
+        """Aggregate dictionary used by the experiment tables.
+
+        Raises ``ValueError`` for an empty result.  ``total_churn`` counts
+        slot-to-slot instantiations only; the cold-start placement is the
+        separate ``initial_instantiations`` entry.
+        """
+        self._require_records()
         return {
             "controller": self.controller_name,
             "horizon": self.horizon,
             "mean_delay_ms": self.mean_delay_ms(),
             "mean_decision_s": self.mean_decision_seconds(),
             "total_churn": int(self.cache_churn.sum()),
-            "peak_load_fraction": float(self.max_load_fractions.max())
-            if self.records
-            else 0.0,
+            "initial_instantiations": self.initial_instantiations,
+            "peak_load_fraction": float(self.max_load_fractions.max()),
         }

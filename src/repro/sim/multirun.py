@@ -21,11 +21,12 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.obs import MetricsRegistry
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import (
     ParallelRunner,
@@ -107,6 +108,12 @@ class RepetitionStudy:
     cpu_seconds: float = 0.0          # summed across work items
     completed_runs: int = 0           # successful (repetition, controller) items
     failures: List[RepetitionFailure] = field(default_factory=list)
+    # ---- telemetry (populated with collect_metrics=True) ------------- #
+    #: Aggregate registry merged across every work item (None when off).
+    metrics: Optional[MetricsRegistry] = None
+    #: Per-worker registries keyed by the executing pid; with ``n_jobs=1``
+    #: there is exactly one entry (the parent process).
+    worker_metrics: Dict[int, MetricsRegistry] = field(default_factory=dict)
 
     @property
     def n_failed(self) -> int:
@@ -144,6 +151,21 @@ class RepetitionStudy:
         ]
         return "\n".join(lines)
 
+    def metrics_table(self) -> str:
+        """Aggregate + per-worker telemetry tables (next to timing_table).
+
+        Requires the study to have been run with ``collect_metrics=True``.
+        """
+        if self.metrics is None:
+            raise ValueError(
+                "study carries no telemetry; run with collect_metrics=True"
+            )
+        blocks = ["== aggregate ==", self.metrics.table()]
+        for pid in sorted(self.worker_metrics):
+            blocks.append(f"== worker pid {pid} ==")
+            blocks.append(self.worker_metrics[pid].table())
+        return "\n".join(blocks)
+
     def summary(self, controller: str, metric: str) -> MetricSummary:
         if controller not in self.summaries:
             raise KeyError(
@@ -178,6 +200,7 @@ def run_repetitions(
     confidence: float = 0.95,
     n_jobs: int = 1,
     n_controllers: Optional[int] = None,
+    collect_metrics: bool = False,
 ) -> RepetitionStudy:
     """Run ``build`` across ``repetitions`` seeds and aggregate metrics.
 
@@ -195,6 +218,12 @@ def run_repetitions(
 
     A repetition that raises is recorded in the study's ``failures`` with
     its traceback and excluded from the summaries; the count is logged.
+
+    ``collect_metrics=True`` additionally records :mod:`repro.obs`
+    telemetry per work item and attaches the merged aggregate
+    (``study.metrics``) and the per-worker breakdown
+    (``study.worker_metrics``, keyed by executing pid) to the study —
+    rendered by :meth:`RepetitionStudy.metrics_table`.
     """
     require_positive("repetitions", repetitions)
     require_positive("horizon", horizon)
@@ -215,8 +244,21 @@ def run_repetitions(
         horizon=horizon,
         demands_known=demands_known,
         n_controllers=n_controllers,
+        collect_metrics=collect_metrics or None,
     )
     wall_clock = time.perf_counter() - wall_start
+
+    aggregate_metrics: Optional[MetricsRegistry] = None
+    worker_metrics: Dict[int, MetricsRegistry] = {}
+    for item in work_results:
+        if item.metrics is None:
+            continue
+        snapshot = MetricsRegistry.from_snapshot(item.metrics)
+        if aggregate_metrics is None:
+            aggregate_metrics = MetricsRegistry()
+        aggregate_metrics.merge(snapshot)
+        per_worker = worker_metrics.setdefault(item.pid, MetricsRegistry())
+        per_worker.merge(snapshot)
 
     metric_values: Dict[str, Dict[str, List[float]]] = {}
     raw: Dict[str, List[SimulationResult]] = {}
@@ -271,6 +313,8 @@ def run_repetitions(
         cpu_seconds=float(sum(r.cpu_seconds for r in work_results)),
         completed_runs=completed,
         failures=failures,
+        metrics=aggregate_metrics,
+        worker_metrics=worker_metrics,
     )
 
 

@@ -37,8 +37,9 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
 from repro.sim.engine import run_simulation
@@ -113,7 +114,13 @@ class RepetitionFailure:
 
 @dataclass(frozen=True)
 class WorkResult:
-    """Outcome of one work item, successful or not, with timing."""
+    """Outcome of one work item, successful or not, with timing.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict of the
+    telemetry the item recorded (None when collection was off) and ``pid``
+    the process that executed it — the parent groups snapshots by ``pid``
+    for the per-worker breakdown.
+    """
 
     repetition: int
     controller_index: int
@@ -123,6 +130,8 @@ class WorkResult:
     error_traceback: Optional[str]
     wall_seconds: float
     cpu_seconds: float
+    metrics: Optional[dict] = None
+    pid: int = 0
 
     @property
     def ok(self) -> bool:
@@ -146,16 +155,20 @@ def _execute_work_item(
     item: WorkItem,
     horizon: int,
     demands_known: bool,
+    collect_metrics: bool = False,
 ) -> WorkResult:
     """Rebuild the repetition's world and run one controller over it.
 
     Runs inside a worker process (but is equally valid in-process).  All
     exceptions are converted to a failed :class:`WorkResult` so one bad
-    repetition cannot kill the study.
+    repetition cannot kill the study.  With ``collect_metrics`` the item
+    records into a fresh :class:`repro.obs.MetricsRegistry` whose snapshot
+    rides back on the :class:`WorkResult` (plain dict — picklable).
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     name: Optional[str] = None
+    registry = obs.MetricsRegistry() if collect_metrics else None
     try:
         rngs = repetition_registry(seed, item.repetition)
         network, demand_model, controllers = build(rngs)
@@ -167,6 +180,7 @@ def _execute_work_item(
             controller,
             horizon=horizon,
             demands_known=demands_known,
+            metrics=registry,
         )
         error = None
         error_tb = None
@@ -183,6 +197,8 @@ def _execute_work_item(
         error_traceback=error_tb,
         wall_seconds=time.perf_counter() - wall_start,
         cpu_seconds=time.process_time() - cpu_start,
+        metrics=registry.snapshot() if registry is not None else None,
+        pid=os.getpid(),
     )
 
 
@@ -213,6 +229,7 @@ class ParallelRunner:
         horizon: int,
         demands_known: bool = True,
         n_controllers: Optional[int] = None,
+        collect_metrics: Optional[bool] = None,
     ) -> List[WorkResult]:
         """Execute the full repetition × controller grid.
 
@@ -221,13 +238,51 @@ class ParallelRunner:
         regardless of completion order.  ``n_controllers`` skips the probe
         build when the caller already knows the controller count (building
         a scenario can be expensive, e.g. GAN pretraining).
+
+        ``collect_metrics`` attaches a per-item telemetry snapshot to every
+        :class:`WorkResult` (see :mod:`repro.obs`).  The default ``None``
+        auto-enables collection when a registry is active in the calling
+        process (e.g. the CLI's ``--metrics-out``); item snapshots are then
+        also merged into that registry, so parent-side telemetry works the
+        same for serial and pooled execution.
         """
         require_positive("repetitions", repetitions)
         require_positive("horizon", horizon)
+        parent_registry = obs.active_registry()
+        if collect_metrics is None:
+            collect_metrics = parent_registry is not None
         if self.n_jobs == 1:
-            return self._run_serial(
-                build, seed, repetitions, horizon, demands_known
+            results = self._run_serial(
+                build, seed, repetitions, horizon, demands_known, collect_metrics
             )
+        else:
+            results = self._run_pool(
+                build,
+                seed,
+                repetitions,
+                horizon,
+                demands_known,
+                n_controllers,
+                collect_metrics,
+            )
+        if parent_registry is not None and collect_metrics:
+            for item in results:
+                if item.metrics is not None:
+                    parent_registry.merge(
+                        obs.MetricsRegistry.from_snapshot(item.metrics)
+                    )
+        return results
+
+    def _run_pool(
+        self,
+        build: ScenarioBuilder,
+        seed: int,
+        repetitions: int,
+        horizon: int,
+        demands_known: bool,
+        n_controllers: Optional[int],
+        collect_metrics: bool,
+    ) -> List[WorkResult]:
         if n_controllers is None:
             n_controllers = self._probe_controller_count(build, seed)
         require_positive("n_controllers", n_controllers)
@@ -243,7 +298,13 @@ class ParallelRunner:
         ) as pool:
             futures = [
                 pool.submit(
-                    _execute_work_item, build, seed, item, horizon, demands_known
+                    _execute_work_item,
+                    build,
+                    seed,
+                    item,
+                    horizon,
+                    demands_known,
+                    collect_metrics,
                 )
                 for item in items
             ]
@@ -261,14 +322,21 @@ class ParallelRunner:
         repetitions: int,
         horizon: int,
         demands_known: bool,
+        collect_metrics: bool,
     ) -> List[WorkResult]:
         """In-process execution, one world build per repetition.
 
         Produces the same :class:`WorkResult` stream as the pool path:
         world realisations are slot-keyed and controller streams are
         name-keyed, so sharing one build across a repetition's controllers
-        is observationally identical to rebuilding per controller.
+        is observationally identical to rebuilding per controller.  Each
+        item still gets its own telemetry registry, so the per-item
+        snapshots match the pool path's — but in-process the registries
+        inherit the parent's trace writer (pool workers cannot: writers
+        are not picklable), so a serial run yields a complete trace.
         """
+        parent = obs.active_registry()
+        trace = parent.trace if parent is not None else None
         results: List[WorkResult] = []
         for repetition in range(repetitions):
             wall_start = time.perf_counter()
@@ -290,12 +358,16 @@ class ParallelRunner:
                         error_traceback=traceback.format_exc(),
                         wall_seconds=time.perf_counter() - wall_start,
                         cpu_seconds=time.process_time() - cpu_start,
+                        pid=os.getpid(),
                     )
                 )
                 continue
             for index, controller in enumerate(controllers):
                 wall_start = time.perf_counter()
                 cpu_start = time.process_time()
+                registry = (
+                    obs.MetricsRegistry(trace=trace) if collect_metrics else None
+                )
                 try:
                     result = run_simulation(
                         network,
@@ -303,6 +375,7 @@ class ParallelRunner:
                         controller,
                         horizon=horizon,
                         demands_known=demands_known,
+                        metrics=registry,
                     )
                     error = None
                     error_tb = None
@@ -320,6 +393,8 @@ class ParallelRunner:
                         error_traceback=error_tb,
                         wall_seconds=time.perf_counter() - wall_start,
                         cpu_seconds=time.process_time() - cpu_start,
+                        metrics=registry.snapshot() if registry is not None else None,
+                        pid=os.getpid(),
                     )
                 )
         return results

@@ -58,12 +58,52 @@ class TestWindowedArmStats:
         true_now = level
         assert abs(windowed.mean(0) - true_now) < abs(cumulative.mean(0) - true_now)
 
+    def test_running_sums_match_naive_recompute_after_wraparound(self):
+        """Regression for the O(1) running-window sums: after many evictions
+        the incremental mean/variance must match recomputing from the
+        retained observations."""
+        window = 7
+        stats = WindowedArmStats(3, window=window, prior_mean=5.0)
+        rng = np.random.default_rng(42)
+        history = {0: [], 1: [], 2: []}
+        for _ in range(20 * window):  # many wrap-arounds per arm
+            arm = int(rng.integers(3))
+            value = float(rng.uniform(0.0, 100.0))
+            stats.observe(arm, value)
+            history[arm].append(value)
+        for arm in range(3):
+            recent = history[arm][-window:]
+            assert stats.mean(arm) == pytest.approx(np.mean(recent))
+            assert stats.variance(arm) == pytest.approx(np.var(recent))
+        np.testing.assert_allclose(
+            stats.means, [np.mean(history[a][-window:]) for a in range(3)]
+        )
+
+    def test_variance_is_population_like_cumulative_stats(self):
+        """Windowed and cumulative estimators share the ddof=0 convention."""
+        from repro.bandits.arms import ArmStats
+
+        values = [3.0, 9.0, 4.0, 8.0]
+        cumulative = ArmStats(1)
+        windowed = WindowedArmStats(1, window=len(values))
+        for v in values:
+            cumulative.observe(0, v)
+            windowed.observe(0, v)
+        expected = np.var(values)  # ddof=0 (population)
+        assert cumulative.variance(0) == pytest.approx(expected)
+        assert windowed.variance(0) == pytest.approx(expected)
+        assert windowed.variance(0) != pytest.approx(np.var(values, ddof=1))
+
     def test_reset_clears_window(self):
         stats = WindowedArmStats(1, window=3, prior_mean=9.0)
         stats.observe(0, 1.0)
         stats.reset()
         assert stats.mean(0) == 9.0
         assert stats.total_plays == 0
+        # Running sums restart cleanly after a reset.
+        stats.observe(0, 4.0)
+        assert stats.mean(0) == 4.0
+        assert stats.variance(0) == 0.0
 
     def test_window_validation(self):
         with pytest.raises(ValueError):

@@ -70,13 +70,55 @@ class TestRunSimulation:
         # Achieved integer cost always >= the LP clairvoyant bound.
         assert np.all(tracker.per_slot_regret >= -1e-9)
 
-    def test_first_slot_churn_counts_all_instances(self):
+    def test_first_slot_cold_start_is_not_churn(self):
         rngs, network, requests = build_setting()
         controller = GreedyController(network, requests, rngs.get("ctrl"))
         result = run_simulation(
             network, ConstantDemandModel(requests), controller, horizon=2
         )
-        assert result.records[0].cache_churn == result.records[0].n_cached_instances
+        first = result.records[0]
+        # Standing up the initial cache is reported separately, not as churn.
+        assert first.cache_churn == 0
+        assert first.initial_instantiations == first.n_cached_instances
+        assert result.initial_instantiations == first.n_cached_instances
+        assert result.records[1].initial_instantiations == 0
+        assert result.summary()["total_churn"] == int(result.cache_churn[1:].sum())
+        assert (
+            result.summary()["initial_instantiations"] == first.n_cached_instances
+        )
+
+    def test_telemetry_off_by_default_and_invariant(self):
+        """Identical seed ==> bit-identical series with and without telemetry."""
+        from repro import obs
+
+        def run(metrics):
+            rngs, network, requests = build_setting(seed=5)
+            controller = OlGdController(network, requests, rngs.get("ctrl"))
+            return run_simulation(
+                network,
+                ConstantDemandModel(requests),
+                controller,
+                horizon=6,
+                metrics=metrics,
+            )
+
+        assert obs.active_registry() is None  # off by default
+        plain = run(None)
+        registry = obs.MetricsRegistry()
+        traced = run(registry)
+        assert obs.active_registry() is None  # deactivated on exit
+        # Everything seed-determined is bit-identical; only wall-clock
+        # timing fields may differ.
+        np.testing.assert_array_equal(plain.delays_ms, traced.delays_ms)
+        np.testing.assert_array_equal(plain.cache_churn, traced.cache_churn)
+        np.testing.assert_array_equal(
+            plain.max_load_fractions, traced.max_load_fractions
+        )
+        assert plain.initial_instantiations == traced.initial_instantiations
+        # ...and the registry actually saw the run.
+        assert registry.counter("sim.slots") == 6
+        assert registry.counter("lp.solve.calls") == 6
+        assert registry.histogram("sim.decide.seconds").count == 6
 
     def test_mismatched_request_counts_rejected(self):
         rngs, network, requests = build_setting()
@@ -164,5 +206,21 @@ class TestSimulationResult:
             "mean_delay_ms",
             "mean_decision_s",
             "total_churn",
+            "initial_instantiations",
             "peak_load_fraction",
         }
+
+    def test_empty_result_aggregates_raise_consistently(self):
+        """Every aggregate fails up front with the same clear error."""
+        result = SimulationResult("empty-ctrl")
+        for aggregate in (
+            result.summary,
+            result.mean_delay_ms,
+            result.mean_decision_seconds,
+        ):
+            with pytest.raises(ValueError, match="empty SimulationResult"):
+                aggregate()
+        # The error names the controller so study-level failures identify
+        # which run produced nothing.
+        with pytest.raises(ValueError, match="empty-ctrl"):
+            result.summary()

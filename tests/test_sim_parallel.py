@@ -207,6 +207,97 @@ class TestTimingAccounting:
         assert study.n_failed == 0
 
 
+class TestTelemetryMerge:
+    """Worker registries merge into a study aggregate that matches serial."""
+
+    def test_metrics_off_by_default(self):
+        study = run_repetitions(scenario, seed=127, repetitions=2, horizon=3)
+        assert study.metrics is None
+        assert study.worker_metrics == {}
+        with pytest.raises(ValueError, match="collect_metrics"):
+            study.metrics_table()
+
+    def test_serial_study_collects_metrics(self):
+        study = run_repetitions(
+            scenario, seed=127, repetitions=2, horizon=3, collect_metrics=True
+        )
+        assert study.metrics is not None
+        # 2 reps x 2 controllers x 3 slots, every slot counted exactly once.
+        assert study.metrics.counter("sim.slots") == 12
+        # Only OL_GD solves LPs: 2 reps x 3 slots.
+        assert study.metrics.counter("lp.solve.calls") == 6
+        assert list(study.worker_metrics) == [os.getpid()]
+        table = study.metrics_table()
+        assert "aggregate" in table and "lp.solve" in table
+
+    def test_parallel_aggregate_identical_to_serial(self):
+        serial = run_repetitions(
+            scenario, seed=131, repetitions=3, horizon=4, collect_metrics=True
+        )
+        parallel = run_repetitions(
+            scenario,
+            seed=131,
+            repetitions=3,
+            horizon=4,
+            n_jobs=2,
+            collect_metrics=True,
+        )
+        # Deterministic telemetry (counters, histogram observation counts)
+        # is identical in aggregate regardless of worker count; only the
+        # timing values inside the histograms are wall-clock.
+        assert serial.metrics.counters == parallel.metrics.counters
+        serial_snapshot = serial.metrics.snapshot()["histograms"]
+        parallel_snapshot = parallel.metrics.snapshot()["histograms"]
+        assert set(serial_snapshot) == set(parallel_snapshot)
+        for name in serial_snapshot:
+            assert (
+                serial_snapshot[name]["count"] == parallel_snapshot[name]["count"]
+            ), name
+        # Per-worker registries partition the aggregate.
+        total = sum(
+            registry.counter("sim.slots")
+            for registry in parallel.worker_metrics.values()
+        )
+        assert total == parallel.metrics.counter("sim.slots")
+
+    def test_work_items_carry_snapshots(self):
+        runner = ParallelRunner(n_jobs=1)
+        work = runner.run(
+            scenario,
+            seed=127,
+            repetitions=1,
+            horizon=3,
+            collect_metrics=True,
+        )
+        assert all(w.metrics is not None for w in work)
+        assert all(w.pid == os.getpid() for w in work)
+
+    def test_serial_run_inherits_parent_trace_writer(self, tmp_path):
+        """Regression: per-item registries must reuse the parent's trace
+        writer in-process, else `--trace` with --jobs 1 writes 0 events."""
+        from repro import obs
+
+        path = tmp_path / "study.jsonl"
+        writer = obs.TraceWriter(path)
+        registry = obs.MetricsRegistry(trace=writer)
+        with obs.activate(registry):
+            run_repetitions(scenario, seed=127, repetitions=1, horizon=3)
+        writer.close()
+        events = obs.read_trace(path)
+        assert len(events) > 0
+        assert {e["name"] for e in events} >= {"sim.decide", "lp.solve"}
+
+    def test_active_parent_registry_receives_pool_results(self):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        with obs.activate(registry):
+            run_repetitions(
+                scenario, seed=127, repetitions=2, horizon=3, n_jobs=2
+            )
+        assert registry.counter("sim.slots") == 12
+
+
 class TestParallelRunner:
     def test_results_sorted_by_grid_position(self):
         runner = ParallelRunner(n_jobs=2)

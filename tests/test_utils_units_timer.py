@@ -65,12 +65,33 @@ class TestStopwatch:
     def test_double_start_raises(self):
         watch = Stopwatch()
         watch.start()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="already running"):
             watch.start()
+        # The failed start must not clobber the running lap.
+        assert watch.stop() >= 0.0
+        assert len(watch.laps) == 1
 
     def test_stop_without_start_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="not started"):
             Stopwatch().stop()
+
+    def test_double_stop_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        with pytest.raises(RuntimeError, match="not started"):
+            watch.stop()
+
+    def test_exception_inside_context_still_records_lap(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch:
+                raise ValueError("boom")
+        # __exit__ stopped the lap, so the watch is reusable immediately.
+        assert len(watch.laps) == 1
+        with watch:
+            pass
+        assert len(watch.laps) == 2
 
     def test_reset_clears_everything(self):
         watch = Stopwatch()
