@@ -1,0 +1,307 @@
+"""Benchmark trajectory for the fast NN execution path.
+
+Times the GAN predictor's per-slot train+predict path and its RNN
+building blocks, comparing the **fast path** (fused sequence kernels,
+``no_grad`` inference, gradient-buffer reuse) against the **legacy
+path** (per-step cells via :func:`repro.nn.use_sequence_kernels(False)`
+and graph-recording inference).  The legacy emulation still benefits
+from every shared improvement (faster sigmoid, preallocated history),
+so the reported speedups are conservative lower bounds on the gain over
+the original implementation.
+
+Running as a script writes ``BENCH_pr3.json`` at the repo root — the
+first point of the recorded benchmark trajectory.  Later PRs append
+``BENCH_pr<N>.json`` files with the same schema so the speed history of
+the codebase stays in-tree and diffable (see "Performance" in
+README.md).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_nn_speed.py          # full
+    PYTHONPATH=src python benchmarks/bench_nn_speed.py --quick  # smoke
+
+The tier-1 smoke test (``tests/test_bench_nn_speed.py``) runs the
+``--quick`` configuration and validates the schema, so the benchmark
+itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.gan.predictor import GanDemandPredictor
+from repro.nn import GRU, LSTM, no_grad, use_sequence_kernels
+from repro.nn.tensor import Tensor
+
+SCHEMA = "repro.bench.trajectory/v1"
+PR = 3
+
+# Paper-adjacent scale: hotspot-coded requests, window-8 conditioning.
+FULL_CONFIG: Dict = {
+    "n_requests": 10,
+    "code_dim": 4,
+    "window": 8,
+    "hidden_size": 16,
+    "warmup_slots": 9,
+    "timed_slots": 8,
+    "rnn_shape": [8, 10, 4],  # (T, B, input)
+    "repeats": 9,
+    "seed": 2020,
+}
+
+# Tiny everything: the smoke variant exercises every stage in seconds.
+QUICK_CONFIG: Dict = {
+    "n_requests": 4,
+    "code_dim": 2,
+    "window": 4,
+    "hidden_size": 6,
+    "warmup_slots": 5,
+    "timed_slots": 3,
+    "rnn_shape": [4, 3, 3],
+    "repeats": 3,
+    "seed": 2020,
+}
+
+
+def _median_seconds(fn: Callable[[], None], repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(statistics.median(times))
+
+
+def _stage(name: str, baseline_seconds: float, fast_seconds: float) -> Dict:
+    return {
+        "stage": name,
+        "baseline_median_seconds": baseline_seconds,
+        "fast_median_seconds": fast_seconds,
+        "speedup": baseline_seconds / fast_seconds,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Micro stages: one RNN train step, fused vs stepwise
+# --------------------------------------------------------------------- #
+
+
+def _rnn_train_stage(kind: str, config: Dict) -> Dict:
+    T, B, In = config["rnn_shape"]
+    factory = {"lstm": LSTM, "gru": GRU}[kind]
+    model = factory(In, config["hidden_size"], np.random.default_rng(config["seed"]))
+    x = np.random.default_rng(config["seed"] + 1).normal(size=(T, B, In))
+
+    def step() -> None:
+        for p in model.parameters():
+            p.grad = None
+        (model(Tensor(x)) ** 2).sum().backward()
+
+    def stepwise() -> None:
+        with use_sequence_kernels(False):
+            step()
+
+    return _stage(
+        f"{kind}_train_step",
+        _median_seconds(stepwise, config["repeats"]),
+        _median_seconds(step, config["repeats"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# GAN stages
+# --------------------------------------------------------------------- #
+
+
+def _build_predictor(config: Dict) -> GanDemandPredictor:
+    rng = np.random.default_rng(config["seed"] + 2)
+    codes = np.zeros((config["n_requests"], config["code_dim"]))
+    codes[
+        np.arange(config["n_requests"]),
+        rng.integers(0, config["code_dim"], config["n_requests"]),
+    ] = 1.0
+    return GanDemandPredictor(
+        codes,
+        np.random.default_rng(config["seed"] + 3),
+        window=config["window"],
+        online_steps=1,
+        hidden_size=config["hidden_size"],
+    )
+
+
+def _demand_rows(config: Dict) -> np.ndarray:
+    rng = np.random.default_rng(config["seed"] + 4)
+    total = config["warmup_slots"] + config["timed_slots"]
+    return rng.uniform(1.0, 3.0, size=(total, config["n_requests"]))
+
+
+def _legacy_predict(predictor: GanDemandPredictor) -> np.ndarray:
+    """Inference as the pre-fast-path code ran it: graph-recording draws.
+
+    Reaches into the predictor's internals on purpose — it reconstructs
+    :meth:`GanDemandPredictor.predict_next` without ``no_grad`` so the
+    two paths stay numerically comparable.
+    """
+    model = predictor.model
+    history = predictor.history
+    window = min(predictor._window, history.shape[0])
+    conditioning = predictor._conditioning_from(history[-window:])
+    codes_tensor = Tensor(np.asarray(predictor._codes, dtype=model.dtype))
+    prev_tensor = Tensor(np.asarray(conditioning, dtype=model.dtype))
+    batch = history.shape[1]
+    draws = [
+        model.generator(
+            model.generator.sample_noise(window, batch, model._rng),
+            codes_tensor,
+            prev_tensor,
+        ).data
+        for _ in range(predictor._n_noise_samples)
+    ]
+    return np.mean(draws, axis=0)[-1, :, 0].copy()
+
+
+def _gan_inference_stage(config: Dict) -> Dict:
+    predictor = _build_predictor(config)
+    for row in _demand_rows(config)[: config["warmup_slots"]]:
+        predictor.observe(row)
+
+    return _stage(
+        "gan_generate_inference",
+        _median_seconds(lambda: _legacy_predict(predictor), config["repeats"]),
+        _median_seconds(predictor.predict_next, config["repeats"]),
+    )
+
+
+def _gan_slot_stage(config: Dict) -> Dict:
+    """The acceptance stage: one full slot = observe (train) + predict."""
+    demands = _demand_rows(config)
+    warmup = config["warmup_slots"]
+
+    def run(legacy: bool) -> float:
+        predictor = _build_predictor(config)
+        for row in demands[:warmup]:
+            if legacy:
+                with use_sequence_kernels(False):
+                    predictor.observe(row)
+            else:
+                predictor.observe(row)
+        slot_times: List[float] = []
+        for row in demands[warmup:]:
+            start = time.perf_counter()
+            if legacy:
+                with use_sequence_kernels(False):
+                    predictor.observe(row)
+                    _legacy_predict(predictor)
+            else:
+                predictor.observe(row)
+                predictor.predict_next()
+            slot_times.append(time.perf_counter() - start)
+        return float(statistics.median(slot_times))
+
+    return _stage("gan_slot_train_predict", run(legacy=True), run(legacy=False))
+
+
+def _no_grad_overhead_stage(config: Dict) -> Dict:
+    """Forward-only RNN pass: recorded graph vs ``no_grad``."""
+    T, B, In = config["rnn_shape"]
+    model = LSTM(In, config["hidden_size"], np.random.default_rng(config["seed"] + 5))
+    x = np.random.default_rng(config["seed"] + 6).normal(size=(T, B, In))
+
+    def recorded() -> None:
+        model(Tensor(x))
+
+    def graph_free() -> None:
+        with no_grad():
+            model(Tensor(x))
+
+    return _stage(
+        "lstm_forward_no_grad",
+        _median_seconds(recorded, config["repeats"]),
+        _median_seconds(graph_free, config["repeats"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def _commit_hash() -> str:
+    """HEAD at generation time, with ``-dirty`` when the tree has edits.
+
+    A trajectory point generated before its changes are committed (the
+    usual flow: measure, then commit code + JSON together) records the
+    parent commit plus the dirty marker.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return f"{head}-dirty" if status else head
+
+
+def run_benchmark(config: Dict) -> Dict:
+    """Run every stage under ``config``; returns the schema'd result."""
+    stages = [
+        _rnn_train_stage("lstm", config),
+        _rnn_train_stage("gru", config),
+        _no_grad_overhead_stage(config),
+        _gan_inference_stage(config),
+        _gan_slot_stage(config),
+    ]
+    return {
+        "schema": SCHEMA,
+        "pr": PR,
+        "commit": _commit_hash(),
+        "config": dict(config),
+        "stages": stages,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke configuration (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / f"BENCH_pr{PR}.json",
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args(argv)
+    result = run_benchmark(QUICK_CONFIG if args.quick else FULL_CONFIG)
+    for stage in result["stages"]:
+        print(
+            f"{stage['stage']:<26} baseline {stage['baseline_median_seconds'] * 1e3:8.2f} ms"
+            f"  fast {stage['fast_median_seconds'] * 1e3:8.2f} ms"
+            f"  speedup {stage['speedup']:5.2f}x"
+        )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

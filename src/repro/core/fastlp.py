@@ -123,6 +123,23 @@ class PerSlotLpSolver:
         Raises ``RuntimeError`` when the LP is not optimal (callers scale
         demands for aggregate feasibility first, as `OL_GD` does).
         """
+        return self._solve(demands_mb, theta_ms)[0]
+
+    def solve_with_objective(
+        self, demands_mb: np.ndarray, theta_ms: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Like :meth:`solve`, also returning the optimal Eq. (3) objective.
+
+        The objective value is what the clairvoyant comparator needs; it
+        is unique even when the argmin is degenerate, so it matches the
+        reference builder's objective exactly (up to solver tolerance).
+        """
+        x, objective = self._solve(demands_mb, theta_ms)
+        return x, float(objective)
+
+    def _solve(
+        self, demands_mb: np.ndarray, theta_ms: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
         R, S = self._R, self._S
         demands_mb = np.asarray(demands_mb, dtype=float)
         theta_ms = np.asarray(theta_ms, dtype=float)
@@ -164,4 +181,4 @@ class PerSlotLpSolver:
         # registry so the stage-level cost has an algorithmic denominator.
         obs.inc("lp.iterations", int(getattr(result, "nit", 0)))
         x = np.clip(np.asarray(result.x[: R * S]), 0.0, 1.0)
-        return x.reshape(R, S)
+        return x.reshape(R, S), float(result.fun)

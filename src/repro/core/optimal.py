@@ -11,10 +11,11 @@ the realised `d_i(t)` would have chosen.  Two variants:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.fastlp import PerSlotLpSolver
 from repro.core.formulation import build_caching_model
 from repro.lp.branch_and_bound import solve_ilp
 from repro.lp.solver import solve_lp
@@ -23,6 +24,29 @@ from repro.mec.requests import Request
 
 __all__ = ["clairvoyant_cost", "clairvoyant_cost_exact"]
 
+# Most-recent (network, requests) -> PerSlotLpSolver.  clairvoyant_cost is
+# called once per slot on the compute_optimal path with the *same* network
+# and request list for a whole horizon, so a single-entry cache removes the
+# per-slot model rebuild the way OlGdController._solve_fractional does with
+# its lazily-built solver, while staying bounded (no per-run growth).
+_SOLVER_CACHE: List[Tuple[MECNetwork, Tuple[Request, ...], PerSlotLpSolver]] = []
+
+
+def _cached_solver(
+    network: MECNetwork, requests: Sequence[Request]
+) -> PerSlotLpSolver:
+    requests_key = tuple(requests)
+    if _SOLVER_CACHE:
+        cached_network, cached_requests, solver = _SOLVER_CACHE[0]
+        # Identity for the network (capacities may mutate in place — the
+        # solver re-reads them each solve), equality for the requests.
+        if cached_network is network and cached_requests == requests_key:
+            return solver
+    solver = PerSlotLpSolver(network, requests)
+    _SOLVER_CACHE.clear()
+    _SOLVER_CACHE.append((network, requests_key, solver))
+    return solver
+
 
 def clairvoyant_cost(
     network: MECNetwork,
@@ -30,16 +54,17 @@ def clairvoyant_cost(
     demands_mb: np.ndarray,
     unit_delays_ms: np.ndarray,
 ) -> float:
-    """Optimal Eq. (3) objective of one slot under known `d_i(t)` (LP bound)."""
-    model, _ = build_caching_model(
-        network, requests, demands_mb, unit_delays_ms, integer=False
+    """Optimal Eq. (3) objective of one slot under known `d_i(t)` (LP bound).
+
+    Solves through a cached :class:`~repro.core.fastlp.PerSlotLpSolver`
+    (same LP as the dict-based reference builder, asserted equivalent in
+    the test suite) instead of rebuilding the model every slot.
+    """
+    solver = _cached_solver(network, requests)
+    _, objective = solver.solve_with_objective(
+        np.asarray(demands_mb, dtype=float), np.asarray(unit_delays_ms, dtype=float)
     )
-    solution = solve_lp(model)
-    if not solution.is_optimal:
-        raise RuntimeError(
-            f"clairvoyant LP failed ({solution.status}): {solution.message}"
-        )
-    return solution.objective
+    return objective
 
 
 def static_hindsight_cost(

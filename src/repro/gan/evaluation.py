@@ -16,13 +16,11 @@ both:
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.gan.infogan import InfoRnnGan
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.workload.stats import autocorrelation
 
 __all__ = [
@@ -84,8 +82,11 @@ def latent_recovery_accuracy(
     correct, total = 0, 0
     for _ in range(n_samples):
         generated = gan.generate(codes, conditioning, n_samples=1)
-        _, pooled = gan.discriminator(Tensor(generated))
-        logits = gan.q_head(pooled).data
+        # Discriminator-only evaluation: no training follows, so record
+        # no graph.
+        with no_grad():
+            _, pooled = gan.discriminator(Tensor(generated))
+            logits = gan.q_head(pooled).data
         predicted = logits.argmax(axis=1)
         actual = codes.argmax(axis=1)
         correct += int((predicted == actual).sum())

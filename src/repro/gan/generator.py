@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.fused import sequence_kernels_enabled
 from repro.nn.functional import softplus
-from repro.nn.layers import BiLSTM, Dense, Module
+from repro.nn.layers import Dense, Module
 from repro.nn.recurrent import make_birnn
 from repro.nn.tensor import Tensor, concat, stack
 from repro.utils.validation import require_positive
@@ -92,18 +93,45 @@ class Generator(Module):
                 f"{noise.shape[1]}, {self.cond_channels}), got {conditioning.shape}"
             )
         window = noise.shape[0]
-        # Broadcast the constant code across time by re-stacking.
-        steps = [
-            concat([noise[t], codes, conditioning[t]], axis=-1) for t in range(window)
-        ]
-        sequence = stack(steps, axis=0)
+        if sequence_kernels_enabled() and not (
+            noise.requires_grad or codes.requires_grad or conditioning.requires_grad
+        ):
+            # The usual case: all three inputs are constants (noise, one-hot
+            # codes, observed demands), so the per-slot [z_t, c, x_{t-1}]
+            # assembly needs no graph — one numpy concatenate replaces
+            # W concat nodes + a stack node, bit-identically.
+            batch = noise.shape[1]
+            sequence = Tensor(
+                np.concatenate(
+                    [
+                        noise.data,
+                        np.broadcast_to(
+                            codes.data[np.newaxis], (window, batch, self.code_dim)
+                        ),
+                        conditioning.data,
+                    ],
+                    axis=2,
+                )
+            )
+        else:
+            # Broadcast the constant code across time by re-stacking.
+            steps = [
+                concat([noise[t], codes, conditioning[t]], axis=-1)
+                for t in range(window)
+            ]
+            sequence = stack(steps, axis=0)
         features = self.bilstm(sequence)
         flat = features.reshape(window * noise.shape[1], self.bilstm.output_size)
         raw = self.head(flat).reshape(window, noise.shape[1], 1)
         return softplus(raw)
 
     def sample_noise(self, window: int, batch: int, rng: np.random.Generator) -> Tensor:
-        """Draw `z^t` for a window: standard normal, shape ``(W, B, nz)``."""
+        """Draw `z^t` for a window: standard normal, shape ``(W, B, nz)``.
+
+        Drawn in float64 (so the stream matches seeded expectations) and
+        cast to the generator's parameter dtype.
+        """
         require_positive("window", window)
         require_positive("batch", batch)
-        return Tensor(rng.normal(0.0, 1.0, size=(window, batch, self.noise_dim)))
+        draw = rng.normal(0.0, 1.0, size=(window, batch, self.noise_dim))
+        return Tensor(draw, dtype=self.head.weight.data.dtype)

@@ -21,7 +21,7 @@ the distribution (burst sharpness) that plain regression smooths away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.gan.generator import Generator
 from repro.gan.qhead import QHead
 from repro.nn.functional import binary_cross_entropy, mse, pinball
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = ["GanLosses", "InfoRnnGan"]
@@ -74,6 +74,12 @@ class InfoRnnGan:
         Learning rate of the auxiliary Q head (defaults to ``10 * lr``):
         Q is a light linear probe chasing the generator's moving features,
         so it trains faster than the recurrent trunks.
+    dtype:
+        ``"float64"`` (default, exact gradcheck regime) or ``"float32"``
+        (opt-in fast path: parameters, inputs and all intermediate
+        activations run in single precision).  Float32 shifts every
+        trained value — treat pinned expectations as holding only to
+        float32 tolerance (see README "Performance").
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class InfoRnnGan:
         supervised_quantile: float = 0.5,
         lr: float = 2e-3,
         q_lr: Optional[float] = None,
+        dtype: str = "float64",
     ):
         require_non_negative("info_lambda", info_lambda)
         require_non_negative("supervised_weight", supervised_weight)
@@ -98,6 +105,9 @@ class InfoRnnGan:
                 f"supervised_quantile must be in (0, 1), got {supervised_quantile}"
             )
         require_positive("lr", lr)
+        if dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be 'float32' or 'float64', got {dtype!r}")
+        self.dtype = np.dtype(dtype)
         self._rng = rng
         self.info_lambda = float(info_lambda)
         self.supervised_weight = float(supervised_weight)
@@ -116,6 +126,12 @@ class InfoRnnGan:
             rng, hidden_size=hidden_size, num_layers=num_layers, rnn_type=rnn_type
         )
         self.q_head = QHead(self.discriminator.feature_size, code_dim, rng)
+        if self.dtype != np.float64:
+            # Convert before the optimizers snapshot parameter shapes so
+            # the Adam moment buffers come out in the same dtype.
+            self.generator.astype(self.dtype)
+            self.discriminator.astype(self.dtype)
+            self.q_head.astype(self.dtype)
         if q_lr is None:
             q_lr = 10.0 * lr
         require_positive("q_lr", q_lr)
@@ -140,9 +156,9 @@ class InfoRnnGan:
         the demand shifted one slot back; ``codes (B, code_dim)`` —
         one-hot latents.
         """
-        real_series = np.asarray(real_series, dtype=float)
-        conditioning = np.asarray(conditioning, dtype=float)
-        codes = np.asarray(codes, dtype=float)
+        real_series = np.asarray(real_series, dtype=self.dtype)
+        conditioning = np.asarray(conditioning, dtype=self.dtype)
+        codes = np.asarray(codes, dtype=self.dtype)
         if real_series.ndim != 3 or real_series.shape[2] != 1:
             raise ValueError(
                 f"real_series must have shape (W, B, 1), got {real_series.shape}"
@@ -164,7 +180,7 @@ class InfoRnnGan:
         # --- Discriminator step (Eq. 23) --------------------------------
         noise = self.generator.sample_noise(window, batch, self._rng)
         fake = self.generator(noise, codes_tensor, prev_tensor)
-        fake_detached = Tensor(fake.data)  # stop gradient into G
+        fake_detached = fake.detach()  # stop gradient into G (shares data)
 
         self._d_optimizer.zero_grad()
         real_probs, _ = self.discriminator(Tensor(real_series))
@@ -258,15 +274,18 @@ class InfoRnnGan:
         """Expected demand series per request: mean over ``n_samples`` draws.
 
         ``conditioning (W, B, cond_channels)``, ``codes (B, code_dim)``;
-        returns ``(W, B, 1)``.
+        returns ``(W, B, 1)``.  Runs under :class:`~repro.nn.tensor.no_grad`
+        — inference records no autograd graph at all (this is the path
+        behind ``GanDemandPredictor.predict_next``).
         """
         require_positive("n_samples", n_samples)
-        previous = np.asarray(conditioning, dtype=float)
-        codes_tensor = Tensor(np.asarray(codes, dtype=float))
+        previous = np.asarray(conditioning, dtype=self.dtype)
+        codes_tensor = Tensor(np.asarray(codes, dtype=self.dtype))
         prev_tensor = Tensor(previous)
         window, batch = previous.shape[0], previous.shape[1]
         draws = []
-        for _ in range(n_samples):
-            noise = self.generator.sample_noise(window, batch, self._rng)
-            draws.append(self.generator(noise, codes_tensor, prev_tensor).data)
+        with no_grad():
+            for _ in range(n_samples):
+                noise = self.generator.sample_noise(window, batch, self._rng)
+                draws.append(self.generator(noise, codes_tensor, prev_tensor).data)
         return np.mean(draws, axis=0)

@@ -48,6 +48,9 @@ class GanDemandPredictor(DemandPredictor):
         steps after each observation (Algorithm 2 lines 14-15).
     n_noise_samples:
         Monte-Carlo draws of `z` averaged into each prediction.
+    dtype:
+        Forwarded to :class:`repro.gan.InfoRnnGan` — ``"float32"`` opts
+        the whole model into the single-precision fast path.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class GanDemandPredictor(DemandPredictor):
         supervised_weight: float = 5.0,
         supervised_quantile: float = 0.5,
         lr: float = 2e-3,
+        dtype: str = "float64",
     ):
         codes = np.asarray(codes, dtype=float)
         if codes.ndim != 2:
@@ -89,6 +93,7 @@ class GanDemandPredictor(DemandPredictor):
             supervised_weight=supervised_weight,
             supervised_quantile=supervised_quantile,
             lr=lr,
+            dtype=dtype,
         )
         self.loss_history: List = []
         if warmup_history is not None:
@@ -167,14 +172,15 @@ class GanDemandPredictor(DemandPredictor):
             return
         history = self.history
         window = min(self._window, history.shape[0] - 1)
-        targets = history[-window:].T[:, :, np.newaxis]  # (R, W, 1)
+        # Both train_step inputs are loop-invariant: build the (W, R, 1)
+        # targets directly (no transpose round-trip per step) and the
+        # conditioning once.
+        targets = history[-window:, :, np.newaxis]  # (W, R, 1)
         conditioning = self._conditioning_from(
             history[-window - 1 : -1]
         )  # (W, R, 2)
         for _ in range(self._online_steps):
-            self.model.train_step(
-                targets.transpose(1, 0, 2), conditioning, self._codes
-            )
+            self.model.train_step(targets, conditioning, self._codes)
 
     # ------------------------------------------------------------------ #
     # Prediction

@@ -17,11 +17,17 @@ from repro.nn.functional import (
     softmax,
     softplus,
 )
+from repro.nn.fused import (
+    gru_sequence,
+    lstm_sequence,
+    sequence_kernels_enabled,
+    use_sequence_kernels,
+)
 from repro.nn.gradcheck import gradcheck, numerical_gradient
 from repro.nn.layers import BiLSTM, Dense, LSTM, LSTMCell, Module, Sequential
 from repro.nn.recurrent import BiGRU, GRU, GRUCell, make_birnn
 from repro.nn.optim import Adam, Optimizer, Sgd
-from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "binary_cross_entropy",
@@ -30,6 +36,10 @@ __all__ = [
     "mse",
     "softmax",
     "softplus",
+    "gru_sequence",
+    "lstm_sequence",
+    "sequence_kernels_enabled",
+    "use_sequence_kernels",
     "gradcheck",
     "numerical_gradient",
     "BiLSTM",
@@ -47,5 +57,7 @@ __all__ = [
     "Sgd",
     "Tensor",
     "concat",
+    "is_grad_enabled",
+    "no_grad",
     "stack",
 ]

@@ -58,7 +58,7 @@ def binary_cross_entropy(probabilities: Tensor, targets: np.ndarray) -> Tensor:
     data (`log D(rho)`) and targets=0 for generated data
     (`log(1 - D(G(z, c)))`), up to sign.
     """
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=probabilities.data.dtype)
     if targets.shape != probabilities.shape:
         raise ValueError(
             f"targets shape {targets.shape} must match predictions "
@@ -79,7 +79,7 @@ def categorical_cross_entropy(logits: Tensor, one_hot_targets: np.ndarray) -> Te
     `L1(G, Q)` (Eq. 25) reduces to minimising the cross-entropy between
     `Q(c' | x)` and the true latent code `c`.
     """
-    targets = np.asarray(one_hot_targets, dtype=np.float64)
+    targets = np.asarray(one_hot_targets, dtype=logits.data.dtype)
     if targets.shape != logits.shape:
         raise ValueError(
             f"targets shape {targets.shape} must match logits {logits.shape}"
@@ -94,7 +94,7 @@ def categorical_cross_entropy(logits: Tensor, one_hot_targets: np.ndarray) -> Te
 
 def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
     """Mean squared error against constant targets."""
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=predictions.data.dtype)
     if targets.shape != predictions.shape:
         raise ValueError(
             f"targets shape {targets.shape} must match predictions "
@@ -114,7 +114,7 @@ def pinball(predictions: Tensor, targets: np.ndarray, quantile: float) -> Tensor
     """
     if not 0.0 < quantile < 1.0:
         raise ValueError(f"quantile must be in (0, 1), got {quantile}")
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=predictions.data.dtype)
     if targets.shape != predictions.shape:
         raise ValueError(
             f"targets shape {targets.shape} must match predictions "

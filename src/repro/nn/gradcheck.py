@@ -57,6 +57,11 @@ def gradcheck(
     for p in params:
         if not p.requires_grad:
             raise ValueError("all checked parameters must require gradients")
+        if p.data.dtype != np.float64:
+            raise ValueError(
+                "gradcheck requires float64 parameters (central differences "
+                f"drown in float32 rounding noise), got {p.data.dtype}"
+            )
         p.zero_grad()
     output = f()
     if output.size != 1:

@@ -6,15 +6,27 @@ both generator and discriminator; :class:`BiLSTM` composes two
 outputs, exactly that architecture.
 
 Sequence convention: time-major tensors of shape ``(T, B, features)``.
+
+Execution paths: :class:`LSTM` (and the GRU twin in
+:mod:`repro.nn.recurrent`) runs through the fused sequence kernels of
+:mod:`repro.nn.fused` by default — one autograd node and one
+input-projection GEMM per layer — and falls back to the per-step cell
+loop (``forward_stepwise``) when the kernels are disabled.  Both paths
+evaluate the cell expression ``(x_t @ W_x + b) + h @ W_h`` in the same
+floating-point order, so their outputs are bit-identical in float64
+(asserted in the test suite).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.nn import fused as fused_kernels
+from repro.nn.fused import lstm_sequence
 from repro.nn.tensor import Tensor, concat, stack
 from repro.utils.validation import require_positive
 
@@ -60,6 +72,29 @@ class Module:
     def n_parameters(self) -> int:
         """Total scalar parameter count."""
         return sum(p.size for p in self.parameters())
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The parameters' dtype (modules are homogeneous by construction)."""
+        params = self.parameters()
+        if not params:
+            raise ValueError("module has no parameters")
+        return params[0].data.dtype
+
+    def astype(self, dtype) -> "Module":
+        """Convert every parameter to ``dtype`` in place; returns ``self``.
+
+        The float32 switch: convert **before** creating optimizers so
+        their moment buffers match.  Gradient buffers are dropped (they
+        are lazily re-allocated in the new dtype).  Gradient *checking*
+        stays a float64 affair — see :func:`repro.nn.gradcheck.gradcheck`,
+        which rejects non-float64 parameters.
+        """
+        for p in self.parameters():
+            p.data = p.data.astype(dtype)
+            p.grad = None
+            p._grad_buffer = None
+        return self
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
@@ -115,7 +150,10 @@ class LSTMCell(Module):
 
     Gates are computed from a single fused weight matrix over
     ``[x_t, h]``; the forget-gate bias is initialised to 1 (standard
-    remedy against early vanishing memory).
+    remedy against early vanishing memory).  The forward evaluates the
+    split form ``(x @ W[:in] + b) + h @ W[in:]`` — the same expression,
+    in the same order, as the fused sequence kernel, which is what makes
+    the two execution paths bit-identical.
     """
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
@@ -132,18 +170,16 @@ class LSTMCell(Module):
         self.bias = Tensor(bias, requires_grad=True)
 
     def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
-        """Zero (h, c) state for a batch."""
+        """Zero (h, c) state for a batch (in the cell's dtype)."""
         require_positive("batch", batch)
-        zeros = np.zeros((batch, self.hidden_size))
+        zeros = np.zeros((batch, self.hidden_size), dtype=self.weight.data.dtype)
         return Tensor(zeros), Tensor(zeros.copy())
 
-    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
-        h, c = state
-        if x.ndim != 2 or x.shape[1] != self.input_size:
-            raise ValueError(
-                f"expected input of shape (batch, {self.input_size}), got {x.shape}"
-            )
-        fused = concat([x, h], axis=-1) @ self.weight + self.bias
+    def _step(
+        self, x: Tensor, h: Tensor, c: Tensor, w_x: Tensor, w_h: Tensor
+    ) -> Tuple[Tensor, Tensor]:
+        """Gate math given pre-sliced weights (hoisted by the LSTM loop)."""
+        fused = x @ w_x + self.bias + h @ w_h
         H = self.hidden_size
         i_gate = fused[:, 0 * H : 1 * H].sigmoid()
         f_gate = fused[:, 1 * H : 2 * H].sigmoid()
@@ -152,6 +188,15 @@ class LSTMCell(Module):
         c_next = f_gate * c + i_gate * g_gate
         h_next = o_gate * c_next.tanh()
         return h_next, c_next
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_size}), got {x.shape}"
+            )
+        In = self.input_size
+        return self._step(x, h, c, self.weight[:In], self.weight[In:])
 
 
 class LSTM(Module):
@@ -173,24 +218,46 @@ class LSTM(Module):
             for layer in range(num_layers)
         ]
 
-    def forward(self, sequence: Tensor) -> Tensor:
-        """Run the stack; returns hidden outputs of the top layer, (T, B, H)."""
+    def _validate(self, sequence: Tensor) -> None:
         if sequence.ndim != 3 or sequence.shape[2] != self.input_size:
             raise ValueError(
                 f"expected sequence of shape (T, batch, {self.input_size}), "
                 f"got {sequence.shape}"
             )
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Run the stack; returns hidden outputs of the top layer, (T, B, H).
+
+        Uses the fused sequence kernel (one autograd node per layer)
+        unless :func:`repro.nn.fused.use_sequence_kernels` disabled it.
+        """
+        self._validate(sequence)
+        if not fused_kernels.sequence_kernels_enabled():
+            return self.forward_stepwise(sequence)
+        with obs.span("nn.forward"):
+            out = sequence
+            for cell in self.cells:
+                out = lstm_sequence(out, cell.weight, cell.bias, cell.hidden_size)
+            return out
+
+    def forward_stepwise(self, sequence: Tensor) -> Tensor:
+        """Per-step reference path: one graph node per op per timestep."""
+        self._validate(sequence)
         horizon, batch = sequence.shape[0], sequence.shape[1]
-        layer_inputs = [sequence[t] for t in range(horizon)]
-        for cell in self.cells:
-            state = cell.initial_state(batch)
-            outputs: List[Tensor] = []
-            for x_t in layer_inputs:
-                h, c = cell(x_t, state)
-                state = (h, c)
-                outputs.append(h)
-            layer_inputs = outputs
-        return stack(layer_inputs, axis=0)
+        with obs.span("nn.forward"):
+            layer_inputs = [sequence[t] for t in range(horizon)]
+            for cell in self.cells:
+                In = cell.input_size
+                # Hoist the weight split out of the time loop: one getitem
+                # node per layer instead of two per step.
+                w_x, w_h = cell.weight[:In], cell.weight[In:]
+                h, c = cell.initial_state(batch)
+                outputs: List[Tensor] = []
+                for x_t in layer_inputs:
+                    h, c = cell._step(x_t, h, c, w_x, w_h)
+                    outputs.append(h)
+                layer_inputs = outputs
+            return stack(layer_inputs, axis=0)
 
 
 class BiLSTM(Module):
@@ -218,13 +285,8 @@ class BiLSTM(Module):
         return 2 * self.hidden_size
 
     def forward(self, sequence: Tensor) -> Tensor:
-        horizon = sequence.shape[0]
         forward_out = self.forward_lstm(sequence)
-        reversed_in = stack([sequence[t] for t in reversed(range(horizon))], axis=0)
-        backward_raw = self.backward_lstm(reversed_in)
-        backward_out = stack(
-            [backward_raw[t] for t in reversed(range(horizon))], axis=0
-        )
+        backward_out = self.backward_lstm(sequence.flip(0)).flip(0)
         return concat([forward_out, backward_out], axis=-1)
 
 

@@ -12,7 +12,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.nn.tensor import Tensor
-from repro.utils.validation import require_non_negative, require_positive, require_probability
+from repro.utils.validation import require_positive, require_probability
 
 __all__ = ["Optimizer", "Sgd", "Adam"]
 
@@ -34,7 +34,13 @@ class Optimizer(abc.ABC):
         return list(self._params)
 
     def zero_grad(self) -> None:
-        """Clear every parameter's gradient (call before each backward)."""
+        """Clear every parameter's gradient (call before each backward).
+
+        This only drops the ``grad`` reference; each tensor keeps its
+        owned gradient buffer and the next backward overwrites it in
+        place (see ``Tensor.zero_grad``), so the zero/accumulate cycle
+        allocates nothing.
+        """
         for p in self._params:
             p.zero_grad()
 
@@ -64,7 +70,7 @@ class Sgd(Optimizer):
                 continue
             velocity *= self._momentum
             velocity -= self._lr * p.grad
-            p.data = p.data + velocity
+            p.data += velocity
 
 
 class Adam(Optimizer):
@@ -104,4 +110,4 @@ class Adam(Optimizer):
             v += (1.0 - self._beta2) * (p.grad**2)
             m_hat = m / correction1
             v_hat = v / correction2
-            p.data = p.data - self._lr * m_hat / (np.sqrt(v_hat) + self._eps)
+            p.data -= self._lr * m_hat / (np.sqrt(v_hat) + self._eps)

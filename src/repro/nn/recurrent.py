@@ -4,15 +4,22 @@ The paper specifies Bi-LSTMs; GRUs are the standard lighter-weight
 substitute with one less gate and no cell state.  Provided so the GAN can
 be instantiated with either cell (``rnn_type="gru"``), which the
 `abl-pred` style experiments can use to probe architecture sensitivity.
+
+Like :class:`repro.nn.layers.LSTM`, :class:`GRU` runs through the fused
+sequence kernel of :mod:`repro.nn.fused` by default and keeps the
+per-step cell loop as the bit-identical ``forward_stepwise`` reference.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.nn.layers import BiLSTM, LSTM, Module, _xavier
+from repro import obs
+from repro.nn import fused as fused_kernels
+from repro.nn.fused import gru_sequence
+from repro.nn.layers import BiLSTM, Module, _xavier
 from repro.nn.tensor import Tensor, concat, stack
 from repro.utils.validation import require_positive
 
@@ -26,6 +33,10 @@ class GRUCell(Module):
 
         z = sigmoid(W_z [x, h]);  r = sigmoid(W_r [x, h])
         n = tanh(W_n [x, r * h]);  h' = (1 - z) * n + z * h
+
+    Evaluated in the split form ``(x @ W[:in] + b) + s @ W[in:]`` (with
+    ``s`` the hidden or reset-gated hidden), matching the fused sequence
+    kernel's floating-point order exactly.
     """
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
@@ -44,24 +55,45 @@ class GRUCell(Module):
         self.candidate_bias = Tensor(np.zeros((1, hidden_size)), requires_grad=True)
 
     def initial_state(self, batch: int) -> Tensor:
-        """Zero hidden state for a batch."""
+        """Zero hidden state for a batch (in the cell's dtype)."""
         require_positive("batch", batch)
-        return Tensor(np.zeros((batch, self.hidden_size)))
+        return Tensor(
+            np.zeros((batch, self.hidden_size), dtype=self.gate_weight.data.dtype)
+        )
+
+    def _step(
+        self,
+        x: Tensor,
+        h: Tensor,
+        wg_x: Tensor,
+        wg_h: Tensor,
+        wn_x: Tensor,
+        wn_h: Tensor,
+    ) -> Tensor:
+        """Gate math given pre-sliced weights (hoisted by the GRU loop)."""
+        H = self.hidden_size
+        gates = x @ wg_x + self.gate_bias + h @ wg_h
+        z_gate = gates[:, 0:H].sigmoid()
+        r_gate = gates[:, H : 2 * H].sigmoid()
+        candidate = (
+            x @ wn_x + self.candidate_bias + (r_gate * h) @ wn_h
+        ).tanh()
+        return (1.0 - z_gate) * candidate + z_gate * h
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.input_size:
             raise ValueError(
                 f"expected input of shape (batch, {self.input_size}), got {x.shape}"
             )
-        H = self.hidden_size
-        gates = concat([x, h], axis=-1) @ self.gate_weight + self.gate_bias
-        z_gate = gates[:, 0:H].sigmoid()
-        r_gate = gates[:, H : 2 * H].sigmoid()
-        candidate = (
-            concat([x, r_gate * h], axis=-1) @ self.candidate_weight
-            + self.candidate_bias
-        ).tanh()
-        return (1.0 - z_gate) * candidate + z_gate * h
+        In = self.input_size
+        return self._step(
+            x,
+            h,
+            self.gate_weight[:In],
+            self.gate_weight[In:],
+            self.candidate_weight[:In],
+            self.candidate_weight[In:],
+        )
 
 
 class GRU(Module):
@@ -83,22 +115,47 @@ class GRU(Module):
             for layer in range(num_layers)
         ]
 
-    def forward(self, sequence: Tensor) -> Tensor:
+    def _validate(self, sequence: Tensor) -> None:
         if sequence.ndim != 3 or sequence.shape[2] != self.input_size:
             raise ValueError(
                 f"expected sequence of shape (T, batch, {self.input_size}), "
                 f"got {sequence.shape}"
             )
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        self._validate(sequence)
+        if not fused_kernels.sequence_kernels_enabled():
+            return self.forward_stepwise(sequence)
+        with obs.span("nn.forward"):
+            out = sequence
+            for cell in self.cells:
+                out = gru_sequence(
+                    out,
+                    cell.gate_weight,
+                    cell.gate_bias,
+                    cell.candidate_weight,
+                    cell.candidate_bias,
+                    cell.hidden_size,
+                )
+            return out
+
+    def forward_stepwise(self, sequence: Tensor) -> Tensor:
+        """Per-step reference path: one graph node per op per timestep."""
+        self._validate(sequence)
         horizon, batch = sequence.shape[0], sequence.shape[1]
-        layer_inputs = [sequence[t] for t in range(horizon)]
-        for cell in self.cells:
-            state = cell.initial_state(batch)
-            outputs: List[Tensor] = []
-            for x_t in layer_inputs:
-                state = cell(x_t, state)
-                outputs.append(state)
-            layer_inputs = outputs
-        return stack(layer_inputs, axis=0)
+        with obs.span("nn.forward"):
+            layer_inputs = [sequence[t] for t in range(horizon)]
+            for cell in self.cells:
+                In = cell.input_size
+                wg_x, wg_h = cell.gate_weight[:In], cell.gate_weight[In:]
+                wn_x, wn_h = cell.candidate_weight[:In], cell.candidate_weight[In:]
+                state = cell.initial_state(batch)
+                outputs: List[Tensor] = []
+                for x_t in layer_inputs:
+                    state = cell._step(x_t, state, wg_x, wg_h, wn_x, wn_h)
+                    outputs.append(state)
+                layer_inputs = outputs
+            return stack(layer_inputs, axis=0)
 
 
 class BiGRU(Module):
@@ -121,13 +178,8 @@ class BiGRU(Module):
         return 2 * self.hidden_size
 
     def forward(self, sequence: Tensor) -> Tensor:
-        horizon = sequence.shape[0]
         forward_out = self.forward_rnn(sequence)
-        reversed_in = stack([sequence[t] for t in reversed(range(horizon))], axis=0)
-        backward_raw = self.backward_rnn(reversed_in)
-        backward_out = stack(
-            [backward_raw[t] for t in reversed(range(horizon))], axis=0
-        )
+        backward_out = self.backward_rnn(sequence.flip(0)).flip(0)
         return concat([forward_out, backward_out], axis=-1)
 
 

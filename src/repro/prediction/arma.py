@@ -75,7 +75,7 @@ class ArPredictor(DemandPredictor):
         return self._weights.copy()
 
     def predict_next(self) -> np.ndarray:
-        if not self._history:
+        if self.n_observed == 0:
             return np.zeros(self.n_requests)
         available = min(self.n_observed, self._order)
         recent = self.history[-available:][::-1]  # most recent first

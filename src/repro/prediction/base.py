@@ -2,13 +2,14 @@
 
 Protocol: the controller calls :meth:`predict_next` at the start of a slot
 (before demands are known) and :meth:`observe` at the end of the slot with
-the realised demands.  Predictors keep their own history buffer.
+the realised demands.  Predictors keep their own history buffer — a
+capacity-doubling ``(T, n_requests)`` array, so :attr:`history` is an
+O(1) view instead of re-stacking a list of rows every slot.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
 
 import numpy as np
 
@@ -28,7 +29,8 @@ class DemandPredictor(abc.ABC):
     def __init__(self, n_requests: int):
         require_positive("n_requests", n_requests)
         self._n_requests = int(n_requests)
-        self._history: List[np.ndarray] = []
+        self._history_buffer = np.zeros((0, self._n_requests))
+        self._n_observed = 0
 
     @property
     def n_requests(self) -> int:
@@ -37,14 +39,18 @@ class DemandPredictor(abc.ABC):
     @property
     def n_observed(self) -> int:
         """How many slots of demand have been observed so far."""
-        return len(self._history)
+        return self._n_observed
 
     @property
     def history(self) -> np.ndarray:
-        """Observed demand matrix, shape ``(n_observed, n_requests)``."""
-        if not self._history:
-            return np.zeros((0, self._n_requests))
-        return np.stack(self._history)
+        """Observed demand matrix, shape ``(n_observed, n_requests)``.
+
+        A read-only view of the internal buffer (no copy, no re-stack);
+        take a ``.copy()`` to hold it across later observations.
+        """
+        view = self._history_buffer[: self._n_observed]
+        view.flags.writeable = False
+        return view
 
     def observe(self, demands: np.ndarray) -> None:
         """Record the realised demand vector of the slot that just ended."""
@@ -56,7 +62,14 @@ class DemandPredictor(abc.ABC):
             )
         if np.any(demands < 0):
             raise ValueError("demands must be non-negative")
-        self._history.append(demands.copy())
+        if self._n_observed == self._history_buffer.shape[0]:
+            grown = np.zeros(
+                (max(4, 2 * self._history_buffer.shape[0]), self._n_requests)
+            )
+            grown[: self._n_observed] = self._history_buffer[: self._n_observed]
+            self._history_buffer = grown
+        self._history_buffer[self._n_observed] = demands
+        self._n_observed += 1
         self._after_observe(demands)
 
     def _after_observe(self, demands: np.ndarray) -> None:
@@ -82,16 +95,16 @@ class LastValuePredictor(DemandPredictor):
     """Persistence baseline: next = last observed (zeros before any data)."""
 
     def predict_next(self) -> np.ndarray:
-        if not self._history:
+        if self._n_observed == 0:
             return np.zeros(self._n_requests)
-        return self._history[-1].copy()
+        return self._history_buffer[self._n_observed - 1].copy()
 
 
 class MeanPredictor(DemandPredictor):
     """Running-mean baseline: next = mean of all observed slots."""
 
     def predict_next(self) -> np.ndarray:
-        if not self._history:
+        if self._n_observed == 0:
             return np.zeros(self._n_requests)
         return self.history.mean(axis=0)
 

@@ -1,0 +1,72 @@
+"""Tier-1 smoke test of the NN speed benchmark (schema and stages).
+
+Runs ``benchmarks/bench_nn_speed.py`` in its ``--quick`` configuration so
+the benchmark cannot rot: every stage must execute and emit the trajectory
+schema that ``BENCH_pr*.json`` files at the repo root follow.  Speedup
+*magnitudes* are not asserted here — at smoke sizes they are noise; the
+committed ``BENCH_pr3.json`` records the real measurement.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_nn_speed import PR, QUICK_CONFIG, SCHEMA, main, run_benchmark
+
+EXPECTED_STAGES = {
+    "lstm_train_step",
+    "gru_train_step",
+    "lstm_forward_no_grad",
+    "gan_generate_inference",
+    "gan_slot_train_predict",
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_benchmark(QUICK_CONFIG)
+
+
+class TestBenchmarkSchema:
+    def test_envelope(self, result):
+        assert result["schema"] == SCHEMA
+        assert result["pr"] == PR
+        assert isinstance(result["commit"], str) and result["commit"]
+        assert result["config"] == QUICK_CONFIG
+
+    def test_stages_complete(self, result):
+        assert {s["stage"] for s in result["stages"]} == EXPECTED_STAGES
+
+    def test_stage_fields(self, result):
+        for stage in result["stages"]:
+            assert stage["baseline_median_seconds"] > 0
+            assert stage["fast_median_seconds"] > 0
+            assert stage["speedup"] == pytest.approx(
+                stage["baseline_median_seconds"] / stage["fast_median_seconds"]
+            )
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(result))
+        assert json.loads(path.read_text()) == result
+
+
+class TestCommittedTrajectory:
+    def test_bench_pr3_recorded(self):
+        """The first trajectory point ships with the repo and meets target."""
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
+        recorded = json.loads(path.read_text())
+        assert recorded["schema"] == SCHEMA
+        assert recorded["pr"] == PR
+        slot = {s["stage"]: s for s in recorded["stages"]}["gan_slot_train_predict"]
+        assert slot["speedup"] >= 3.0
+
+
+class TestCli:
+    def test_quick_writes_output(self, tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        main(["--quick", "--output", str(out)])
+        written = json.loads(out.read_text())
+        assert written["schema"] == SCHEMA
+        assert {s["stage"] for s in written["stages"]} == EXPECTED_STAGES

@@ -187,3 +187,63 @@ class TestPerSlotLpSolver:
         assert first_solver is not None
         controller.decide(1, demands)
         assert controller._lp_solver is first_solver  # reused, not rebuilt
+
+
+class TestClairvoyantSolverCache:
+    """clairvoyant_cost routes through a cached PerSlotLpSolver."""
+
+    def test_objective_matches_reference_builder(self):
+        from repro.core.optimal import clairvoyant_cost
+
+        for seed in (3, 17, 91):
+            network, requests, demands = make_instance(seed, 6, 5)
+            theta = network.delays.true_means
+            expected, _ = reference_objective(network, requests, demands, theta)
+            assert clairvoyant_cost(network, requests, demands, theta) == pytest.approx(
+                expected, rel=1e-7, abs=1e-9
+            )
+
+    def test_solver_reused_across_slots(self):
+        from repro.core import optimal
+
+        network, requests, demands = make_instance(4, 5, 4)
+        theta = network.delays.true_means
+        optimal.clairvoyant_cost(network, requests, demands, theta)
+        _, _, solver = optimal._SOLVER_CACHE[0]
+        optimal.clairvoyant_cost(network, requests, 1.5 * demands, theta)
+        assert optimal._SOLVER_CACHE[0][2] is solver  # same instance, no rebuild
+
+    def test_cache_invalidated_on_different_instance(self):
+        from repro.core import optimal
+
+        network_a, requests_a, demands_a = make_instance(5, 5, 4)
+        network_b, requests_b, demands_b = make_instance(6, 6, 5)
+        theta_a = network_a.delays.true_means
+        theta_b = network_b.delays.true_means
+        cost_a = optimal.clairvoyant_cost(network_a, requests_a, demands_a, theta_a)
+        solver_a = optimal._SOLVER_CACHE[0][2]
+        optimal.clairvoyant_cost(network_b, requests_b, demands_b, theta_b)
+        assert optimal._SOLVER_CACHE[0][2] is not solver_a  # rebuilt for new world
+        # And the first world still computes the same cost after eviction.
+        assert optimal.clairvoyant_cost(
+            network_a, requests_a, demands_a, theta_a
+        ) == pytest.approx(cost_a, rel=1e-9)
+
+    def test_cached_solver_sees_live_capacity_changes(self):
+        from repro.core.optimal import clairvoyant_cost
+
+        network, requests, demands = make_instance(7, 4, 6)
+        theta = network.delays.true_means
+        baseline = clairvoyant_cost(network, requests, demands, theta)
+        original = [bs.capacity_mhz for bs in network.stations]
+        try:
+            for bs in network.stations:
+                bs.capacity_mhz *= 10.0
+            relaxed = clairvoyant_cost(network, requests, demands, theta)
+        finally:
+            for bs, cap in zip(network.stations, original):
+                bs.capacity_mhz = cap
+        assert relaxed <= baseline + 1e-9  # looser capacity cannot cost more
+        assert clairvoyant_cost(network, requests, demands, theta) == pytest.approx(
+            baseline, rel=1e-9
+        )
