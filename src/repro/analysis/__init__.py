@@ -1,0 +1,42 @@
+"""Project-specific static analysis (pure stdlib, always on in tier-1).
+
+The test suite can only spot-check this repository's load-bearing
+invariants — bit-reproducible seeded randomness, the hand-rolled autograd
+tape's ``.data`` contract, and ``repro.obs``'s zero-cost-when-off path.
+This package enforces them at every call site with an ``ast``-based rule
+pack, a ``# repro: allow[RULE] -- why`` suppression mechanism, and a
+committed baseline for grandfathered findings.
+
+Run it as ``python -m repro.analysis [--format json|text] [paths...]``;
+the tier-1 gate ``tests/test_static_analysis.py`` runs the same scan
+in-process (no subprocess, no skip path).  Rules and rationale are
+documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Suppression,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.rules import all_rules, rule_by_id, rules_table
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_suppressions",
+    "rule_by_id",
+    "rules_table",
+]

@@ -1,0 +1,94 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the always-on tier-1 gate adopt a new rule without a
+flag-day fixing spree: known findings are recorded in
+``analysis-baseline.json`` and stop failing the gate, while *new*
+violations of the same rule still do.  This repository currently ships an
+**empty** baseline — every initial finding was either fixed or suppressed
+inline with a justification — so the file mostly documents the workflow:
+
+* ``python -m repro.analysis --update-baseline`` rewrites the file with
+  whatever currently fires (run it from the repo root so paths match).
+* Entries match on ``(path, rule, stripped line text)`` — not the line
+  *number* — so unrelated edits don't resurrect grandfathered findings,
+  but touching the offending line itself does.
+* Duplicate identical lines in one file need one entry each; entries are
+  consumed as they match (``count`` in the JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: Union[Dict[_Key, int], None] = None) -> None:
+        self.entries: Dict[_Key, int] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[_Key, int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{file_path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries: Dict[_Key, int] = {}
+        for entry in payload.get("entries", []):
+            key = (str(entry["path"]), str(entry["rule"]), str(entry["text"]))
+            entries[key] = entries.get(key, 0) + int(entry.get("count", 1))
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"path": key[0], "rule": key[1], "text": key[2], "count": count}
+                for key, count in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline (entries are consumed)."""
+        remaining = dict(self.entries)
+        fresh: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

@@ -1,0 +1,131 @@
+"""``python -m repro.analysis`` — run the repo's static-analysis rules.
+
+Usage::
+
+    python -m repro.analysis                       # src tests benchmarks
+    python -m repro.analysis src/repro/core        # restrict the scan
+    python -m repro.analysis --format json src     # machine-readable
+    python -m repro.analysis --list-rules          # rule catalogue
+    python -m repro.analysis --update-baseline     # grandfather current findings
+
+Exit codes: 0 clean (after baseline/suppressions), 1 findings reported,
+2 usage error (e.g. a named path does not exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.rules import rules_table
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_TARGETS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based determinism / autograd-safety / obs-hygiene linter "
+            "for this repository (see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: src tests benchmarks, "
+             "skipping the ones that don't exist under the cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path(DEFAULT_BASELINE_NAME),
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE_NAME}; a missing file is empty)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    rows = rules_table()
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        print(f"{row['id']}  {row['name']:<{width}}  {row['summary']}")
+        print(f"{'':<8}{'':<{width}}scope: {row['scope']}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        targets = [Path(p) for p in _DEFAULT_TARGETS if Path(p).exists()]
+        if not targets:
+            print(
+                "error: none of the default targets "
+                f"{' '.join(_DEFAULT_TARGETS)} exist here; pass paths "
+                "explicitly",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        n_files = len(iter_python_files(targets))
+        findings = analyze_paths(targets)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote {len(findings)} baseline entr"
+              f"{'y' if len(findings) == 1 else 'ies'} -> {args.baseline}")
+        return 0
+
+    if not args.no_baseline:
+        findings = Baseline.load(args.baseline).filter(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "checked_files": n_files,
+                    "count": len(findings),
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun} in {n_files} files")
+    return 1 if findings else 0

@@ -1,0 +1,425 @@
+"""Core machinery of the ``repro.analysis`` static-analysis framework.
+
+This module is deliberately pure-stdlib (``ast`` + ``tokenize``): the
+analyzer gates tier-1 CI, so it must run on the most hermetic container
+the suite supports — no ruff, no mypy, no third-party imports.
+
+Pieces
+------
+:class:`Finding`
+    One diagnostic: file, rule id, position, message, and the stripped
+    source line (the line text is what the committed baseline matches on,
+    so findings survive unrelated line-number drift).
+:class:`Suppression`
+    A parsed ``# repro: allow[RULE-ID] -- justification`` comment.  A
+    suppression silences the named rule(s) on its own physical line, or —
+    when the comment stands alone on a line — on the line directly below.
+    The justification is mandatory; a bare ``allow`` is itself reported
+    (rule ``ANA001``), as is a suppression that silences nothing
+    (``ANA002``), so stale or typo'd allows cannot linger silently.
+:class:`ModuleContext`
+    Everything a rule needs about one parsed module: the AST, the source
+    lines, the dotted module path (``repro.core.fastlp``, ``tests.test_x``)
+    and lazily-built parent / ``no_grad``-scope indexes shared by all rules.
+:class:`Rule`
+    Base class; concrete rules live in :mod:`repro.analysis.rules`.
+:func:`analyze_source` / :func:`analyze_paths`
+    Run a rule set over source text / files and return sorted findings
+    with suppressions applied.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_suppressions",
+]
+
+#: Matches ``repro: allow[RULE1]`` / ``repro: allow[RULE1,RULE2] -- why``
+#: inside a comment (the placeholder here is hyphenated on purpose, so this
+#: very comment can't match its own pattern).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<justification>.*)$"
+)
+
+#: Framework-level diagnostics (not AST rules; cannot be disabled).
+PARSE_ERROR = "ANA000"
+MISSING_JUSTIFICATION = "ANA001"
+UNUSED_SUPPRESSION = "ANA002"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule (or by the framework itself)."""
+
+    path: str
+    rule: str
+    line: int
+    col: int
+    message: str
+    text: str
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The identity the committed baseline matches on.
+
+        Line *text* rather than line *number*, so a grandfathered finding
+        stays grandfathered when unrelated edits shift the file around —
+        and resurfaces as soon as the offending line itself changes.
+        """
+        return (self.path, self.rule, self.text)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (the ``--format json`` output schema)."""
+        return {
+            "path": self.path,
+            "rule": self.rule,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    own_line: bool
+
+    def covers(self, finding_line: int) -> bool:
+        """Whether this comment's scope includes ``finding_line``."""
+        if finding_line == self.line:
+            return True
+        return self.own_line and finding_line == self.line + 1
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every ``# repro: allow[...]`` comment from ``source``.
+
+    Uses :mod:`tokenize` (not a regex over lines) so comment-looking text
+    inside string literals is never misread as a suppression.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        justification = match.group("justification").strip().lstrip("-—:").strip()
+        before_comment = token.line[: token.start[1]]
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                rules=rules,
+                justification=justification,
+                own_line=not before_comment.strip(),
+            )
+        )
+    return suppressions
+
+
+class ModuleContext:
+    """Shared per-module state handed to every rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.module = _module_parts(path)
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        self._no_grad_ids: Optional[FrozenSet[int]] = None
+
+    # ---- module identity ---------------------------------------------- #
+
+    @property
+    def repro_subpackage(self) -> Optional[str]:
+        """``"core"`` for ``repro.core.*``, ``"cli"`` for ``repro.cli``, ...
+
+        ``None`` when the module is not part of the ``repro`` package
+        (tests, benchmarks, fixtures).
+        """
+        if len(self.module) >= 2 and self.module[0] == "repro":
+            return self.module[1]
+        return None
+
+    def in_repro(self) -> bool:
+        return bool(self.module) and self.module[0] == "repro"
+
+    def in_packages(self, packages: Iterable[str]) -> bool:
+        """Whether the module lives in one of the named repro subpackages."""
+        sub = self.repro_subpackage
+        return sub is not None and sub in set(packages)
+
+    # ---- source access ------------------------------------------------- #
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # ---- lazily-built AST indexes -------------------------------------- #
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[id(child)] = outer
+            self._parents = parents
+        return self._parents.get(id(node))
+
+    def in_no_grad(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits lexically inside a ``with no_grad():`` body."""
+        if self._no_grad_ids is None:
+            inside: set = set()
+            for outer in ast.walk(self.tree):
+                if not isinstance(outer, (ast.With, ast.AsyncWith)):
+                    continue
+                if not any(
+                    _is_no_grad_entry(item.context_expr) for item in outer.items
+                ):
+                    continue
+                for body_stmt in outer.body:
+                    for descendant in ast.walk(body_stmt):
+                        inside.add(id(descendant))
+            self._no_grad_ids = frozenset(inside)
+        return id(node) in self._no_grad_ids
+
+
+def _is_no_grad_entry(expr: ast.expr) -> bool:
+    """Whether a with-item expression is a ``no_grad()`` activation."""
+    if not isinstance(expr, ast.Call):
+        return False
+    name = dotted_name(expr.func)
+    return name is not None and name.split(".")[-1] == "no_grad"
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Resolve ``np.random.default_rng`` -> its dotted string, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_parts(path: str) -> Tuple[str, ...]:
+    """Dotted-module parts for a file path.
+
+    ``src/repro/core/fastlp.py`` -> ``("repro", "core", "fastlp")``;
+    package ``__init__``s drop the final component; paths outside a
+    recognised root keep their raw parts so tests can still scope rules.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        return tuple(parts[parts.index("repro"):])
+    if "src" in parts:
+        return tuple(parts[parts.index("src") + 1:])
+    return tuple(parts)
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` restricts the rule to its scope (most invariants
+    only hold in specific subpackages — see ``docs/STATIC_ANALYSIS.md``).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: str = "all scanned files"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.path,
+            rule=self.rule_id,
+            line=lineno,
+            col=col,
+            message=message,
+            text=ctx.line_text(lineno),
+        )
+
+
+def _framework_finding(
+    path: str, rule: str, line: int, message: str, text: str
+) -> Finding:
+    return Finding(path=path, rule=rule, line=line, col=0, message=message, text=text)
+
+
+def analyze_source(
+    source: str,
+    path: Union[str, Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: the full registry) over one module's source.
+
+    Returns sorted findings with suppressions already applied.  Passing an
+    explicit ``rules`` subset (as the fixture tests do) disables the
+    unused-suppression check — a comment may legitimately target a rule
+    outside the subset.
+    """
+    path_str = Path(path).as_posix()
+    check_unused = rules is None
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        return [
+            _framework_finding(
+                path_str,
+                PARSE_ERROR,
+                line,
+                f"file does not parse: {error.msg}",
+                source.splitlines()[line - 1].strip() if source.splitlines() else "",
+            )
+        ]
+    ctx = ModuleContext(path_str, source, tree)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    used: set = set()
+    for finding in raw:
+        suppressed = False
+        for index, suppression in enumerate(suppressions):
+            if finding.rule in suppression.rules and suppression.covers(finding.line):
+                used.add(index)
+                suppressed = True
+        if not suppressed:
+            findings.append(finding)
+    for index, suppression in enumerate(suppressions):
+        if not suppression.justification:
+            findings.append(
+                _framework_finding(
+                    path_str,
+                    MISSING_JUSTIFICATION,
+                    suppression.line,
+                    "suppression needs a justification: "
+                    "# repro: allow[RULE] -- <why this is safe>",
+                    ctx.line_text(suppression.line),
+                )
+            )
+        if check_unused and index not in used:
+            findings.append(
+                _framework_finding(
+                    path_str,
+                    UNUSED_SUPPRESSION,
+                    suppression.line,
+                    f"suppression for {', '.join(suppression.rules)} matches "
+                    "no finding on its line (stale comment or typo'd rule id?)",
+                    ctx.line_text(suppression.line),
+                )
+            )
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.setdefault(path, None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    seen.setdefault(candidate, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths``; findings sorted by site.
+
+    Paths in findings are reported relative to ``root`` (default: the
+    current working directory) whenever possible, so baseline entries are
+    stable across machines.
+    """
+    base = (root or Path.cwd()).resolve()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        resolved = file_path.resolve()
+        try:
+            reported = resolved.relative_to(base)
+        except ValueError:
+            reported = file_path
+        source = resolved.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, reported, rules=rules))
+    return sorted(findings, key=Finding.sort_key)

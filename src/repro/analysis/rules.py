@@ -1,0 +1,589 @@
+"""The rule pack: this repository's invariants, encoded as AST checks.
+
+Every rule exists because the test suite can only *spot-check* the
+invariant while a static pass can enforce it at every call site.  Three of
+them are direct generalisations of real bugs fixed in PRs 1–3 (see
+``docs/STATIC_ANALYSIS.md`` for the full rationale and the suppression /
+baseline workflow):
+
+* PR 1 fixed commutative-XOR seed derivation in ``RngRegistry.child`` —
+  the determinism rules (``DET001``–``DET005``) police how randomness is
+  created and threaded.
+* PR 2's churn miscount hid inside aggregate statistics — the obs-hygiene
+  rule (``OBS001``) keeps telemetry keys static so snapshots stay
+  deterministic and the disabled path allocation-free.
+* PR 3's fused kernels rely on ``Tensor.data`` never being mutated or
+  read mid-graph outside ``repro.nn`` — the autograd rules (``AG001``,
+  ``AG002``) fence that contract.
+
+Scopes
+------
+``PROTECTED_PACKAGES`` are the seed-deterministic subsystems: everything
+whose outputs the paper's figures pin.  ``THREADED_RNG_PACKAGES`` must
+*receive* ``numpy.random.Generator`` objects (threaded from
+``repro.utils.seeding.RngRegistry``) and never construct their own;
+``repro.mec`` / ``repro.workload`` are the sanctioned counter-based
+derivation sites (``default_rng((stored_seed, slot))``) and are exempt
+from ``DET005`` only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = [
+    "PROTECTED_PACKAGES",
+    "THREADED_RNG_PACKAGES",
+    "all_rules",
+    "rule_by_id",
+]
+
+#: Seed-deterministic subsystems: a wall clock or unseeded RNG anywhere in
+#: these invalidates the paper's figure-level reproducibility claims.
+PROTECTED_PACKAGES: FrozenSet[str] = frozenset(
+    {"core", "mec", "sim", "nn", "gan", "bandits", "workload"}
+)
+
+#: Packages (plus the CLI module) that must take Generators as parameters
+#: rather than constructing their own.
+THREADED_RNG_PACKAGES: FrozenSet[str] = frozenset(
+    {"core", "gan", "bandits", "nn", "sim", "cli"}
+)
+
+#: The modern, explicitly-seeded part of ``numpy.random`` — everything
+#: else on that namespace is the legacy *global-state* API.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_RULE_CLASSES: List[Type[Rule]] = []
+
+
+def _register(cls: Type[Rule]) -> Type[Rule]:
+    _RULE_CLASSES.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """The registered rule with ``rule_id`` (raises ``KeyError`` if none)."""
+    for cls in _RULE_CLASSES:
+        if cls.rule_id == rule_id:
+            return cls()
+    raise KeyError(f"no rule with id {rule_id!r}")
+
+
+def _np_random_member(node: ast.expr) -> Optional[str]:
+    """``"default_rng"`` for ``np.random.default_rng`` / ``numpy.random...``."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+        return parts[2]
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+
+
+@_register
+class ModuleLevelRngRule(Rule):
+    """Import-time RNG construction makes stream layout depend on import
+    order — the same class of silent cross-contamination PR 1 removed
+    from ``RngRegistry.child``."""
+
+    rule_id = "DET001"
+    name = "module-level-rng"
+    summary = "no numpy RNG calls at module import time"
+    scope = "src/repro/**"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree.body)
+
+    def _scan(
+        self, ctx: ModuleContext, body: Sequence[ast.stmt]
+    ) -> Iterator[Finding]:
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # Bodies run at call time, not import time — but decorators
+                # and default expressions still evaluate on import.
+                if not isinstance(node, ast.Lambda):
+                    stack.extend(node.decorator_list)
+                stack.extend(node.args.defaults)
+                stack.extend(d for d in node.args.kw_defaults if d is not None)
+                continue
+            if isinstance(node, ast.Call):
+                member = _np_random_member(node.func)
+                if member is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{member} called at module scope; "
+                        "construct RNG state inside functions and thread "
+                        "it from repro.utils.seeding.RngRegistry",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@_register
+class LegacyGlobalRngRule(Rule):
+    """The legacy ``np.random.*`` API draws from hidden global state: any
+    component using it reshuffles every other component's stream."""
+
+    rule_id = "DET002"
+    name = "legacy-global-rng"
+    summary = "no legacy global-state numpy.random API"
+    scope = "all scanned files"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            member = _np_random_member(node)
+            if member is not None and member not in _ALLOWED_NP_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{member} uses the hidden global generator; "
+                    "draw from an explicit np.random.Generator instead",
+                )
+
+
+@_register
+class StdlibRandomRule(Rule):
+    """``random`` shares one process-global Mersenne Twister and is not
+    covered by the RngRegistry's named-stream isolation."""
+
+    rule_id = "DET003"
+    name = "stdlib-random"
+    summary = "no stdlib random module in seed-deterministic packages"
+    scope = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_packages(PROTECTED_PACKAGES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib random is process-global state; use a "
+                            "numpy Generator from the RngRegistry",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib random is process-global state; use a "
+                        "numpy Generator from the RngRegistry",
+                    )
+
+
+@_register
+class WallClockRule(Rule):
+    """Wall-clock reads inside the simulated system leak real time into
+    seed-deterministic outputs (``perf_counter`` for *measuring* runtime
+    panels is fine — it never feeds simulation state)."""
+
+    rule_id = "DET004"
+    name = "wall-clock-entropy"
+    summary = "no time.time()/datetime.now() in seed-deterministic packages"
+    scope = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
+
+    _CLOCK_TAILS = frozenset({"now", "utcnow", "today"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_packages(PROTECTED_PACKAGES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            is_time = name in ("time.time", "time.time_ns")
+            is_datetime = parts[-1] in self._CLOCK_TAILS and any(
+                part in ("datetime", "date") for part in parts[:-1]
+            )
+            if is_time or is_datetime:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() reads the wall clock inside a "
+                    "seed-deterministic package; thread simulated time or "
+                    "keep timing in repro.utils.timer/repro.obs",
+                )
+
+
+@_register
+class RngConstructionRule(Rule):
+    """Controllers, bandits, the NN stack, the engine and the CLI must
+    *receive* Generators threaded from the RngRegistry.  Constructing one
+    locally bypasses the named-stream isolation that keeps repetitions
+    independent (the PR 1 child-derivation bug was exactly such a bypass)."""
+
+    rule_id = "DET005"
+    name = "rng-construction"
+    summary = "no default_rng/SeedSequence construction outside sanctioned sites"
+    scope = "src/repro/{core,gan,bandits,nn,sim} + repro/cli.py"
+
+    _CONSTRUCTORS = frozenset({"default_rng", "SeedSequence"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_packages(THREADED_RNG_PACKAGES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = _np_random_member(node.func)
+            if member is None and isinstance(node.func, ast.Name):
+                if node.func.id in self._CONSTRUCTORS:
+                    member = node.func.id
+            if member in self._CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{member} constructed in a package that must "
+                    "thread Generators; get a named stream from "
+                    "repro.utils.seeding.RngRegistry instead",
+                )
+
+
+# --------------------------------------------------------------------- #
+# Autograd safety
+# --------------------------------------------------------------------- #
+
+
+def _data_attribute_in_target(target: ast.expr) -> Optional[ast.Attribute]:
+    """The ``.data`` attribute node buried in an assignment target, if any.
+
+    Catches ``x.data = v``, ``x.data[i] = v``, ``x.data[i][j] = v`` and
+    ``x.data.flat[i] = v`` — all writes that reach the tensor's buffer.
+    """
+    current: ast.expr = target
+    while isinstance(current, (ast.Subscript, ast.Attribute)):
+        if isinstance(current, ast.Attribute) and current.attr == "data":
+            return current
+        current = current.value
+    return None
+
+
+@_register
+class TensorDataMutationRule(Rule):
+    """In-place writes to ``Tensor.data`` outside ``repro.nn`` corrupt the
+    recorded graph: backward replays stale values.  The fused kernels
+    (PR 3) are bit-identical only because nothing mutates buffers behind
+    the tape's back."""
+
+    rule_id = "AG001"
+    name = "tensor-data-mutation"
+    summary = "no .data mutation outside repro.nn / no_grad()"
+    scope = "src/repro/** except repro/nn/**"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro() and ctx.repro_subpackage != "nn"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for element in _flatten_targets(target):
+                    attribute = _data_attribute_in_target(element)
+                    if attribute is not None and not ctx.in_no_grad(node):
+                        yield self.finding(
+                            ctx,
+                            attribute,
+                            ".data mutated outside repro.nn and outside "
+                            "no_grad(); the autograd tape would replay "
+                            "stale values on backward",
+                        )
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
+@_register
+class TensorDataReadRule(Rule):
+    """Reading ``.data`` mid-graph silently detaches the value from
+    autograd — gradients stop flowing with no error.  Outside ``repro.nn``
+    raw buffers may only be read under ``no_grad()`` (metadata like
+    ``.data.dtype`` / ``.data.shape`` is always safe)."""
+
+    rule_id = "AG002"
+    name = "tensor-data-read"
+    summary = "no .data reads outside repro.nn unless under no_grad()"
+    scope = "src/repro/** except repro/nn/**"
+
+    _METADATA = frozenset({"dtype", "shape", "ndim", "size"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro() and ctx.repro_subpackage != "nn"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) or node.attr != "data":
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue  # stores are AG001's concern
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Attribute)
+                and parent.attr in self._METADATA
+            ):
+                continue
+            if ctx.in_no_grad(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                ".data read outside repro.nn detaches the value from "
+                "autograd; wrap the read in no_grad() (or suppress with a "
+                "justification if this is not a Tensor)",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Obs hygiene
+# --------------------------------------------------------------------- #
+
+
+@_register
+class ObsLiteralNameRule(Rule):
+    """Metric/span names must be string literals.  A constructed name
+    (f-string, ``%``, ``.format``, concatenation, variable) allocates on
+    every call even when telemetry is disabled — breaking the measured
+    zero-cost-when-off contract — and risks unbounded, run-dependent key
+    sets that defeat snapshot merging."""
+
+    rule_id = "OBS001"
+    name = "obs-literal-name"
+    summary = "obs.span/inc/observe/gauge names must be string literals"
+    scope = "all scanned files"
+
+    _HELPERS = frozenset({"span", "inc", "observe", "gauge"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        bare_helpers = self._bare_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            helper = self._helper_name(node.func, bare_helpers)
+            if helper is None or not node.args:
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                name_arg,
+                f"obs.{helper} name must be a string literal so the "
+                "disabled path stays allocation-free and metric keys stay "
+                f"deterministic; got {type(name_arg).__name__}",
+            )
+
+    def _helper_name(
+        self, func: ast.expr, bare_helpers: FrozenSet[str]
+    ) -> Optional[str]:
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._HELPERS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "obs"
+        ):
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in bare_helpers:
+            return func.id
+        return None
+
+    def _bare_imports(self, ctx: ModuleContext) -> FrozenSet[str]:
+        """Helper names imported directly via ``from repro.obs import ...``."""
+        names = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "repro.obs",
+                "repro.obs.registry",
+            ):
+                for alias in node.names:
+                    if alias.name in self._HELPERS:
+                        names.add(alias.asname or alias.name)
+        return frozenset(names)
+
+
+# --------------------------------------------------------------------- #
+# API hygiene
+# --------------------------------------------------------------------- #
+
+
+@_register
+class MutableDefaultRule(Rule):
+    """A mutable default is created once at def-time and shared by every
+    call — state leaks across invocations (and across test cases)."""
+
+    rule_id = "API001"
+    name = "mutable-default"
+    summary = "no mutable default arguments"
+    scope = "all scanned files"
+
+    _MUTABLE_CALLS = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.deque",
+            "collections.OrderedDict",
+            "collections.Counter",
+            "defaultdict",
+            "deque",
+            "OrderedDict",
+            "Counter",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and construct inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+@_register
+class PublicAnnotationRule(Rule):
+    """The controller/engine layer is the library's contract surface; a
+    missing annotation there is an undocumented degree of freedom (and
+    what let the stale-capacity LP bug of PR 1 hide behind an untyped
+    ``b_ub`` hand-off)."""
+
+    rule_id = "API002"
+    name = "public-annotations"
+    summary = "public repro.core/repro.sim functions need full annotations"
+    scope = "src/repro/{core,sim}"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_packages({"core", "sim"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, stmt, is_method=False)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_function(ctx, sub, is_method=True)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        if node.name.startswith("_"):
+            return  # private helpers and dunders are out of scope
+        missing: List[str] = []
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if is_method and index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {node.name!r} is missing annotations "
+                f"for: {', '.join(missing)}",
+            )
+
+
+def rules_table() -> List[Dict[str, str]]:
+    """Id/name/summary/scope rows for ``--list-rules`` and the docs."""
+    return [
+        {
+            "id": cls.rule_id,
+            "name": cls.name,
+            "summary": cls.summary,
+            "scope": cls.scope,
+        }
+        for cls in _RULE_CLASSES
+    ]

@@ -22,8 +22,6 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-import numpy as np
-
 from repro import obs
 from repro.experiments import (
     FULL_PROFILE,
@@ -37,6 +35,7 @@ from repro.experiments import (
 from repro.experiments.export import figure_to_csv, figure_to_json
 from repro.experiments.plots import render_figure_plots
 from repro.experiments.tables import render_figure
+from repro.utils.seeding import RngRegistry
 from repro.workload import synthesize_nyc_wifi_trace
 
 __all__ = ["main", "build_parser"]
@@ -218,7 +217,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
+    # Named stream from the seeding registry (not a bare default_rng):
+    # the CLI trace draws stay isolated from any other consumer of the
+    # same root seed, and seed validation comes for free.
+    rng = RngRegistry(seed=args.seed).get("cli.trace")
     trace = synthesize_nyc_wifi_trace(
         args.hotspots, args.users, rng, horizon_slots=args.horizon
     )

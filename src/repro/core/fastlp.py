@@ -155,6 +155,7 @@ class PerSlotLpSolver:
             self._c[: R * S] = (np.outer(demands_mb, theta_ms) / R).reshape(-1)
             # Patch the capacity coefficients: rho_l * C_unit.
             needs = demands_mb * self._network.c_unit_mhz
+            # repro: allow[AG002] -- scipy.sparse CSC buffer, not a Tensor
             data = self._a_ub.data
             for i in range(S):
                 data[self._capacity_data_index[i]] = needs

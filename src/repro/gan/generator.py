@@ -19,7 +19,7 @@ from repro.nn.fused import sequence_kernels_enabled
 from repro.nn.functional import softplus
 from repro.nn.layers import Dense, Module
 from repro.nn.recurrent import make_birnn
-from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.tensor import Tensor, concat, no_grad, stack
 from repro.utils.validation import require_positive
 
 __all__ = ["Generator"]
@@ -101,18 +101,23 @@ class Generator(Module):
             # assembly needs no graph — one numpy concatenate replaces
             # W concat nodes + a stack node, bit-identically.
             batch = noise.shape[1]
-            sequence = Tensor(
-                np.concatenate(
-                    [
-                        noise.data,
-                        np.broadcast_to(
-                            codes.data[np.newaxis], (window, batch, self.code_dim)
-                        ),
-                        conditioning.data,
-                    ],
-                    axis=2,
+            with no_grad():
+                # Raw-buffer reads are safe here: the branch guard above
+                # proved none of the inputs requires a gradient, so there
+                # is no graph to detach from.
+                sequence = Tensor(
+                    np.concatenate(
+                        [
+                            noise.data,
+                            np.broadcast_to(
+                                codes.data[np.newaxis],
+                                (window, batch, self.code_dim),
+                            ),
+                            conditioning.data,
+                        ],
+                        axis=2,
+                    )
                 )
-            )
         else:
             # Broadcast the constant code across time by re-stacking.
             steps = [

@@ -36,7 +36,10 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.obs.trace import TraceWriter
 
 __all__ = [
     "DEFAULT_TIME_EDGES",
@@ -121,7 +124,7 @@ class _Span:
 
     __slots__ = ("_registry", "_name", "_started")
 
-    def __init__(self, registry: "MetricsRegistry", name: str):
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
         self._registry = registry
         self._name = name
         self._started = 0.0
@@ -157,7 +160,7 @@ class MetricsRegistry:
     tagged with the registry's current context (see :meth:`set_context`).
     """
 
-    def __init__(self, trace: Optional["TraceWriter"] = None):  # noqa: F821
+    def __init__(self, trace: Optional["TraceWriter"] = None) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -343,7 +346,7 @@ class _Activation:
 
     __slots__ = ("_registry", "_previous")
 
-    def __init__(self, registry: Optional[MetricsRegistry]):
+    def __init__(self, registry: Optional[MetricsRegistry]) -> None:
         self._registry = registry
         self._previous: Optional[MetricsRegistry] = None
 
@@ -368,7 +371,7 @@ def activate(registry: Optional[MetricsRegistry]) -> _Activation:
     return _Activation(registry)
 
 
-def span(name: str) -> object:
+def span(name: str) -> Union[_Span, _NullSpan]:
     """Module-level scoped timer honouring the active registry.
 
     Returns a shared no-op context manager when telemetry is disabled —

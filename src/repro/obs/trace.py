@@ -79,7 +79,7 @@ class TraceWriter:
     manager or call :meth:`close` explicitly.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._handle: Optional[IO[str]] = None
         self._n_events = 0

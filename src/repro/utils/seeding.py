@@ -48,7 +48,7 @@ class RngRegistry:
     True
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         require_seed(seed)
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}

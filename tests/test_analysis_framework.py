@@ -1,0 +1,239 @@
+"""Analyzer internals: suppressions, baseline round-trips, JSON output
+schema, and the ``python -m repro.analysis`` exit-code contract."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    analyze_source,
+    parse_suppressions,
+    rule_by_id,
+    rules_table,
+)
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fires API001 (scope: everywhere), so it works from any path — including
+#: a pytest tmp_path, which is outside every package-scoped rule.
+MUTABLE_DEFAULT = "def f(xs=[]):\n    return xs\n"
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Suppression comments
+# --------------------------------------------------------------------- #
+
+
+class TestSuppressions:
+    def test_parse_extracts_rules_and_justification(self):
+        source = "x = 1  # repro: allow[AG002,DET005] -- scipy buffer\n"
+        (suppression,) = parse_suppressions(source)
+        assert suppression.rules == ("AG002", "DET005")
+        assert suppression.justification == "scipy buffer"
+        assert suppression.line == 1
+        assert not suppression.own_line
+
+    def test_pattern_inside_string_literal_is_not_a_suppression(self):
+        source = 's = "# repro: allow[AG002] -- not a comment"\n'
+        assert parse_suppressions(source) == []
+
+    def test_same_line_suppression_silences_finding(self):
+        source = "def f(xs=[]):  # repro: allow[API001] -- fixture\n    return xs\n"
+        assert analyze_source(source, "tests/x.py", rules=[rule_by_id("API001")]) == []
+
+    def test_own_line_suppression_covers_next_line(self):
+        source = (
+            "# repro: allow[API001] -- fixture\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        assert analyze_source(source, "tests/x.py", rules=[rule_by_id("API001")]) == []
+
+    def test_suppression_only_silences_named_rule(self):
+        source = "def f(xs=[]):  # repro: allow[AG002] -- wrong rule\n    return xs\n"
+        findings = analyze_source(
+            source, "tests/x.py", rules=[rule_by_id("API001")]
+        )
+        assert [f.rule for f in findings] == ["API001"]
+
+    def test_missing_justification_is_reported(self):
+        source = "def f(xs=[]):  # repro: allow[API001]\n    return xs\n"
+        findings = analyze_source(source, "tests/x.py")
+        rules = [f.rule for f in findings]
+        assert "ANA001" in rules  # the bare allow is flagged ...
+        assert "API001" not in rules  # ... but still suppresses
+
+    def test_unused_suppression_is_reported_with_full_registry(self):
+        source = "x = 1  # repro: allow[DET001] -- nothing here fires\n"
+        findings = analyze_source(source, "tests/x.py")
+        assert [f.rule for f in findings] == ["ANA002"]
+
+    def test_unused_check_skipped_for_explicit_rule_subset(self):
+        source = "x = 1  # repro: allow[DET001] -- targets a rule not run\n"
+        assert analyze_source(source, "tests/x.py", rules=[rule_by_id("API001")]) == []
+
+    def test_syntax_error_reports_ana000(self):
+        findings = analyze_source("def f(:\n", "tests/x.py")
+        assert [f.rule for f in findings] == ["ANA000"]
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    def findings(self, source="", path="tests/x.py"):
+        return analyze_source(source or MUTABLE_DEFAULT, path)
+
+    def test_round_trip_filters_grandfathered_findings(self, tmp_path):
+        findings = self.findings()
+        baseline = Baseline.from_findings(findings)
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path)
+        reloaded = Baseline.load(baseline_path)
+        assert len(reloaded) == len(findings) == 1
+        assert reloaded.filter(findings) == []
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+        findings = self.findings()
+        assert baseline.filter(findings) == findings
+
+    def test_new_findings_pass_through(self):
+        old = self.findings()
+        baseline = Baseline.from_findings(old)
+        two = MUTABLE_DEFAULT + "def g(ys={}):\n    return ys\n"
+        fresh = baseline.filter(self.findings(two))
+        assert [f.line for f in fresh] == [3]
+
+    def test_counted_entries_consume_one_match_each(self):
+        # Two byte-identical violating lines -> two baseline entries with
+        # the same key; a third occurrence must surface as fresh.
+        two_same = "def f(xs=[]):\n    return xs\ndef g(xs=[]):\n    return xs\n"
+        baseline = Baseline.from_findings(self.findings(two_same))
+        three_same = two_same + "def h(xs=[]):\n    return xs\n"
+        fresh = baseline.filter(self.findings(three_same))
+        assert len(fresh) == 1
+
+    def test_matching_is_line_number_independent(self):
+        baseline = Baseline.from_findings(self.findings())
+        shifted = "import os  # unrelated new first line\n" + MUTABLE_DEFAULT
+        findings = [
+            f for f in self.findings(shifted) if f.rule == "API001"
+        ]
+        assert baseline.filter(findings) == []
+
+    def test_version_mismatch_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        try:
+            Baseline.load(bad)
+        except ValueError as error:
+            assert "version" in str(error)
+        else:
+            raise AssertionError("expected ValueError on version mismatch")
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_module_invocation_exits_nonzero_on_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(MUTABLE_DEFAULT)
+        result = run_cli([str(bad)], cwd=tmp_path)
+        assert result.returncode == 1, result.stderr
+        assert "API001" in result.stdout
+
+    def test_module_invocation_exits_zero_on_clean_file(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def f(xs=None):\n    return xs or []\n")
+        result = run_cli([str(good)], cwd=tmp_path)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        result = run_cli(["does/not/exist"], cwd=tmp_path)
+        assert result.returncode == 2
+        assert "no such file" in result.stderr
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(MUTABLE_DEFAULT)
+        status = main(["--format", "json", "--no-baseline", str(bad)])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["version"] == 1
+        assert payload["checked_files"] == 1
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "rule", "line", "col", "message", "text"}
+        assert finding["rule"] == "API001"
+        assert finding["line"] == 1
+        assert finding["text"] == "def f(xs=[]):"
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(MUTABLE_DEFAULT)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--baseline", str(baseline), "--update-baseline", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["--baseline", str(baseline), str(bad)]) == 0
+        # The baseline does not hide *new* findings.
+        bad.write_text(MUTABLE_DEFAULT + "def g(ys=[]):\n    return ys\n")
+        assert main(["--baseline", str(baseline), str(bad)]) == 1
+
+    def test_list_rules_names_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for row in rules_table():
+            assert row["id"] in out
+
+    def test_text_output_renders_position(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(MUTABLE_DEFAULT)
+        assert main(["--no-baseline", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad.as_posix()}:1:" in out or "bad.py:1:" in out
+
+
+# --------------------------------------------------------------------- #
+# Registry sanity
+# --------------------------------------------------------------------- #
+
+
+def test_rule_ids_are_unique_and_documented():
+    rows = rules_table()
+    ids = [row["id"] for row in rows]
+    assert len(ids) == len(set(ids))
+    for row in rows:
+        assert row["name"] and row["summary"] and row["scope"]
+
+
+def test_dedent_helper_snippets_parse():
+    # Guard against fixture drift: the snippet constant must stay a
+    # valid single-finding module.
+    findings = analyze_source(textwrap.dedent(MUTABLE_DEFAULT), "tests/x.py")
+    assert [f.rule for f in findings] == ["API001"]

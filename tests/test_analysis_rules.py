@@ -1,0 +1,346 @@
+"""Fixture tests: every rule fires on a minimal violating snippet and
+stays silent on the corrected form.
+
+Each case passes a *fake path* so the snippet lands in the rule's scope
+(rules are scoped by subpackage — see ``docs/STATIC_ANALYSIS.md``), and
+runs exactly one rule so findings are unambiguous.
+"""
+
+import textwrap
+
+from repro.analysis import analyze_source, rule_by_id
+
+CORE = "src/repro/core/example.py"
+GAN = "src/repro/gan/example.py"
+NN = "src/repro/nn/example.py"
+SIM = "src/repro/sim/example.py"
+WORKLOAD = "src/repro/workload/example.py"
+EXPERIMENTS = "src/repro/experiments/example.py"
+TESTS = "tests/test_example.py"
+
+
+def run(rule_id, source, path):
+    rule = rule_by_id(rule_id)
+    return analyze_source(textwrap.dedent(source), path, rules=[rule])
+
+
+def assert_fires(rule_id, source, path, times=1):
+    findings = run(rule_id, source, path)
+    assert [f.rule for f in findings] == [rule_id] * times, findings
+
+
+def assert_silent(rule_id, source, path):
+    assert run(rule_id, source, path) == []
+
+
+class TestModuleLevelRng:
+    BAD = """
+        import numpy as np
+        _RNG = np.random.default_rng(0)
+    """
+    GOOD = """
+        import numpy as np
+
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+    """
+
+    def test_fires_on_module_level_construction(self):
+        assert_fires("DET001", self.BAD, CORE)
+
+    def test_silent_inside_function(self):
+        assert_silent("DET001", self.GOOD, CORE)
+
+    def test_fires_in_default_argument(self):
+        source = """
+            import numpy as np
+
+            def f(rng=np.random.default_rng(0)):
+                return rng
+        """
+        assert_fires("DET001", source, CORE)
+
+    def test_fires_in_class_body(self):
+        source = """
+            import numpy as np
+
+            class Config:
+                rng = np.random.default_rng(7)
+        """
+        assert_fires("DET001", source, CORE)
+
+    def test_out_of_scope_path_silent(self):
+        assert_silent("DET001", self.BAD, TESTS)
+
+
+class TestLegacyGlobalRng:
+    BAD = """
+        import numpy as np
+
+        def f():
+            np.random.seed(0)
+            return np.random.rand(3)
+    """
+    GOOD = """
+        import numpy as np
+
+        def f(rng: np.random.Generator):
+            return rng.random(3)
+    """
+
+    def test_fires_on_global_api(self):
+        assert_fires("DET002", self.BAD, TESTS, times=2)
+
+    def test_silent_on_generator_api(self):
+        assert_silent("DET002", self.GOOD, TESTS)
+
+    def test_seed_sequence_allowed(self):
+        source = """
+            import numpy as np
+            SEQ = np.random.SeedSequence(entropy=(1, 2))
+        """
+        assert_silent("DET002", source, TESTS)
+
+
+class TestStdlibRandom:
+    BAD = "import random\n"
+    BAD_FROM = "from random import shuffle\n"
+    GOOD = "import numpy as np\n"
+
+    def test_fires_in_protected_package(self):
+        assert_fires("DET003", self.BAD, SIM)
+        assert_fires("DET003", self.BAD_FROM, CORE)
+
+    def test_silent_outside_protected_packages(self):
+        assert_silent("DET003", self.BAD, EXPERIMENTS)
+
+    def test_silent_on_numpy(self):
+        assert_silent("DET003", self.GOOD, SIM)
+
+
+class TestWallClock:
+    BAD_TIME = """
+        import time
+
+        def slot_id():
+            return int(time.time())
+    """
+    BAD_DATETIME = """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+    """
+    GOOD = """
+        import time
+
+        def lap():
+            return time.perf_counter()
+    """
+
+    def test_fires_on_time_time(self):
+        assert_fires("DET004", self.BAD_TIME, CORE)
+
+    def test_fires_on_datetime_now(self):
+        assert_fires("DET004", self.BAD_DATETIME, WORKLOAD)
+
+    def test_perf_counter_allowed(self):
+        assert_silent("DET004", self.GOOD, SIM)
+
+    def test_silent_outside_protected_packages(self):
+        assert_silent("DET004", self.BAD_TIME, EXPERIMENTS)
+
+
+class TestRngConstruction:
+    BAD = """
+        import numpy as np
+
+        def decide(seed):
+            rng = np.random.default_rng(seed)
+            return rng.random()
+    """
+    GOOD = """
+        import numpy as np
+
+        def decide(rng: np.random.Generator):
+            return rng.random()
+    """
+
+    def test_fires_in_threaded_package(self):
+        assert_fires("DET005", self.BAD, CORE)
+
+    def test_fires_in_cli(self):
+        assert_fires("DET005", self.BAD, "src/repro/cli.py")
+
+    def test_silent_when_rng_is_threaded(self):
+        assert_silent("DET005", self.GOOD, CORE)
+
+    def test_counter_based_sites_are_sanctioned(self):
+        assert_silent("DET005", self.BAD, WORKLOAD)
+
+
+class TestTensorDataMutation:
+    BAD = """
+        def clamp(t, v):
+            t.data[0] = v
+    """
+    BAD_AUGMENTED = """
+        def scale(t):
+            t.data *= 2.0
+    """
+    GOOD = """
+        from repro.nn.tensor import no_grad
+
+        def clamp(t, v):
+            with no_grad():
+                t.data[0] = v
+    """
+
+    def test_fires_on_subscript_store(self):
+        assert_fires("AG001", self.BAD, GAN)
+
+    def test_fires_on_augmented_assignment(self):
+        assert_fires("AG001", self.BAD_AUGMENTED, GAN)
+
+    def test_silent_under_no_grad(self):
+        assert_silent("AG001", self.GOOD, GAN)
+
+    def test_repro_nn_is_exempt(self):
+        assert_silent("AG001", self.BAD, NN)
+
+
+class TestTensorDataRead:
+    BAD = """
+        def detach_by_accident(t):
+            return t.data + 1.0
+    """
+    GOOD = """
+        from repro.nn.tensor import no_grad
+
+        def readout(t):
+            with no_grad():
+                return t.data + 1.0
+    """
+
+    def test_fires_on_raw_read(self):
+        assert_fires("AG002", self.BAD, GAN)
+
+    def test_silent_under_no_grad(self):
+        assert_silent("AG002", self.GOOD, GAN)
+
+    def test_metadata_reads_allowed(self):
+        source = """
+            def width(t):
+                return t.data.shape[1], t.data.dtype
+        """
+        assert_silent("AG002", source, GAN)
+
+    def test_repro_nn_is_exempt(self):
+        assert_silent("AG002", self.BAD, NN)
+
+
+class TestObsLiteralName:
+    BAD = """
+        from repro import obs
+
+        def work(slot):
+            with obs.span(f"sim.slot.{slot}"):
+                pass
+    """
+    GOOD = """
+        from repro import obs
+
+        def work():
+            with obs.span("sim.slot"):
+                obs.inc("sim.slots")
+    """
+
+    def test_fires_on_fstring_name(self):
+        assert_fires("OBS001", self.BAD, SIM)
+
+    def test_silent_on_literal_names(self):
+        assert_silent("OBS001", self.GOOD, SIM)
+
+    def test_fires_on_bare_imported_helper(self):
+        source = """
+            from repro.obs import inc
+
+            def work(kind):
+                inc("prefix." + kind)
+        """
+        assert_fires("OBS001", source, SIM)
+
+    def test_unrelated_span_methods_ignored(self):
+        source = """
+            def work(registry, name):
+                registry.span(name)
+        """
+        assert_silent("OBS001", source, SIM)
+
+
+class TestMutableDefault:
+    BAD = """
+        def collect(item, bucket=[]):
+            bucket.append(item)
+            return bucket
+    """
+    GOOD = """
+        def collect(item, bucket=None):
+            if bucket is None:
+                bucket = []
+            bucket.append(item)
+            return bucket
+    """
+
+    def test_fires_on_list_default(self):
+        assert_fires("API001", self.BAD, TESTS)
+
+    def test_fires_on_dict_call_default(self):
+        assert_fires("API001", "def f(cache=dict()):\n    return cache\n", TESTS)
+
+    def test_silent_on_none_default(self):
+        assert_silent("API001", self.GOOD, TESTS)
+
+    def test_fires_on_keyword_only_default(self):
+        assert_fires("API001", "def f(*, xs={}):\n    return xs\n", TESTS)
+
+
+class TestPublicAnnotations:
+    BAD = """
+        def decide(demands):
+            return demands
+    """
+    GOOD = """
+        import numpy as np
+
+        def decide(demands: np.ndarray) -> np.ndarray:
+            return demands
+    """
+
+    def test_fires_on_unannotated_public_function(self):
+        assert_fires("API002", self.BAD, CORE)
+
+    def test_silent_when_fully_annotated(self):
+        assert_silent("API002", self.GOOD, SIM)
+
+    def test_private_functions_exempt(self):
+        assert_silent("API002", "def _helper(x):\n    return x\n", CORE)
+
+    def test_fires_on_public_method(self):
+        source = """
+            class Controller:
+                def decide(self, demands):
+                    return demands
+        """
+        assert_fires("API002", source, CORE)
+
+    def test_dunders_exempt(self):
+        source = """
+            class Controller:
+                def __init__(self, k):
+                    self.k = k
+        """
+        assert_silent("API002", source, CORE)
+
+    def test_out_of_scope_package_silent(self):
+        assert_silent("API002", self.BAD, GAN)

@@ -1,0 +1,46 @@
+"""Always-on tier-1 gate: zero unsuppressed static-analysis findings.
+
+Unlike the ruff/mypy gates (``tests/test_lint.py`` / ``test_typecheck.py``)
+this one has **no skip path**: the analyzer is pure stdlib and runs
+in-process, so a clean tier-1 run always implies the repository satisfies
+the invariants in ``docs/STATIC_ANALYSIS.md`` — seeded-randomness
+threading, autograd ``.data`` safety, obs key hygiene, API hygiene.
+
+New findings are fixed at the call site, suppressed inline with
+``# repro: allow[RULE] -- <why>``, or (for a rule-rollout flag day)
+grandfathered via ``python -m repro.analysis --update-baseline``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCANNED = ("src", "tests", "benchmarks")
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+def test_repository_is_analysis_clean():
+    findings = analyze_paths(
+        [REPO_ROOT / target for target in SCANNED], root=REPO_ROOT
+    )
+    fresh = Baseline.load(BASELINE).filter(findings)
+    assert not fresh, (
+        "unsuppressed static-analysis findings (fix, or suppress with "
+        "'# repro: allow[RULE] -- why'; see docs/STATIC_ANALYSIS.md):\n"
+        + "\n".join(finding.render() for finding in fresh)
+    )
+
+
+def test_baseline_is_empty():
+    # The initial rollout fixed or justified-suppressed every finding;
+    # keep it that way unless a rule rollout genuinely needs grandfathering
+    # (in which case drop this test and document why in the baseline's
+    # commit).
+    assert len(Baseline.load(BASELINE)) == 0
+
+
+def test_gate_scans_the_real_tree():
+    # Belt and braces: the gate above is vacuous if the directories moved.
+    for target in SCANNED:
+        assert (REPO_ROOT / target).is_dir(), f"missing scan target {target}"
