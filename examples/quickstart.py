@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import GreedyController, OlGdController
+from repro.core import make_controller
 from repro.mec import DriftingDelay, MECNetwork
 from repro.sim import run_simulation
 from repro.utils import RngRegistry
@@ -50,11 +50,11 @@ def main() -> None:
     network.validate_demand_fits(total)
     print(f"workload: {len(requests)} requests, {total:.1f} MB per slot")
 
-    # --- 3. run both controllers ----------------------------------------
+    # --- 3. run both controllers (by registry name) ---------------------
     results = {}
     for controller in (
-        OlGdController(network, requests, rngs.get("ol-gd")),
-        GreedyController(network, requests, rngs.get("greedy")),
+        make_controller("OL_GD", network, requests, rngs.get("ol-gd")),
+        make_controller("Greedy_GD", network, requests, rngs.get("greedy")),
     ):
         results[controller.name] = run_simulation(
             network, demand_model, controller, horizon=40

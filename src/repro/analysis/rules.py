@@ -576,6 +576,77 @@ class PublicAnnotationRule(Rule):
             )
 
 
+@_register
+class KeywordOnlyFlagsRule(Rule):
+    """Boolean and None-default parameters are flags: at a positional call
+    site (``run_simulation(n, m, c, 100, True, False)``) nothing says
+    which flag is which, and inserting a new parameter silently reshuffles
+    every caller's meaning.  Once a signature accumulates two or more of
+    them, they must sit behind ``*`` — this is the contract the
+    checkpoint/resume API relies on (``demands_known``, ``resume``,
+    ``compute_optimal``... are only safe to evolve as keywords)."""
+
+    rule_id = "API003"
+    name = "keyword-only-flags"
+    summary = (
+        "public repro.core/repro.sim functions with >=2 bool/None-default "
+        "parameters must declare them keyword-only"
+    )
+    scope = "src/repro/{core,sim}"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_packages({"core", "sim"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not stmt.name.startswith("_"):
+                    yield from self._check_function(ctx, stmt)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if sub.name == "__init__" or not sub.name.startswith("_"):
+                            yield from self._check_function(ctx, sub)
+
+    @staticmethod
+    def _is_flag_default(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and (
+            node.value is None or isinstance(node.value, bool)
+        )
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterator[Finding]:
+        args = node.args
+        # Positional parameters carrying a bool/None default: the defaults
+        # list right-aligns against posonlyargs + args.
+        positional = args.posonlyargs + args.args
+        defaulted = positional[len(positional) - len(args.defaults):]
+        positional_flags = [
+            arg.arg
+            for arg, default in zip(defaulted, args.defaults)
+            if self._is_flag_default(default)
+        ]
+        keyword_flags = [
+            arg.arg
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None and self._is_flag_default(default)
+        ]
+        if len(positional_flags) + len(keyword_flags) < 2:
+            return
+        if positional_flags:
+            yield self.finding(
+                ctx,
+                node,
+                f"{node.name!r} has {len(positional_flags) + len(keyword_flags)}"
+                " bool/None-default parameters but "
+                f"{', '.join(repr(a) for a in positional_flags)} "
+                "can still be passed positionally; move them behind '*'",
+            )
+
+
 def rules_table() -> List[Dict[str, str]]:
     """Id/name/summary/scope rows for ``--list-rules`` and the docs."""
     return [

@@ -9,7 +9,7 @@ early exploration visit every station at least once.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -115,6 +115,34 @@ class ArmStats:
     def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
         """(means, counts) pair for logging/metrics."""
         return self.means, self.counts
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable state (see :mod:`repro.state`)."""
+        return {
+            "n_arms": self._n_arms,
+            "prior_mean": self._prior_mean,
+            "sums": self._sums.copy(),
+            "sq_sums": self._sq_sums.copy(),
+            "counts": self._counts.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
+        if int(state["n_arms"]) != self._n_arms:
+            raise ValueError(
+                f"checkpoint covers {state['n_arms']} arms, "
+                f"this estimator has {self._n_arms}"
+            )
+        self._prior_mean = float(state["prior_mean"])
+        self._sums = np.asarray(state["sums"], dtype=float).copy()
+        self._sq_sums = np.asarray(state["sq_sums"], dtype=float).copy()
+        self._counts = np.asarray(state["counts"], dtype=int).copy()
+        for name in ("_sums", "_sq_sums", "_counts"):
+            if getattr(self, name).shape != (self._n_arms,):
+                raise ValueError(
+                    f"checkpoint field {name[1:]!r} has shape "
+                    f"{getattr(self, name).shape}, expected ({self._n_arms},)"
+                )
 
     def reset(self) -> None:
         """Forget all observations."""

@@ -18,7 +18,7 @@ O(1) per arm instead of an `np.mean` pass over a deque.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Any, Deque, Dict, List
 
 import numpy as np
 
@@ -99,6 +99,48 @@ class WindowedArmStats(ArmStats):
         # Population variance (ddof=0), clipped against float cancellation
         # — same convention and guard as ArmStats.variance.
         return float(max(self._win_sq_sums[arm] / count - mean * mean, 0.0))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable state: cumulative stats plus the ragged window.
+
+        The per-arm deques are serialized as one concatenated value array
+        plus a lengths array (arrays must be rectangular on disk); the
+        window aggregates are rebuilt from the values on load.
+        """
+        state = super().state_dict()
+        lengths = np.array([len(recent) for recent in self._recent], dtype=int)
+        values = np.array(
+            [value for recent in self._recent for value in recent], dtype=float
+        )
+        state["window"] = self._window
+        state["recent_lengths"] = lengths
+        state["recent_values"] = values
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if int(state["window"]) != self._window:
+            raise ValueError(
+                f"checkpoint uses window {state['window']}, "
+                f"this estimator uses {self._window}"
+            )
+        super().load_state_dict(state)
+        lengths = np.asarray(state["recent_lengths"], dtype=int)
+        values = np.asarray(state["recent_values"], dtype=float)
+        if lengths.shape != (self.n_arms,) or int(lengths.sum()) != values.size:
+            raise ValueError("checkpoint window buffers are inconsistent")
+        self._win_counts = np.zeros(self.n_arms, dtype=int)
+        self._win_sums = np.zeros(self.n_arms)
+        self._win_sq_sums = np.zeros(self.n_arms)
+        self._recent = [deque(maxlen=self._window) for _ in range(self.n_arms)]
+        offset = 0
+        for arm, length in enumerate(lengths):
+            for value in values[offset : offset + length]:
+                recent = self._recent[arm]
+                recent.append(float(value))
+                self._win_counts[arm] += 1
+                self._win_sums[arm] += float(value)
+                self._win_sq_sums[arm] += float(value) * float(value)
+            offset += int(length)
 
     def reset(self) -> None:
         super().reset()

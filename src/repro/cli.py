@@ -84,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: profile setting; 0 = all cores; results are "
              "bit-identical for any worker count)",
     )
+    _add_checkpoint_arguments(figure_parser)
     _add_telemetry_arguments(figure_parser)
 
     report_parser = sub.add_parser(
@@ -105,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the repetition fan-out "
              "(default: profile setting; 0 = all cores)",
     )
+    _add_checkpoint_arguments(report_parser)
     _add_telemetry_arguments(report_parser)
 
     trace_parser = sub.add_parser("trace", help="synthesise a Wi-Fi trace")
@@ -114,6 +116,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--horizon", type=int, default=100)
     trace_parser.add_argument("--out", type=Path, required=True)
     return parser
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="persist completed (repetition, controller) runs under DIR "
+             "(repro.state sweep snapshots); required by --resume and "
+             "--checkpoint-every",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load completed runs from --checkpoint-dir (after a manifest "
+             "identity check) and execute only the missing ones",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="additionally snapshot each run every N completed slots, so "
+             "an interrupted run resumes mid-horizon (requires "
+             "--checkpoint-dir)",
+    )
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -172,10 +194,19 @@ def _cmd_list() -> int:
 
 
 def _select_profile(args: argparse.Namespace):
-    """The chosen profile, with the --jobs override applied if given."""
+    """The chosen profile, with CLI overrides (--jobs, checkpoints) applied."""
     profile = _PROFILES[args.profile]
+    overrides: Dict[str, object] = {}
     if getattr(args, "jobs", None) is not None:
-        profile = dataclasses.replace(profile, n_jobs=args.jobs)
+        overrides["n_jobs"] = args.jobs
+    if getattr(args, "checkpoint_dir", None) is not None:
+        overrides["checkpoint_dir"] = str(args.checkpoint_dir)
+    if getattr(args, "resume", False):
+        overrides["resume"] = True
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if overrides:
+        profile = dataclasses.replace(profile, **overrides)
     return profile
 
 
@@ -183,7 +214,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.json and args.out is None:
         print("--json requires --out", file=sys.stderr)
         return 2
-    profile = _select_profile(args)
+    try:
+        profile = _select_profile(args)
+    except ValueError as exc:  # e.g. --resume without --checkpoint-dir
+        print(str(exc), file=sys.stderr)
+        return 2
     figure = FIGURES[args.figure_id](profile)
     if args.plot:
         print(render_figure_plots(figure))
@@ -208,7 +243,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    report = run_full_report(_select_profile(args), only=args.only)
+    try:
+        profile = _select_profile(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_full_report(profile, only=args.only)
     print(render_report_markdown(report))
     if args.out is not None:
         path = write_report(report, args.out)

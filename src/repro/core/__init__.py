@@ -30,6 +30,12 @@ from repro.core.ol_reg import OlRegController
 from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact, static_hindsight_cost
 from repro.core.priority import PriorityController
 from repro.core.queueing import evaluate_mm1, mm1_factor
+from repro.core.registry import (
+    ControllerFactory,
+    controller_names,
+    make_controller,
+    register_controller,
+)
 from repro.core.theory import lemma1_gap, theorem1_regret_bound
 
 __all__ = [
@@ -58,6 +64,10 @@ __all__ = [
     "clairvoyant_cost_exact",
     "static_hindsight_cost",
     "PriorityController",
+    "ControllerFactory",
+    "controller_names",
+    "make_controller",
+    "register_controller",
     "evaluate_mm1",
     "mm1_factor",
     "lemma1_gap",

@@ -13,7 +13,7 @@ Compared against `OL_GD` in ``benchmarks/bench_ablation_cmab.py``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -41,6 +41,7 @@ class CmabController(Controller):
         network: MECNetwork,
         requests: Sequence[Request],
         rng: np.random.Generator,
+        *,
         policy: BanditPolicy,
         name: Optional[str] = None,
     ):
@@ -80,6 +81,19 @@ class CmabController(Controller):
         played, observed = self.observed_delays(unit_delays, assignment)
         self.arms.observe_many(played.tolist(), observed.tolist())
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Arm statistics plus the policy RNG; policies themselves are
+        stateless (fixed constructor parameters)."""
+        from repro.state.snapshot import rng_state
+
+        return {"arms": self.arms.state_dict(), "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        from repro.state.snapshot import set_rng_state
+
+        self.arms.load_state_dict(state["arms"])
+        set_rng_state(self._rng, state["rng"])
+
 
 def cmab_ucb(
     network: MECNetwork, requests: Sequence[Request], rng: np.random.Generator
@@ -87,7 +101,7 @@ def cmab_ucb(
     """CMAB with a UCB1 (LCB-for-costs) index, scaled to the delay range."""
     _, d_max = network.delays.bounds
     policy = Ucb1(scale=d_max / 4.0)
-    return CmabController(network, requests, rng, policy, name="CMAB_UCB")
+    return CmabController(network, requests, rng, policy=policy, name="CMAB_UCB")
 
 
 def cmab_thompson(
@@ -96,4 +110,4 @@ def cmab_thompson(
     """CMAB with Gaussian Thompson sampling."""
     _, d_max = network.delays.bounds
     policy = ThompsonSampling(exploration_std=d_max / 10.0)
-    return CmabController(network, requests, rng, policy, name="CMAB_TS")
+    return CmabController(network, requests, rng, policy=policy, name="CMAB_TS")

@@ -15,7 +15,7 @@ Per-slot protocol driven by :mod:`repro.sim.engine`:
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -63,6 +63,20 @@ class Controller(abc.ABC):
         assignment: Assignment,
     ) -> None:
         """Consume end-of-slot feedback."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable mutable state (see :mod:`repro.state`).
+
+        The base controller is stateless; subclasses with learned state
+        (arm statistics, predictors, RNG positions) override both methods.
+        The network/request topology is construction config, not state —
+        a resumed run rebuilds the same world and restores only what the
+        controller learned.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
 
     def observed_delays(
         self, unit_delays: np.ndarray, assignment: Assignment

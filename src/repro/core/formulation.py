@@ -15,7 +15,7 @@ the clairvoyant optimum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -69,6 +69,7 @@ def build_caching_model(
     requests: Sequence[Request],
     demands_mb: np.ndarray,
     theta_ms: np.ndarray,
+    *,
     integer: bool = False,
     slot_seconds: Optional[float] = None,
 ) -> Tuple[LpModel, CachingVariables]:

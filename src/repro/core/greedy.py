@@ -16,7 +16,7 @@ ignorance of delay uncertainty the paper blames for its poor performance).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -86,3 +86,14 @@ class GreedyController(Controller):
     ) -> None:
         played, observed = self.observed_delays(unit_delays, assignment)
         self.arms.observe_many(played.tolist(), observed.tolist())
+
+    def state_dict(self) -> Dict[str, Any]:
+        from repro.state.snapshot import rng_state
+
+        return {"arms": self.arms.state_dict(), "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        from repro.state.snapshot import set_rng_state
+
+        self.arms.load_state_dict(state["arms"])
+        set_rng_state(self._rng, state["rng"])

@@ -9,7 +9,7 @@ refined (lines 14-15, realised by the predictor's online steps).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -56,12 +56,13 @@ class OlGanController(Controller):
         network: MECNetwork,
         requests: Sequence[Request],
         rng: np.random.Generator,
+        *,
         n_hotspots: int,
         warmup_history: Optional[np.ndarray] = None,
         gamma: float = 0.1,
         exploration: Optional[ExplorationConfig] = None,
         inner_rng: Optional[np.random.Generator] = None,
-        **gan_kwargs,
+        **gan_kwargs: Any,
     ):
         super().__init__(network, requests)
         codes = encode_request_locations(requests, n_hotspots)
@@ -108,3 +109,14 @@ class OlGanController(Controller):
         # the dominant observe-side cost, hence its own span.
         with obs.span("gan.refine"):
             self.predictor.observe(np.asarray(demands, dtype=float))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The full GAN predictor plus the inner OL_GD learner."""
+        return {
+            "predictor": self.predictor.state_dict(),
+            "inner": self.inner.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.predictor.load_state_dict(state["predictor"])
+        self.inner.load_state_dict(state["inner"])

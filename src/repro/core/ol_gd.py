@@ -25,7 +25,7 @@ exploring together — compared in the `abl-eps` ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -119,6 +119,7 @@ class OlGdController(Controller):
         network: MECNetwork,
         requests: Sequence[Request],
         rng: np.random.Generator,
+        *,
         gamma: float = 0.1,
         exploration: Optional[ExplorationConfig] = None,
         repair: bool = True,
@@ -217,3 +218,19 @@ class OlGdController(Controller):
             played, observed = self.observed_delays(unit_delays, assignment)
             self.arms.observe_many(played.tolist(), observed.tolist())
         obs.inc("olgd.arms_played", len(played))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Learned arm statistics plus the rounding/exploration RNG.
+
+        The LP solver is rebuilt lazily (it is a pure function of the
+        fixed network/request topology), so it does not travel.
+        """
+        from repro.state.snapshot import rng_state
+
+        return {"arms": self.arms.state_dict(), "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        from repro.state.snapshot import set_rng_state
+
+        self.arms.load_state_dict(state["arms"])
+        set_rng_state(self._rng, state["rng"])

@@ -9,7 +9,7 @@ priori, §III-B) serve as the first prediction.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,7 @@ class OlRegController(Controller):
         network: MECNetwork,
         requests: Sequence[Request],
         rng: np.random.Generator,
+        *,
         order: int = 5,
         gamma: float = 0.1,
         exploration: Optional[ExplorationConfig] = None,
@@ -77,3 +78,14 @@ class OlRegController(Controller):
     ) -> None:
         self.inner.observe(slot, demands, unit_delays, assignment)
         self.predictor.observe(np.asarray(demands, dtype=float))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The AR predictor's history plus the inner OL_GD learner."""
+        return {
+            "predictor": self.predictor.state_dict(),
+            "inner": self.inner.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.predictor.load_state_dict(state["predictor"])
+        self.inner.load_state_dict(state["inner"])

@@ -1,0 +1,99 @@
+"""Name-indexed controller construction: ``make_controller``.
+
+Every controller the experiments compare is registered here under the
+name the paper's figures use (``OL_GD``, ``OL_GAN``, ``Greedy_GD``, ...).
+The registry gives the repo one spelling of each construction recipe —
+the figure scripts, the quickstart and the sweep orchestration all route
+through :func:`make_controller` instead of importing controller classes —
+and it makes names *identifiers*: a controller built by name reports that
+exact name, which is what the checkpoint subsystem (:mod:`repro.state`)
+stores in simulation snapshots and sweep manifests to refuse resuming a
+mismatched run.
+
+Registering is open: :func:`register_controller` accepts project-external
+factories (e.g. an ablation variant in a benchmark script) as long as the
+built controller answers to the registered name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cmab import cmab_thompson, cmab_ucb
+from repro.core.controller import Controller
+from repro.core.greedy import GreedyController
+from repro.core.ol_gan import OlGanController
+from repro.core.ol_gd import OlGdController
+from repro.core.ol_reg import OlRegController
+from repro.core.priority import PriorityController
+from repro.mec.network import MECNetwork
+from repro.mec.requests import Request
+
+__all__ = ["ControllerFactory", "register_controller", "controller_names", "make_controller"]
+
+#: A factory builds one controller for one world; extra options are the
+#: controller's own keyword-only tuning parameters, forwarded verbatim.
+ControllerFactory = Callable[..., Controller]
+
+_REGISTRY: Dict[str, ControllerFactory] = {}
+
+
+def register_controller(name: str, factory: ControllerFactory) -> None:
+    """Register ``factory`` under ``name`` (must be new and non-empty).
+
+    The factory is called as ``factory(network, requests, rng, **options)``
+    and must return a controller whose ``.name`` equals the registered
+    name — :func:`make_controller` enforces this, because the name is the
+    identity checkpoints are validated against.
+    """
+    if not name:
+        raise ValueError("controller name must be non-empty")
+    if name in _REGISTRY:
+        raise ValueError(f"controller {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def controller_names() -> Tuple[str, ...]:
+    """All registered controller names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_controller(
+    name: str,
+    network: MECNetwork,
+    requests: Sequence[Request],
+    rng: np.random.Generator,
+    **options: Any,
+) -> Controller:
+    """Build the controller registered under ``name``.
+
+    ``rng`` is the controller's private stream (callers typically pass a
+    named stream from a :class:`~repro.utils.seeding.RngRegistry`);
+    ``options`` are forwarded to the factory as keyword arguments — the
+    keyword-only tuning parameters of the underlying controller class
+    (e.g. ``gamma=0.2`` for ``OL_GD``, ``window=8`` for ``OL_GAN``).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown controller {name!r}; registered: {', '.join(controller_names())}"
+        ) from None
+    controller = factory(network, requests, rng, **options)
+    if controller.name != name:
+        raise ValueError(
+            f"factory for {name!r} built a controller named "
+            f"{controller.name!r}; registry names must be identities"
+        )
+    return controller
+
+
+register_controller("OL_GD", OlGdController)
+register_controller("OL_GAN", OlGanController)
+register_controller("OL_Reg", OlRegController)
+register_controller("Greedy_GD", GreedyController)
+register_controller("Pri_GD", PriorityController)
+register_controller("CMAB_UCB", cmab_ucb)
+register_controller("CMAB_TS", cmab_thompson)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.utils.validation import require_positive
 
@@ -53,6 +53,13 @@ class ExperimentProfile:
                                       # negative = joblib-style count-back
                                       # (see repro.sim.parallel)
     seed: int = 2020                  # ICDCS 2020
+    # ---- crash tolerance (repro.state; threaded by the figure runner) --
+    checkpoint_dir: Optional[str] = None   # sweep persistence root; each
+                                           # figure scenario gets a subdir
+    checkpoint_every: Optional[int] = None  # slot-level snapshot cadence
+                                            # inside each run (needs dir)
+    resume: bool = False              # load completed items before running
+    max_retries: int = 0              # crash-retry rounds per sweep
 
     def __post_init__(self) -> None:
         for name in (
@@ -79,6 +86,16 @@ class ExperimentProfile:
         if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
             raise TypeError(
                 f"n_jobs must be an int, got {type(self.n_jobs).__name__}"
+            )
+        if self.checkpoint_every is not None:
+            require_positive("checkpoint_every", self.checkpoint_every)
+            if self.checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
             )
 
 

@@ -12,17 +12,12 @@ pool (``repro.sim.parallel``) with bit-identical averages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core import (
-    GreedyController,
-    OlGanController,
-    OlGdController,
-    OlRegController,
-    PriorityController,
-)
+from repro.core import make_controller
 from repro.core.controller import Controller
 from repro.experiments.config import ExperimentProfile
 from repro.mec.network import MECNetwork
@@ -240,6 +235,15 @@ def _average_runs(
         bursty=bursty,
         family=family,
     )
+    # Sweep persistence (repro.state): each scenario configuration gets its
+    # own subdirectory under the profile's checkpoint root, so a report run
+    # interrupted between figures resumes exactly where it stopped.
+    sweep_dir = None
+    if profile.checkpoint_dir is not None:
+        label = f"{family}-{topology}-bs{n_stations}-h{horizon}"
+        if bursty:
+            label += "-bursty"
+        sweep_dir = Path(profile.checkpoint_dir) / label
     runner = ParallelRunner(n_jobs=profile.n_jobs)
     work = runner.run(
         scenario,
@@ -248,6 +252,10 @@ def _average_runs(
         horizon=horizon,
         demands_known=not bursty,
         n_controllers=_FAMILY_SIZES[family],
+        max_retries=profile.max_retries,
+        checkpoint_dir=sweep_dir,
+        checkpoint_every=profile.checkpoint_every,
+        resume=profile.resume,
     )
     failed = [w for w in work if not w.ok]
     if failed:
@@ -300,9 +308,9 @@ def _given_demand_controllers(
     rngs: RngRegistry, network: MECNetwork, requests: List[Request]
 ) -> List[Controller]:
     return [
-        OlGdController(network, requests, rngs.get("ol-gd")),
-        GreedyController(network, requests, rngs.get("greedy")),
-        PriorityController(network, requests, rngs.get("priority")),
+        make_controller("OL_GD", network, requests, rngs.get("ol-gd")),
+        make_controller("Greedy_GD", network, requests, rngs.get("greedy")),
+        make_controller("Pri_GD", network, requests, rngs.get("priority")),
     ]
 
 
@@ -321,7 +329,8 @@ def _predictive_controllers(
     # prediction quality (GAN vs AR) the figure is about.
     pair_seed = int(rngs.get("inner-pair").integers(2**63 - 1))
     return [
-        OlGanController(
+        make_controller(
+            "OL_GAN",
             network,
             requests,
             rngs.get("ol-gan"),
@@ -334,7 +343,8 @@ def _predictive_controllers(
             online_steps=1,
             supervised_quantile=0.7,
         ),
-        OlRegController(
+        make_controller(
+            "OL_Reg",
             network,
             requests,
             rngs.get("ol-reg"),

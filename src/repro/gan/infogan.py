@@ -21,7 +21,7 @@ the distribution (burst sharpness) that plain regression smooths away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -30,7 +30,9 @@ from repro.gan.generator import Generator
 from repro.gan.qhead import QHead
 from repro.nn.functional import binary_cross_entropy, mse, pinball
 from repro.nn.optim import Adam
+from repro.nn.serialize import load_module_state_dict, module_state_dict
 from repro.nn.tensor import Tensor, no_grad
+from repro.state.snapshot import rng_state, set_rng_state
 from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = ["GanLosses", "InfoRnnGan"]
@@ -260,6 +262,34 @@ class InfoRnnGan:
                 )
             )
         return history
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable state: all module weights, optimizer slots and
+        the training RNG position (see :mod:`repro.state`)."""
+        return {
+            "generator": module_state_dict(self.generator),
+            "discriminator": module_state_dict(self.discriminator),
+            "q_head": module_state_dict(self.q_head),
+            "d_optimizer": self._d_optimizer.state_dict(),
+            "g_optimizer": self._g_optimizer.state_dict(),
+            "q_optimizer": self._q_optimizer.state_dict(),
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into a same-architecture
+        model, in place."""
+        load_module_state_dict(self.generator, state["generator"])
+        load_module_state_dict(self.discriminator, state["discriminator"])
+        load_module_state_dict(self.q_head, state["q_head"])
+        self._d_optimizer.load_state_dict(state["d_optimizer"])
+        self._g_optimizer.load_state_dict(state["g_optimizer"])
+        self._q_optimizer.load_state_dict(state["q_optimizer"])
+        set_rng_state(self._rng, state["rng"])
 
     # ------------------------------------------------------------------ #
     # Inference

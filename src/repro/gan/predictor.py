@@ -18,11 +18,11 @@ state, which is exactly what the location latent `c` exists to expose.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gan.infogan import InfoRnnGan
+from repro.gan.infogan import GanLosses, InfoRnnGan
 from repro.prediction.base import DemandPredictor
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -181,6 +181,37 @@ class GanDemandPredictor(DemandPredictor):
         )  # (W, R, 2)
         for _ in range(self._online_steps):
             self.model.train_step(targets, conditioning, self._codes)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Observed history, the full GAN state and the loss log."""
+        state = super().state_dict()
+        state["model"] = self.model.state_dict()
+        state["loss_history"] = np.array(
+            [
+                [l.discriminator, l.adversarial, l.mutual_information, l.supervised]
+                for l in self.loss_history
+            ],
+            dtype=float,
+        ).reshape(len(self.loss_history), 4)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.model.load_state_dict(state["model"])
+        losses = np.asarray(state["loss_history"], dtype=float).reshape(-1, 4)
+        self.loss_history = [
+            GanLosses(
+                discriminator=float(row[0]),
+                adversarial=float(row[1]),
+                mutual_information=float(row[2]),
+                supervised=float(row[3]),
+            )
+            for row in losses
+        ]
 
     # ------------------------------------------------------------------ #
     # Prediction

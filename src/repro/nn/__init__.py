@@ -27,6 +27,13 @@ from repro.nn.gradcheck import gradcheck, numerical_gradient
 from repro.nn.layers import BiLSTM, Dense, LSTM, LSTMCell, Module, Sequential
 from repro.nn.recurrent import BiGRU, GRU, GRUCell, make_birnn
 from repro.nn.optim import Adam, Optimizer, Sgd
+from repro.nn.serialize import (
+    load_module_state_dict,
+    load_parameters,
+    module_state_dict,
+    parameters_equal,
+    save_parameters,
+)
 from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack
 
 __all__ = [
@@ -55,6 +62,11 @@ __all__ = [
     "Adam",
     "Optimizer",
     "Sgd",
+    "save_parameters",
+    "load_parameters",
+    "parameters_equal",
+    "module_state_dict",
+    "load_module_state_dict",
     "Tensor",
     "concat",
     "is_grad_enabled",

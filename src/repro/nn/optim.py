@@ -7,7 +7,7 @@ SGD is kept for the simpler regression fits and ablations.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -52,6 +52,31 @@ class Optimizer(abc.ABC):
         are skipped.
         """
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable slot state (see :mod:`repro.state`).
+
+        Hyper-parameters (lr, betas, momentum) are construction config,
+        not state — the caller rebuilds the optimizer and restores only
+        the accumulated slots.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
+
+    def _check_slot_shapes(self, slots: Sequence[np.ndarray], label: str) -> None:
+        if len(slots) != len(self._params):
+            raise ValueError(
+                f"checkpoint holds {len(slots)} {label} buffers, optimizer "
+                f"has {len(self._params)} parameters"
+            )
+        for index, (slot, p) in enumerate(zip(slots, self._params)):
+            if slot.shape != p.data.shape:
+                raise ValueError(
+                    f"{label} buffer {index} shape {slot.shape} does not "
+                    f"match parameter shape {p.data.shape}"
+                )
+
 
 class Sgd(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -71,6 +96,14 @@ class Sgd(Optimizer):
             velocity *= self._momentum
             velocity -= self._lr * p.grad
             p.data += velocity
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        velocity = [np.asarray(v, dtype=float) for v in state["velocity"]]
+        self._check_slot_shapes(velocity, "velocity")
+        self._velocity = [v.copy() for v in velocity]
 
 
 class Adam(Optimizer):
@@ -111,3 +144,19 @@ class Adam(Optimizer):
             m_hat = m / correction1
             v_hat = v / correction2
             p.data -= self._lr * m_hat / (np.sqrt(v_hat) + self._eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        m = [np.asarray(x, dtype=float) for x in state["m"]]
+        v = [np.asarray(x, dtype=float) for x in state["v"]]
+        self._check_slot_shapes(m, "first-moment")
+        self._check_slot_shapes(v, "second-moment")
+        self._t = int(state["t"])
+        self._m = [x.copy() for x in m]
+        self._v = [x.copy() for x in v]

@@ -13,13 +13,19 @@ construction path.  Shape mismatches fail loudly.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Union
 
 import numpy as np
 
 from repro.nn.layers import Module
 
-__all__ = ["save_parameters", "load_parameters", "parameters_equal"]
+__all__ = [
+    "save_parameters",
+    "load_parameters",
+    "parameters_equal",
+    "module_state_dict",
+    "load_module_state_dict",
+]
 
 
 def save_parameters(module: Module, path: Union[str, Path]) -> int:
@@ -54,6 +60,36 @@ def load_parameters(module: Module, path: Union[str, Path]) -> int:
                     f"{stored.shape} vs module {param.data.shape}"
                 )
             param.data = stored.copy()
+    return len(params)
+
+
+def module_state_dict(module: Module) -> Dict[str, np.ndarray]:
+    """In-memory parameter snapshot using the same positional addressing
+    (``p{i}``) as :func:`save_parameters` — the checkpoint subsystem's
+    building block for embedding module weights in larger state trees."""
+    return {f"p{i}": p.data.copy() for i, p in enumerate(module.parameters())}
+
+
+def load_module_state_dict(module: Module, state: Dict[str, np.ndarray]) -> int:
+    """Restore :func:`module_state_dict` output (in place); returns count.
+
+    Same architecture contract as :func:`load_parameters`: parameter
+    count and per-parameter shapes must match.
+    """
+    params = module.parameters()
+    if len(state) != len(params):
+        raise ValueError(
+            f"state holds {len(state)} parameters, module has "
+            f"{len(params)} — architecture mismatch"
+        )
+    for index, param in enumerate(params):
+        stored = np.asarray(state[f"p{index}"])
+        if stored.shape != param.data.shape:
+            raise ValueError(
+                f"parameter {index} shape mismatch: state "
+                f"{stored.shape} vs module {param.data.shape}"
+            )
+        param.data = stored.astype(param.data.dtype, copy=True)
     return len(params)
 
 

@@ -10,6 +10,7 @@ O(1) view instead of re-stacking a list of rows every slot.
 from __future__ import annotations
 
 import abc
+from typing import Any, Dict
 
 import numpy as np
 
@@ -74,6 +75,33 @@ class DemandPredictor(abc.ABC):
 
     def _after_observe(self, demands: np.ndarray) -> None:
         """Hook for online fine-tuning (default no-op)."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable state (see :mod:`repro.state`).
+
+        The base serializes the observed history; subclasses with extra
+        mutable state (model weights, optimizers) extend this dict.
+        """
+        return {
+            "n_requests": self._n_requests,
+            "history": self.history.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
+        if int(state["n_requests"]) != self._n_requests:
+            raise ValueError(
+                f"checkpoint covers {state['n_requests']} requests, "
+                f"this predictor covers {self._n_requests}"
+            )
+        history = np.asarray(state["history"], dtype=float)
+        if history.ndim != 2 or history.shape[1] != self._n_requests:
+            raise ValueError(
+                f"checkpoint history has shape {history.shape}, expected "
+                f"(n_observed, {self._n_requests})"
+            )
+        self._history_buffer = history.copy()
+        self._n_observed = int(history.shape[0])
 
     @abc.abstractmethod
     def predict_next(self) -> np.ndarray:

@@ -7,6 +7,8 @@ comes from.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 from repro.prediction.base import DemandPredictor
@@ -42,3 +44,14 @@ class EwmaPredictor(DemandPredictor):
         if not self._initialised:
             return np.zeros(self.n_requests)
         return self._state.copy()
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["ewma_state"] = self._state.copy()
+        state["initialised"] = self._initialised
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._state = np.asarray(state["ewma_state"], dtype=float).copy()
+        self._initialised = bool(state["initialised"])

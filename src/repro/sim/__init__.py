@@ -21,8 +21,12 @@ from repro.sim.parallel import (
     RepetitionFailure,
     resolve_n_jobs,
 )
+from repro.state import CheckpointConfig, CheckpointError, SweepManifest
 
 __all__ = [
+    "CheckpointConfig",
+    "CheckpointError",
+    "SweepManifest",
     "run_simulation",
     "FailureSchedule",
     "run_with_failures",

@@ -22,7 +22,8 @@ off (the default) the spans are shared no-ops.
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +33,13 @@ from repro.core.controller import Controller
 from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact
 from repro.mec.network import MECNetwork
 from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.state import (
+    SIMULATION_KIND,
+    CheckpointConfig,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.utils.timer import Stopwatch
 from repro.utils.validation import require_positive
 from repro.workload.demand import DemandModel
@@ -44,10 +52,12 @@ def run_simulation(
     demand_model: DemandModel,
     controller: Controller,
     horizon: int,
+    *,
     demands_known: bool = True,
     compute_optimal: bool = False,
     exact_optimal: bool = False,
     metrics: Optional["obs.MetricsRegistry"] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> SimulationResult:
     """Run ``controller`` for ``horizon`` slots; returns the metric series.
 
@@ -59,6 +69,16 @@ def run_simulation(
     ``metrics`` activates the given :class:`repro.obs.MetricsRegistry` for
     the duration of the run; when omitted, whatever registry is already
     active (e.g. installed by the CLI) keeps receiving the spans.
+
+    ``checkpoint`` enables crash-tolerant snapshots (see
+    :class:`repro.state.CheckpointConfig`): the run writes a snapshot of
+    the controller, demand-model identity and record series every
+    ``every_n_slots`` completed slots, and with ``resume=True`` restores
+    an existing snapshot and continues from the next slot.  A resumed run
+    over a same-seeded world reproduces the uninterrupted run's series
+    bit-identically (timing columns excepted — wall-clock is re-measured).
+    The snapshot does not pin the horizon, so a run can resume into a
+    longer horizon than it was interrupted at.
     """
     require_positive("horizon", horizon)
     if demand_model.n_requests != controller.n_requests:
@@ -75,6 +95,7 @@ def run_simulation(
             demands_known,
             compute_optimal,
             exact_optimal,
+            checkpoint,
         )
 
 
@@ -91,6 +112,71 @@ class _KeepActive:
 _KEEP_ACTIVE = _KeepActive()
 
 
+def _write_snapshot(
+    path: Path,
+    controller: Controller,
+    demand_model: DemandModel,
+    result: SimulationResult,
+    previous: Assignment,
+    demands_known: bool,
+) -> None:
+    """Snapshot everything a resumed run needs to continue bit-identically.
+
+    The previous slot's station assignment travels too: churn is measured
+    *between* slots, so the first resumed slot needs the last executed
+    assignment to keep the churn series identical.
+    """
+    state = {
+        "controller_name": controller.name,
+        "controller": controller.state_dict(),
+        "demand_model": demand_model.state_dict(),
+        "result": result.state_dict(),
+        "previous_stations": np.asarray(previous.station_of, dtype=int),
+    }
+    with obs.span("state.save"):
+        save_checkpoint(
+            path,
+            state,
+            kind=SIMULATION_KIND,
+            meta={
+                "controller": controller.name,
+                "slots": result.horizon,
+                "demands_known": demands_known,
+            },
+        )
+    obs.inc("state.save")
+
+
+def _restore_snapshot(
+    path: Path,
+    controller: Controller,
+    demand_model: DemandModel,
+    horizon: int,
+) -> Tuple[SimulationResult, Assignment]:
+    """Load a snapshot back into ``controller`` and rebuild the series."""
+    with obs.span("state.load"):
+        state, _meta = load_checkpoint(path, kind=SIMULATION_KIND)
+    if state["controller_name"] != controller.name:
+        raise CheckpointError(
+            f"{path} holds a {state['controller_name']!r} run, "
+            f"this controller is {controller.name!r}"
+        )
+    # Verifies the resumed world realises the same demand trajectory.
+    demand_model.load_state_dict(state["demand_model"])
+    result = SimulationResult.from_state(state["result"])
+    if result.horizon >= horizon:
+        raise CheckpointError(
+            f"{path} already covers {result.horizon} slots; resuming needs "
+            f"a horizon beyond that, got {horizon}"
+        )
+    controller.load_state_dict(state["controller"])
+    previous = Assignment.from_stations(
+        np.asarray(state["previous_stations"], dtype=int), controller.requests
+    )
+    obs.inc("state.load")
+    return result, previous
+
+
 def _run_loop(
     network: MECNetwork,
     demand_model: DemandModel,
@@ -99,15 +185,28 @@ def _run_loop(
     demands_known: bool,
     compute_optimal: bool,
     exact_optimal: bool,
+    checkpoint: Optional[CheckpointConfig],
 ) -> SimulationResult:
     requests = controller.requests
     result = SimulationResult(controller_name=controller.name)
     previous: Optional[Assignment] = None
+    snapshot_path = (
+        checkpoint.path_for(controller.name) if checkpoint is not None else None
+    )
+    if (
+        checkpoint is not None
+        and checkpoint.resume
+        and snapshot_path is not None
+        and snapshot_path.exists()
+    ):
+        result, previous = _restore_snapshot(
+            snapshot_path, controller, demand_model, horizon
+        )
     decide_watch = Stopwatch()
     observe_watch = Stopwatch()
     obs.set_context(controller=controller.name)
 
-    for slot in range(horizon):
+    for slot in range(result.horizon, horizon):
         obs.set_context(slot=slot)
         true_demands = demand_model.demand_at(slot)
 
@@ -167,5 +266,14 @@ def _run_loop(
             )
         )
         previous = assignment
+        if (
+            checkpoint is not None
+            and snapshot_path is not None
+            and checkpoint.due(result.horizon)
+        ):
+            _write_snapshot(
+                snapshot_path, controller, demand_model, result, previous,
+                demands_known,
+            )
     obs.set_context(slot=None, controller=None)
     return result

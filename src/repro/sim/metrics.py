@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -146,6 +146,78 @@ class SimulationResult:
             if record.optimal_delay_ms is not None:
                 tracker.record(record.average_delay_ms, record.optimal_delay_ms)
         return tracker
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable form of the record series (see :mod:`repro.state`).
+
+        Each :class:`SlotRecord` field becomes one column array; the two
+        optional floats encode ``None`` as NaN (they are physically
+        positive when present, so NaN is unambiguous).
+        """
+        records = self.records
+        return {
+            "controller_name": self.controller_name,
+            "slots": np.array([r.slot for r in records], dtype=int),
+            "average_delay_ms": np.array(
+                [r.average_delay_ms for r in records], dtype=float
+            ),
+            "decision_seconds": np.array(
+                [r.decision_seconds for r in records], dtype=float
+            ),
+            "observe_seconds": np.array(
+                [r.observe_seconds for r in records], dtype=float
+            ),
+            "cache_churn": np.array([r.cache_churn for r in records], dtype=int),
+            "n_cached_instances": np.array(
+                [r.n_cached_instances for r in records], dtype=int
+            ),
+            "max_load_fraction": np.array(
+                [r.max_load_fraction for r in records], dtype=float
+            ),
+            "optimal_delay_ms": np.array(
+                [
+                    np.nan if r.optimal_delay_ms is None else r.optimal_delay_ms
+                    for r in records
+                ],
+                dtype=float,
+            ),
+            "prediction_mae_mb": np.array(
+                [
+                    np.nan if r.prediction_mae_mb is None else r.prediction_mae_mb
+                    for r in records
+                ],
+                dtype=float,
+            ),
+            "initial_instantiations": np.array(
+                [r.initial_instantiations for r in records], dtype=int
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`state_dict` output."""
+
+        def _optional(value: float) -> Optional[float]:
+            return None if np.isnan(value) else float(value)
+
+        slots = np.asarray(state["slots"], dtype=int)
+        result = cls(controller_name=str(state["controller_name"]))
+        for i, slot in enumerate(slots):
+            result.append(
+                SlotRecord(
+                    slot=int(slot),
+                    average_delay_ms=float(state["average_delay_ms"][i]),
+                    decision_seconds=float(state["decision_seconds"][i]),
+                    observe_seconds=float(state["observe_seconds"][i]),
+                    cache_churn=int(state["cache_churn"][i]),
+                    n_cached_instances=int(state["n_cached_instances"][i]),
+                    max_load_fraction=float(state["max_load_fraction"][i]),
+                    optimal_delay_ms=_optional(state["optimal_delay_ms"][i]),
+                    prediction_mae_mb=_optional(state["prediction_mae_mb"][i]),
+                    initial_instantiations=int(state["initial_instantiations"][i]),
+                )
+            )
+        return result
 
     def summary(self) -> dict:
         """Aggregate dictionary used by the experiment tables.

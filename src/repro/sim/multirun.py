@@ -21,7 +21,8 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -195,12 +196,17 @@ def run_repetitions(
     seed: int,
     repetitions: int,
     horizon: int,
+    *,
     demands_known: bool = True,
     skip_warmup: Optional[int] = None,
     confidence: float = 0.95,
     n_jobs: int = 1,
     n_controllers: Optional[int] = None,
     collect_metrics: bool = False,
+    max_retries: int = 0,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
 ) -> RepetitionStudy:
     """Run ``build`` across ``repetitions`` seeds and aggregate metrics.
 
@@ -224,6 +230,14 @@ def run_repetitions(
     (``study.metrics``) and the per-worker breakdown
     (``study.worker_metrics``, keyed by executing pid) to the study —
     rendered by :meth:`RepetitionStudy.metrics_table`.
+
+    ``max_retries`` re-executes crashed work items (bounded rounds, fresh
+    workers) before recording them as failures; ``checkpoint_dir`` /
+    ``resume`` persist completed items so an interrupted sweep restarted
+    with ``resume=True`` executes only the missing repetitions, and
+    ``checkpoint_every`` adds slot-level snapshots inside each item — all
+    passed through to :meth:`repro.sim.parallel.ParallelRunner.run`, which
+    documents the exact semantics.
     """
     require_positive("repetitions", repetitions)
     require_positive("horizon", horizon)
@@ -245,6 +259,10 @@ def run_repetitions(
         demands_known=demands_known,
         n_controllers=n_controllers,
         collect_metrics=collect_metrics or None,
+        max_retries=max_retries,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     wall_clock = time.perf_counter() - wall_start
 

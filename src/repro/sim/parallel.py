@@ -37,15 +37,25 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
 from repro.sim.engine import run_simulation
 from repro.sim.metrics import SimulationResult
+from repro.state import (
+    WORK_RESULT_KIND,
+    CheckpointConfig,
+    SweepManifest,
+    completed_items,
+    load_checkpoint,
+    result_path,
+    save_checkpoint,
+)
 from repro.utils.seeding import RngRegistry
-from repro.utils.validation import require_positive
+from repro.utils.validation import require_non_negative, require_positive
 from repro.workload.demand import DemandModel
 
 __all__ = [
@@ -149,6 +159,28 @@ class WorkResult:
         )
 
 
+def _item_checkpoint(
+    sweep_dir: Optional[Path], item: WorkItem, every: Optional[int]
+) -> Optional[CheckpointConfig]:
+    """Per-item engine checkpoint config (slot-level snapshots).
+
+    Each work item gets its own snapshot directory so identically-named
+    controllers in different repetitions cannot collide.  ``resume`` is
+    always on: a fresh item simply has no snapshot to pick up, while a
+    retried or restarted item continues from its last completed slots
+    instead of replaying the whole horizon.
+    """
+    if sweep_dir is None or every is None:
+        return None
+    return CheckpointConfig(
+        directory=sweep_dir
+        / "slots"
+        / f"rep{item.repetition:05d}-ctrl{item.controller_index:03d}",
+        every_n_slots=every,
+        resume=True,
+    )
+
+
 def _execute_work_item(
     build: ScenarioBuilder,
     seed: int,
@@ -156,6 +188,7 @@ def _execute_work_item(
     horizon: int,
     demands_known: bool,
     collect_metrics: bool = False,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> WorkResult:
     """Rebuild the repetition's world and run one controller over it.
 
@@ -164,6 +197,9 @@ def _execute_work_item(
     repetition cannot kill the study.  With ``collect_metrics`` the item
     records into a fresh :class:`repro.obs.MetricsRegistry` whose snapshot
     rides back on the :class:`WorkResult` (plain dict — picklable).
+    ``checkpoint`` enables the engine's slot-level snapshots for this item
+    (see :func:`_item_checkpoint`); the snapshot is deleted once the item
+    completes — the persisted work result is the durable artifact.
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
@@ -181,7 +217,12 @@ def _execute_work_item(
             horizon=horizon,
             demands_known=demands_known,
             metrics=registry,
+            checkpoint=checkpoint,
         )
+        if checkpoint is not None:
+            snapshot = checkpoint.path_for(controller.name)
+            if snapshot.exists():
+                snapshot.unlink()
         error = None
         error_tb = None
     except Exception as exc:  # noqa: BLE001 — graceful degradation by design
@@ -199,6 +240,56 @@ def _execute_work_item(
         cpu_seconds=time.process_time() - cpu_start,
         metrics=registry.snapshot() if registry is not None else None,
         pid=os.getpid(),
+    )
+
+
+def _persist_work_result(directory: Path, item: WorkResult) -> None:
+    """Write one completed work item's snapshot into the sweep directory."""
+    if item.result is None:
+        return
+    path = result_path(directory, item.repetition, item.controller_index)
+    with obs.span("state.save"):
+        save_checkpoint(
+            path,
+            {
+                "controller_name": item.controller_name,
+                "result": item.result.state_dict(),
+                "wall_seconds": item.wall_seconds,
+                "cpu_seconds": item.cpu_seconds,
+            },
+            kind=WORK_RESULT_KIND,
+            meta={
+                "repetition": item.repetition,
+                "controller_index": item.controller_index,
+            },
+        )
+    obs.inc("state.save")
+
+
+def _load_work_result(
+    directory: Path, repetition: int, controller_index: int
+) -> WorkResult:
+    """Rebuild a persisted work item as a completed :class:`WorkResult`.
+
+    Telemetry snapshots are not persisted (they describe the original
+    process), so resumed items carry ``metrics=None``.
+    """
+    path = result_path(directory, repetition, controller_index)
+    with obs.span("state.load"):
+        state, _meta = load_checkpoint(path, kind=WORK_RESULT_KIND)
+    obs.inc("state.load")
+    name = state.get("controller_name")
+    return WorkResult(
+        repetition=repetition,
+        controller_index=controller_index,
+        controller_name=str(name) if name is not None else None,
+        result=SimulationResult.from_state(state["result"]),
+        error=None,
+        error_traceback=None,
+        wall_seconds=float(state["wall_seconds"]),
+        cpu_seconds=float(state["cpu_seconds"]),
+        metrics=None,
+        pid=0,
     )
 
 
@@ -227,9 +318,14 @@ class ParallelRunner:
         seed: int,
         repetitions: int,
         horizon: int,
+        *,
         demands_known: bool = True,
         n_controllers: Optional[int] = None,
         collect_metrics: Optional[bool] = None,
+        max_retries: int = 0,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: bool = False,
     ) -> List[WorkResult]:
         """Execute the full repetition × controller grid.
 
@@ -245,26 +341,111 @@ class ParallelRunner:
         process (e.g. the CLI's ``--metrics-out``); item snapshots are then
         also merged into that registry, so parent-side telemetry works the
         same for serial and pooled execution.
+
+        ``max_retries`` bounds crash-tolerant retry rounds: after a round,
+        every failed item is re-executed — in the pool path on a *fresh*
+        process pool (so hard worker deaths, surfacing as
+        ``BrokenProcessPool``, are retried too), in the serial path by
+        rebuilding the repetition's world.  Because worlds are slot-keyed
+        and controller streams name-keyed, a retried item reproduces
+        exactly the result an untroubled first attempt would have had.
+        With the default ``0``, pool infrastructure errors propagate as
+        before and scenario failures stay recorded.
+
+        ``checkpoint_dir`` persists every completed item as a
+        ``work-result`` snapshot next to a sweep manifest (see
+        :mod:`repro.state.manifest`); ``resume=True`` loads the completed
+        items back (after a manifest identity check) and executes only the
+        missing ones, reproducing the uninterrupted study's statistics.
+        ``checkpoint_every`` additionally turns on the engine's slot-level
+        snapshots inside each item (every N completed slots, under
+        ``<checkpoint_dir>/slots/``), so a killed or retried item resumes
+        mid-horizon instead of replaying from slot 0; it requires
+        ``checkpoint_dir``.
         """
         require_positive("repetitions", repetitions)
         require_positive("horizon", horizon)
+        require_non_negative("max_retries", max_retries)
+        if checkpoint_every is not None:
+            require_positive("checkpoint_every", checkpoint_every)
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
         parent_registry = obs.active_registry()
         if collect_metrics is None:
             collect_metrics = parent_registry is not None
+        sweep_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+
+        by_key: Dict[Tuple[int, int], WorkResult] = {}
+        manifest: Optional[SweepManifest] = None
+        if sweep_dir is not None:
+            manifest = SweepManifest(
+                seed=int(seed),
+                repetitions=int(repetitions),
+                horizon=int(horizon),
+                demands_known=bool(demands_known),
+            )
+            if resume and SweepManifest.exists(sweep_dir):
+                SweepManifest.read(sweep_dir).require_compatible(manifest)
+                for (r, c), _path in sorted(completed_items(sweep_dir).items()):
+                    if r < repetitions:
+                        by_key[(r, c)] = _load_work_result(sweep_dir, r, c)
+            manifest.write(sweep_dir)
+        done: Set[Tuple[int, int]] = set(by_key)
+
         if self.n_jobs == 1:
-            results = self._run_serial(
-                build, seed, repetitions, horizon, demands_known, collect_metrics
+            executed = self._run_serial(
+                build, seed, range(repetitions), horizon, demands_known,
+                collect_metrics, done, sweep_dir, checkpoint_every,
             )
         else:
-            results = self._run_pool(
-                build,
-                seed,
-                repetitions,
-                horizon,
-                demands_known,
-                n_controllers,
-                collect_metrics,
+            if n_controllers is None:
+                n_controllers = self._probe_controller_count(build, seed)
+            require_positive("n_controllers", n_controllers)
+            items = [
+                WorkItem(repetition=r, controller_index=c)
+                for r in range(repetitions)
+                for c in range(n_controllers)
+                if (r, c) not in done
+            ]
+            executed = self._run_pool_items(
+                build, seed, items, horizon, demands_known, collect_metrics,
+                sweep_dir, checkpoint_every, capture_pool_errors=max_retries > 0,
             )
+        for item in executed:
+            by_key[(item.repetition, item.controller_index)] = item
+
+        for _round in range(max_retries):
+            failed = [r for r in by_key.values() if not r.ok]
+            if not failed:
+                break
+            obs.inc("sim.retries", len(failed))
+            if self.n_jobs == 1:
+                # A serial build crash loses the whole repetition, so retry
+                # at repetition granularity, skipping items already done.
+                repetitions_to_retry = sorted({f.repetition for f in failed})
+                done_now = {k for k, r in by_key.items() if r.ok}
+                retried = self._run_serial(
+                    build, seed, repetitions_to_retry, horizon, demands_known,
+                    collect_metrics, done_now, sweep_dir, checkpoint_every,
+                )
+            else:
+                retry_items = [
+                    WorkItem(repetition=f.repetition, controller_index=f.controller_index)
+                    for f in failed
+                ]
+                retried = self._run_pool_items(
+                    build, seed, retry_items, horizon, demands_known,
+                    collect_metrics, sweep_dir, checkpoint_every,
+                    capture_pool_errors=True,
+                )
+            for item in retried:
+                by_key[(item.repetition, item.controller_index)] = item
+
+        results = sorted(
+            by_key.values(), key=lambda r: (r.repetition, r.controller_index)
+        )
+        if sweep_dir is not None and manifest is not None:
+            self._finalise_manifest(sweep_dir, manifest, results)
         if parent_registry is not None and collect_metrics:
             for item in results:
                 if item.metrics is not None:
@@ -273,30 +454,55 @@ class ParallelRunner:
                     )
         return results
 
-    def _run_pool(
+    @staticmethod
+    def _finalise_manifest(
+        sweep_dir: Path, manifest: SweepManifest, results: List[WorkResult]
+    ) -> None:
+        """Rewrite the manifest with controller names once they are known.
+
+        Names double as the checkpoint subsystem's controller identifiers
+        (see ``repro.core.make_controller``), so a later resume can refuse
+        a directory produced by a different controller line-up.
+        """
+        names: Dict[int, str] = {}
+        for item in results:
+            if item.ok and item.controller_name is not None:
+                names.setdefault(item.controller_index, item.controller_name)
+        if names and sorted(names) == list(range(len(names))):
+            SweepManifest(
+                seed=manifest.seed,
+                repetitions=manifest.repetitions,
+                horizon=manifest.horizon,
+                demands_known=manifest.demands_known,
+                controllers=tuple(names[i] for i in range(len(names))),
+            ).write(sweep_dir)
+
+    def _run_pool_items(
         self,
         build: ScenarioBuilder,
         seed: int,
-        repetitions: int,
+        items: Sequence[WorkItem],
         horizon: int,
         demands_known: bool,
-        n_controllers: Optional[int],
         collect_metrics: bool,
+        sweep_dir: Optional[Path],
+        checkpoint_every: Optional[int],
+        capture_pool_errors: bool,
     ) -> List[WorkResult]:
-        if n_controllers is None:
-            n_controllers = self._probe_controller_count(build, seed)
-        require_positive("n_controllers", n_controllers)
-        items = [
-            WorkItem(repetition=r, controller_index=c)
-            for r in range(repetitions)
-            for c in range(n_controllers)
-        ]
+        """Execute ``items`` on one process pool, persisting as they land.
+
+        With ``capture_pool_errors`` a dead pool (``BrokenProcessPool``)
+        is converted into failed :class:`WorkResult` items instead of
+        propagating, so a retry round can resubmit them on a fresh pool.
+        """
+        if not items:
+            return []
         results: List[WorkResult] = []
         workers = min(self.n_jobs, len(items))
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_preferred_context()
         ) as pool:
-            futures = [
+            futures = {
                 pool.submit(
                     _execute_work_item,
                     build,
@@ -305,12 +511,32 @@ class ParallelRunner:
                     horizon,
                     demands_known,
                     collect_metrics,
-                )
+                    _item_checkpoint(sweep_dir, item, checkpoint_every),
+                ): item
                 for item in items
-            ]
+            }
             for future in as_completed(futures):
-                results.append(future.result())
-        results.sort(key=lambda r: (r.repetition, r.controller_index))
+                item = futures[future]
+                if capture_pool_errors:
+                    try:
+                        work_result = future.result()
+                    except Exception as exc:  # noqa: BLE001 — retried on a fresh pool
+                        work_result = WorkResult(
+                            repetition=item.repetition,
+                            controller_index=item.controller_index,
+                            controller_name=None,
+                            result=None,
+                            error=f"{type(exc).__name__}: {exc}",
+                            error_traceback=traceback.format_exc(),
+                            wall_seconds=0.0,
+                            cpu_seconds=0.0,
+                            pid=0,
+                        )
+                else:
+                    work_result = future.result()
+                if sweep_dir is not None and work_result.ok:
+                    _persist_work_result(sweep_dir, work_result)
+                results.append(work_result)
         return results
 
     # ------------------------------------------------------------------ #
@@ -319,10 +545,13 @@ class ParallelRunner:
         self,
         build: ScenarioBuilder,
         seed: int,
-        repetitions: int,
+        repetition_indices: Sequence[int],
         horizon: int,
         demands_known: bool,
         collect_metrics: bool,
+        done: Set[Tuple[int, int]],
+        sweep_dir: Optional[Path],
+        checkpoint_every: Optional[int] = None,
     ) -> List[WorkResult]:
         """In-process execution, one world build per repetition.
 
@@ -338,7 +567,7 @@ class ParallelRunner:
         parent = obs.active_registry()
         trace = parent.trace if parent is not None else None
         results: List[WorkResult] = []
-        for repetition in range(repetitions):
+        for repetition in repetition_indices:
             wall_start = time.perf_counter()
             cpu_start = time.process_time()
             try:
@@ -363,10 +592,17 @@ class ParallelRunner:
                 )
                 continue
             for index, controller in enumerate(controllers):
+                if (repetition, index) in done:
+                    continue
                 wall_start = time.perf_counter()
                 cpu_start = time.process_time()
                 registry = (
                     obs.MetricsRegistry(trace=trace) if collect_metrics else None
+                )
+                item_checkpoint = _item_checkpoint(
+                    sweep_dir,
+                    WorkItem(repetition=repetition, controller_index=index),
+                    checkpoint_every,
                 )
                 try:
                     result = run_simulation(
@@ -376,27 +612,33 @@ class ParallelRunner:
                         horizon=horizon,
                         demands_known=demands_known,
                         metrics=registry,
+                        checkpoint=item_checkpoint,
                     )
+                    if item_checkpoint is not None:
+                        snapshot = item_checkpoint.path_for(controller.name)
+                        if snapshot.exists():
+                            snapshot.unlink()
                     error = None
                     error_tb = None
                 except Exception as exc:  # noqa: BLE001
                     result = None
                     error = f"{type(exc).__name__}: {exc}"
                     error_tb = traceback.format_exc()
-                results.append(
-                    WorkResult(
-                        repetition=repetition,
-                        controller_index=index,
-                        controller_name=controller.name,
-                        result=result,
-                        error=error,
-                        error_traceback=error_tb,
-                        wall_seconds=time.perf_counter() - wall_start,
-                        cpu_seconds=time.process_time() - cpu_start,
-                        metrics=registry.snapshot() if registry is not None else None,
-                        pid=os.getpid(),
-                    )
+                work_result = WorkResult(
+                    repetition=repetition,
+                    controller_index=index,
+                    controller_name=controller.name,
+                    result=result,
+                    error=error,
+                    error_traceback=error_tb,
+                    wall_seconds=time.perf_counter() - wall_start,
+                    cpu_seconds=time.process_time() - cpu_start,
+                    metrics=registry.snapshot() if registry is not None else None,
+                    pid=os.getpid(),
                 )
+                if sweep_dir is not None and work_result.ok:
+                    _persist_work_result(sweep_dir, work_result)
+                results.append(work_result)
         return results
 
     @staticmethod

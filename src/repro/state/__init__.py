@@ -1,0 +1,58 @@
+"""Checkpoint/resume state subsystem.
+
+Three layers, lowest first:
+
+* :mod:`repro.state.snapshot` — the wire format: versioned ``.npz``+JSON
+  snapshots of nested ``state_dict()`` trees, plus numpy bit-generator
+  state helpers.  Every stateful object in the library
+  (controllers, bandit statistics, the GAN predictor, demand models,
+  :class:`repro.utils.seeding.RngRegistry`) implements
+  ``state_dict()`` / ``load_state_dict()`` against this format.
+* :mod:`repro.state.checkpoint` — per-run policy:
+  :class:`CheckpointConfig` tells ``run_simulation`` where and how often
+  to snapshot, and whether to resume.
+* :mod:`repro.state.manifest` — sweep-level resume: a ``manifest.json``
+  pinning a repetition sweep's identity next to one ``work-result``
+  snapshot per completed ``(repetition, controller)`` item.
+
+The package is import-light by design (numpy + stdlib only), so the
+core, workload, GAN and simulation layers can all depend on it without
+cycles.
+"""
+
+from repro.state.checkpoint import SIMULATION_KIND, CheckpointConfig
+from repro.state.manifest import (
+    WORK_RESULT_KIND,
+    SweepManifest,
+    completed_items,
+    result_path,
+)
+from repro.state.snapshot import (
+    FORMAT_TAG,
+    SCHEMA_VERSION,
+    CheckpointError,
+    flatten_state,
+    load_checkpoint,
+    rng_state,
+    save_checkpoint,
+    set_rng_state,
+    unflatten_state,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FORMAT_TAG",
+    "CheckpointError",
+    "CheckpointConfig",
+    "SIMULATION_KIND",
+    "SweepManifest",
+    "WORK_RESULT_KIND",
+    "completed_items",
+    "result_path",
+    "flatten_state",
+    "unflatten_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "rng_state",
+    "set_rng_state",
+]

@@ -1,0 +1,221 @@
+"""Versioned ``.npz``+JSON snapshots of nested state dictionaries.
+
+The checkpoint subsystem's wire format.  A *state dict* is a nested tree
+of plain containers (``dict`` with string keys, ``list``/``tuple``),
+numpy arrays and JSON scalars — what every ``state_dict()`` in the
+library returns (:class:`repro.bandits.ArmStats`, the controllers, the
+GAN stack, :class:`repro.utils.seeding.RngRegistry`, ...).  One snapshot
+is one ``.npz`` file:
+
+* every array in the tree is stored under its ``/``-joined path key
+  (``"arms/sums"``, ``"model/generator/p3"``);
+* the tree *structure* plus all non-array leaves travel in a single JSON
+  document under the reserved ``__meta__`` entry, with arrays replaced by
+  ``{"__ndarray__": <path key>}`` placeholders;
+* the JSON header carries a format tag, a schema version and a caller
+  ``kind`` so :func:`load_checkpoint` can reject foreign or stale files
+  loudly instead of mis-restoring state.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-save
+never leaves a truncated checkpoint behind — the previous snapshot
+survives intact.
+
+This module deliberately imports nothing from the simulation stack: the
+engine, the controllers and the workload layer all import *it*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FORMAT_TAG",
+    "CheckpointError",
+    "flatten_state",
+    "unflatten_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "rng_state",
+    "set_rng_state",
+]
+
+#: Bump when the on-disk layout changes incompatibly; ``load_checkpoint``
+#: rejects files written under a different version.
+SCHEMA_VERSION = 1
+
+#: Identifies a file as one of ours before any schema comparison.
+FORMAT_TAG = "repro-state"
+
+_META_KEY = "__meta__"
+_ARRAY_PLACEHOLDER = "__ndarray__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, foreign, stale or inconsistent."""
+
+
+def _flatten(value: Any, path: str, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace arrays in ``value`` with placeholders, collecting them."""
+    if isinstance(value, np.ndarray):
+        arrays[path] = value
+        return {_ARRAY_PLACEHOLDER: path}
+    if isinstance(value, dict):
+        out: Dict[str, Any] = {}
+        for key, sub in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"state dict keys must be str, got {type(key).__name__} "
+                    f"at {path!r}"
+                )
+            if "/" in key or key.startswith("__"):
+                raise ValueError(
+                    f"state dict key {key!r} at {path!r} may not contain "
+                    "'/' or start with '__' (reserved for path addressing)"
+                )
+            out[key] = _flatten(sub, f"{path}/{key}" if path else key, arrays)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [
+            _flatten(sub, f"{path}/{index}" if path else str(index), arrays)
+            for index, sub in enumerate(value)
+        ]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"state dict value at {path!r} has unsupported type "
+        f"{type(value).__name__}; use arrays, containers or JSON scalars"
+    )
+
+
+def flatten_state(state: Any) -> Tuple[Dict[str, np.ndarray], Any]:
+    """Split a state tree into ``(arrays by path key, JSON structure)``."""
+    arrays: Dict[str, np.ndarray] = {}
+    structure = _flatten(state, "", arrays)
+    return arrays, structure
+
+
+def _unflatten(structure: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    if isinstance(structure, dict):
+        if set(structure) == {_ARRAY_PLACEHOLDER}:
+            key = structure[_ARRAY_PLACEHOLDER]
+            if key not in arrays:
+                raise CheckpointError(
+                    f"checkpoint references missing array {key!r}"
+                )
+            return arrays[key]
+        return {key: _unflatten(sub, arrays) for key, sub in structure.items()}
+    if isinstance(structure, list):
+        return [_unflatten(sub, arrays) for sub in structure]
+    return structure
+
+
+def unflatten_state(structure: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Rebuild the state tree from :func:`flatten_state`'s two halves."""
+    return _unflatten(structure, arrays)
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    state: Any,
+    *,
+    kind: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``state`` to ``path`` atomically; returns the final path.
+
+    ``kind`` names what the snapshot holds (``"simulation"``,
+    ``"work-result"``, ...) and is re-checked by :func:`load_checkpoint`.
+    ``meta`` is an optional JSON-able side channel (horizon, slot, seed)
+    stored next to — not inside — the state tree.
+    """
+    path = Path(path)
+    arrays, structure = flatten_state(state)
+    header = {
+        "format": FORMAT_TAG,
+        "schema": SCHEMA_VERSION,
+        "kind": str(kind),
+        "state": structure,
+        "meta": dict(meta) if meta is not None else {},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}.npz"
+    try:
+        np.savez(tmp, **{_META_KEY: np.array(json.dumps(header))}, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def load_checkpoint(
+    path: Union[str, Path], *, kind: Optional[str] = None
+) -> Tuple[Any, Dict[str, Any]]:
+    """Load a snapshot written by :func:`save_checkpoint`.
+
+    Returns ``(state, meta)``.  Raises :class:`CheckpointError` when the
+    file is missing, was not written by this module, carries a different
+    schema version, or holds a different ``kind`` than requested.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            raise CheckpointError(
+                f"{path} is not a repro-state checkpoint (no {_META_KEY})"
+            )
+        try:
+            header = json.loads(str(archive[_META_KEY][()]))
+        except (json.JSONDecodeError, TypeError) as error:
+            raise CheckpointError(f"{path} has a corrupt header: {error}") from error
+        if header.get("format") != FORMAT_TAG:
+            raise CheckpointError(
+                f"{path} has format {header.get('format')!r}, "
+                f"expected {FORMAT_TAG!r}"
+            )
+        if header.get("schema") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{path} was written with schema {header.get('schema')!r}; "
+                f"this build reads schema {SCHEMA_VERSION}"
+            )
+        if kind is not None and header.get("kind") != kind:
+            raise CheckpointError(
+                f"{path} holds a {header.get('kind')!r} snapshot, "
+                f"expected {kind!r}"
+            )
+        arrays = {
+            name: archive[name] for name in archive.files if name != _META_KEY
+        }
+    state = unflatten_state(header.get("state"), arrays)
+    meta = header.get("meta") or {}
+    return state, dict(meta)
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-able snapshot of a generator's bit-generator state."""
+    return dict(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a generator to a :func:`rng_state` snapshot, in place.
+
+    Assigning ``bit_generator.state`` mutates the existing generator, so
+    every object already holding a reference to ``rng`` resumes from the
+    restored stream position — no generator is constructed.
+    """
+    current = rng.bit_generator.state.get("bit_generator")
+    stored = state.get("bit_generator")
+    if stored != current:
+        raise CheckpointError(
+            f"cannot restore {stored!r} state into a {current!r} generator"
+        )
+    rng.bit_generator.state = state

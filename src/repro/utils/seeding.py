@@ -13,7 +13,7 @@ across runs and across unrelated code changes.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterator, List
+from typing import Any, Dict, Iterator, List
 
 import numpy as np
 
@@ -99,6 +99,35 @@ class RngRegistry:
     def names(self) -> List[str]:
         """Names of all streams created so far (for debugging/tests)."""
         return sorted(self._streams)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable state: the root seed plus every materialised
+        stream's bit-generator position (see :mod:`repro.state`)."""
+        from repro.state.snapshot import rng_state
+
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: rng_state(rng) for name, rng in self._streams.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore stream positions in place (same root seed required).
+
+        Streams are restored *onto* the registry's own generator objects
+        (created on demand via :meth:`get`), so components already holding
+        a stream reference resume from the checkpointed position.
+        """
+        from repro.state.snapshot import set_rng_state
+
+        if int(state["seed"]) != self._seed:
+            raise ValueError(
+                f"checkpoint was taken under seed {state['seed']}, "
+                f"this registry uses seed {self._seed}"
+            )
+        for name, stream_state in state["streams"].items():
+            set_rng_state(self.get(name), stream_state)
 
 
 def require_seed(seed: int) -> None:

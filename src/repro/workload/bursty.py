@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -108,6 +108,36 @@ class MmppBurstProcess:
     def is_bursting(self, slot: int) -> bool:
         """True when the hotspot is in the BURST state in ``slot``."""
         return self.state_at(slot) == BURST
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Identity of this process's realisation (see :mod:`repro.state`).
+
+        Every value at every slot is a deterministic function of these
+        fields — the caches rebuild on demand, so nothing mutable needs to
+        travel; a resumed run only *verifies* it rebuilt the same world.
+        """
+        return {
+            "seed": self._seed,
+            "p_enter": self._p_enter,
+            "p_exit": self._p_exit,
+            "amplitude_shape": self._shape,
+            "amplitude_scale": self._scale,
+            "amplitude_mode": self._amplitude_mode,
+            "slot_jitter": self._slot_jitter,
+            "ramp_slots": self._ramp_slots,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Verify this process realises the checkpointed trajectory."""
+        mine = self.state_dict()
+        mismatched = sorted(
+            key for key in mine if mine[key] != state.get(key)
+        )
+        if mismatched:
+            raise ValueError(
+                "burst process does not match checkpoint "
+                f"(differs in: {', '.join(mismatched)})"
+            )
 
     def episode_start(self, slot: int) -> int:
         """First slot of the burst episode containing ``slot``.

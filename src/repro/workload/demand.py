@@ -12,7 +12,7 @@ Two concrete models:
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -61,6 +61,35 @@ class DemandModel(abc.ABC):
         return np.stack([self.demand_at(t) for t in range(horizon)]) if horizon else (
             np.zeros((0, self.n_requests))
         )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Identity of this model's realisation (see :mod:`repro.state`).
+
+        Demand models are slot-keyed — ``demand_at(t)`` is a pure function
+        of construction-time seeds — so checkpoints carry only identity
+        fields; :meth:`load_state_dict` *verifies* a resumed run rebuilt
+        the same demand trajectory rather than mutating anything.
+        """
+        return {
+            "model": type(self).__name__,
+            "n_requests": self.n_requests,
+            "basic": self._basic.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Verify this model realises the checkpointed demand trajectory."""
+        if state.get("model") != type(self).__name__:
+            raise ValueError(
+                f"checkpoint was taken under demand model {state.get('model')!r}, "
+                f"this run uses {type(self).__name__}"
+            )
+        if int(state["n_requests"]) != self.n_requests:
+            raise ValueError(
+                f"checkpoint covers {state['n_requests']} requests, "
+                f"this model covers {self.n_requests}"
+            )
+        if not np.array_equal(np.asarray(state["basic"], dtype=float), self._basic):
+            raise ValueError("checkpointed basic demands differ from this model's")
 
 
 class ConstantDemandModel(DemandModel):
@@ -177,3 +206,36 @@ class BurstyDemandModel(DemandModel):
     def hotspot_indices(self) -> List[int]:
         """Hotspots that have at least one attached request."""
         return sorted(self._processes)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["jitter"] = self._jitter
+        state["jitter_seed"] = self._jitter_seed
+        state["processes"] = {
+            str(key): process.state_dict()
+            for key, process in self._processes.items()
+        }
+        state["solo_processes"] = {
+            str(key): process.state_dict()
+            for key, process in self._solo_processes.items()
+        }
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        if (
+            state.get("jitter") != self._jitter
+            or int(state["jitter_seed"]) != self._jitter_seed
+        ):
+            raise ValueError("checkpointed jitter realisation differs from this model's")
+        for label, mine in (
+            ("processes", self._processes),
+            ("solo_processes", self._solo_processes),
+        ):
+            theirs = state[label]
+            if sorted(theirs) != [str(key) for key in sorted(mine)]:
+                raise ValueError(
+                    f"checkpointed {label} cover different hotspots/requests"
+                )
+            for key, process in mine.items():
+                process.load_state_dict(theirs[str(key)])

@@ -344,3 +344,66 @@ class TestPublicAnnotations:
 
     def test_out_of_scope_package_silent(self):
         assert_silent("API002", self.BAD, GAN)
+
+
+class TestKeywordOnlyFlags:
+    BAD = """
+        def run(network, horizon: int, demands_known: bool = True,
+                compute_optimal: bool = False) -> None:
+            return None
+    """
+    GOOD = """
+        def run(network, horizon: int, *, demands_known: bool = True,
+                compute_optimal: bool = False) -> None:
+            return None
+    """
+
+    def test_fires_on_positional_flag_pair(self):
+        assert_fires("API003", self.BAD, CORE)
+
+    def test_silent_when_keyword_only(self):
+        assert_silent("API003", self.GOOD, SIM)
+
+    def test_single_flag_allowed_positionally(self):
+        assert_silent(
+            "API003",
+            "def run(network, demands_known: bool = True) -> None:\n"
+            "    return None\n",
+            CORE,
+        )
+
+    def test_counts_none_defaults_as_flags(self):
+        source = """
+            def run(network, metrics=None, checkpoint=None) -> None:
+                return None
+        """
+        assert_fires("API003", source, SIM)
+
+    def test_fires_on_public_init(self):
+        source = """
+            class Controller:
+                def __init__(self, network, gamma=None, exploration=None):
+                    self.network = network
+        """
+        assert_fires("API003", source, CORE)
+
+    def test_mixed_positional_and_keyword_flags_fire(self):
+        source = """
+            def run(network, demands_known: bool = True, *,
+                    compute_optimal: bool = False) -> None:
+                return None
+        """
+        assert_fires("API003", source, CORE)
+
+    def test_non_flag_defaults_ignored(self):
+        source = """
+            def run(network, gamma: float = 0.1, order: int = 5) -> None:
+                return None
+        """
+        assert_silent("API003", source, CORE)
+
+    def test_private_functions_exempt(self):
+        assert_silent("API003", self.BAD.replace("def run", "def _run"), CORE)
+
+    def test_out_of_scope_package_silent(self):
+        assert_silent("API003", self.BAD, GAN)

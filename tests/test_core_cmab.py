@@ -79,7 +79,7 @@ class TestCmabController:
     def test_custom_name(self):
         rngs, network, requests = build()
         controller = CmabController(
-            network, requests, rngs.get("ctrl"), Ucb1(), name="MyCmab"
+            network, requests, rngs.get("ctrl"), policy=Ucb1(), name="MyCmab"
         )
         assert controller.name == "MyCmab"
 

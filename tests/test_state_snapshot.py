@@ -1,0 +1,171 @@
+"""Unit tests for the checkpoint wire format (repro.state)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.state import (
+    CheckpointConfig,
+    CheckpointError,
+    SweepManifest,
+    completed_items,
+    flatten_state,
+    load_checkpoint,
+    result_path,
+    rng_state,
+    save_checkpoint,
+    set_rng_state,
+    unflatten_state,
+)
+
+
+class TestFlatten:
+    def test_roundtrip_nested_tree(self):
+        state = {
+            "arms": {"sums": np.arange(3.0), "counts": np.arange(3)},
+            "name": "OL_GD",
+            "gamma": 0.1,
+            "flags": [True, None, 2],
+        }
+        arrays, structure = flatten_state(state)
+        assert set(arrays) == {"arms/sums", "arms/counts"}
+        rebuilt = unflatten_state(structure, arrays)
+        assert rebuilt["name"] == "OL_GD"
+        assert rebuilt["flags"] == [True, None, 2]
+        np.testing.assert_array_equal(rebuilt["arms"]["sums"], np.arange(3.0))
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="keys must be str"):
+            flatten_state({1: np.zeros(2)})
+
+    def test_rejects_reserved_keys(self):
+        with pytest.raises(ValueError, match="reserved"):
+            flatten_state({"a/b": 1})
+        with pytest.raises(ValueError, match="reserved"):
+            flatten_state({"__meta__": 1})
+
+    def test_rejects_unsupported_values(self):
+        with pytest.raises(TypeError, match="unsupported type"):
+            flatten_state({"x": object()})
+
+    def test_numpy_scalars_become_python_scalars(self):
+        _, structure = flatten_state({"t": np.int64(7)})
+        assert structure["t"] == 7 and isinstance(structure["t"], int)
+
+
+class TestSaveLoad:
+    def test_roundtrip_with_kind_and_meta(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        state = {"weights": np.ones((2, 2)), "slot": 5}
+        save_checkpoint(path, state, kind="simulation", meta={"horizon": 10})
+        loaded, meta = load_checkpoint(path, kind="simulation")
+        np.testing.assert_array_equal(loaded["weights"], np.ones((2, 2)))
+        assert loaded["slot"] == 5
+        assert meta == {"horizon": 10}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_checkpoint(path, {"x": 1}, kind="simulation")
+        with pytest.raises(CheckpointError, match="expected 'work-result'"):
+            load_checkpoint(path, kind="work-result")
+
+    def test_foreign_npz_raises(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(CheckpointError, match="not a repro-state"):
+            load_checkpoint(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "stale.npz"
+        header = {
+            "format": "repro-state",
+            "schema": 999,
+            "kind": "simulation",
+            "state": {},
+            "meta": {},
+        }
+        np.savez(path, __meta__=np.array(json.dumps(header)))
+        with pytest.raises(CheckpointError, match="schema 999"):
+            load_checkpoint(path)
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_checkpoint(path, {"v": 1}, kind="simulation")
+        save_checkpoint(path, {"v": 2}, kind="simulation")
+        loaded, _ = load_checkpoint(path)
+        assert loaded["v"] == 2
+        assert list(tmp_path.glob(".*tmp*")) == []
+
+
+class TestRngState:
+    def test_restore_continues_stream_in_place(self):
+        rng = np.random.default_rng(5)
+        rng.random(7)
+        snapshot = rng_state(rng)
+        expected = rng.random(4)
+        rng.random(100)  # wander off
+        set_rng_state(rng, snapshot)
+        np.testing.assert_array_equal(rng.random(4), expected)
+
+    def test_bit_generator_mismatch_raises(self):
+        rng = np.random.default_rng(5)
+        snapshot = rng_state(np.random.Generator(np.random.MT19937(5)))
+        with pytest.raises(CheckpointError, match="MT19937"):
+            set_rng_state(rng, snapshot)
+
+
+class TestCheckpointConfig:
+    def test_rejects_non_positive_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="every_n_slots"):
+            CheckpointConfig(directory=tmp_path, every_n_slots=0)
+
+    def test_due_at_cadence_multiples_only(self, tmp_path):
+        config = CheckpointConfig(directory=tmp_path, every_n_slots=4)
+        assert [t for t in range(13) if config.due(t)] == [4, 8, 12]
+
+    def test_path_slugs_controller_name(self, tmp_path):
+        config = CheckpointConfig(directory=tmp_path)
+        assert config.path_for("OL GD/v2").name == "sim-OL_GD_v2.npz"
+
+
+class TestSweepManifest:
+    def test_write_read_roundtrip(self, tmp_path):
+        manifest = SweepManifest(
+            seed=7, repetitions=3, horizon=10, demands_known=True,
+            controllers=("OL_GD", "Greedy_GD"),
+        )
+        manifest.write(tmp_path)
+        assert SweepManifest.exists(tmp_path)
+        assert SweepManifest.read(tmp_path) == manifest
+
+    def test_require_compatible_lists_mismatches(self, tmp_path):
+        a = SweepManifest(seed=7, repetitions=3, horizon=10, demands_known=True)
+        b = SweepManifest(seed=8, repetitions=3, horizon=12, demands_known=True)
+        with pytest.raises(CheckpointError, match="seed.*horizon"):
+            a.require_compatible(b)
+
+    def test_unknown_controllers_are_compatible(self, tmp_path):
+        a = SweepManifest(
+            seed=7, repetitions=3, horizon=10, demands_known=True,
+            controllers=("OL_GD",),
+        )
+        b = SweepManifest(seed=7, repetitions=3, horizon=10, demands_known=True)
+        a.require_compatible(b)  # no raise: only one side knows the names
+
+    def test_completed_items_discovery(self, tmp_path):
+        for repetition, controller in [(0, 0), (0, 1), (2, 0)]:
+            save_checkpoint(
+                result_path(tmp_path, repetition, controller),
+                {"x": 1},
+                kind="work-result",
+            )
+        (tmp_path / "rep-bogus.npz").write_bytes(b"")
+        assert set(completed_items(tmp_path)) == {(0, 0), (0, 1), (2, 0)}
+
+    def test_completed_items_of_missing_directory_empty(self, tmp_path):
+        assert completed_items(tmp_path / "absent") == {}
