@@ -13,7 +13,13 @@
 """
 
 from repro.core.admission import AdmissionDecision, select_admissible
-from repro.core.assignment import Assignment, evaluate_assignment, evaluate_with_transport
+from repro.core.assignment import (
+    Assignment,
+    SlotEvaluator,
+    evaluate_assignment,
+    evaluate_with_transport,
+    service_indices,
+)
 from repro.core.candidates import (
     build_candidate_sets,
     repair_capacity,
@@ -42,8 +48,10 @@ __all__ = [
     "AdmissionDecision",
     "select_admissible",
     "Assignment",
+    "SlotEvaluator",
     "evaluate_assignment",
     "evaluate_with_transport",
+    "service_indices",
     "HysteresisController",
     "evaluate_with_churn",
     "CmabController",

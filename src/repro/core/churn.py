@@ -149,7 +149,9 @@ class HysteresisController(Controller):
                     moved_any = True
             if not moved_any:
                 break
-        merged = Assignment.from_stations(stations, self.requests)
+        merged = Assignment.from_stations(
+            stations, self.requests, service_of=self.service_of
+        )
         self._previous = merged
         return merged
 

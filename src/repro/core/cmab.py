@@ -69,7 +69,9 @@ class CmabController(Controller):
                     self.arms, slot + 1, self._rng, allowed=feasible.tolist()
                 )
             capacities[stations[l]] -= need
-        return Assignment.from_stations(stations, self.requests)
+        return Assignment.from_stations(
+            stations, self.requests, service_of=self.service_of
+        )
 
     def observe(
         self,

@@ -45,6 +45,14 @@ class Controller(abc.ABC):
                 )
         self.network = network
         self.requests = list(requests)
+        #: Precomputed per-request service indices; hot-path helpers
+        #: (``Assignment.from_stations``) take this instead of re-deriving
+        #: it from the request objects every slot.
+        self.service_of: np.ndarray = np.fromiter(
+            (r.service_index for r in self.requests),
+            dtype=int,
+            count=len(self.requests),
+        )
 
     @property
     def n_requests(self) -> int:

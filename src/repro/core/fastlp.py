@@ -15,7 +15,7 @@ the changing entries in place per slot — producing exactly the same LP
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -27,13 +27,57 @@ from repro.mec.requests import Request
 
 __all__ = ["PerSlotLpSolver"]
 
+#: A fractional x entry above this counts as part of the optimal support.
+_SUPPORT_TOL = 1e-9
+
+#: Extra columns kept per request when warm-starting: beyond the active
+#: columns, each request keeps its cheapest stations by reduced cost so
+#: the restricted LP can re-balance when demands shift.  A bare-support
+#: restriction (one column per request at an integral vertex) is fully
+#: pinned and so degenerate that its duals almost never certify
+#: optimality, driving the hit rate to zero.  12 columns per request is
+#: the sweep optimum: 8 leaves capacity-driven support shifts outside the
+#: restriction (misses), while wider pads converge the restricted LP
+#: toward the full one and erode the win.
+_SUPPORT_PER_REQUEST = 12
+
+#: Column-generation rounds a warm solve may spend growing the support
+#: before falling back to a cold full solve.  1 is the wall-clock
+#: optimum: when the padded support misses, the shifted optimum usually
+#: needs columns that only the *next* restricted duals would price in, so
+#: extra rounds mostly add restricted-solve cost on top of the inevitable
+#: cold fallback.
+_WARM_ROUNDS = 1
+
 
 class PerSlotLpSolver:
-    """Reusable Eq. (3)-(8) relaxation for a fixed network + request set."""
+    """Reusable Eq. (3)-(8) relaxation for a fixed network + request set.
 
-    def __init__(self, network: MECNetwork, requests: Sequence[Request]):
+    ``warm_start=True`` enables incremental re-solving across slots: the
+    support (the x columns active in the previous optimum, plus every y
+    column) seeds a *restricted* LP with ~``|R| + |pairs|`` variables
+    instead of ``|R| x |BS|``; its duals then price every excluded column,
+    and only when some excluded column has a negative reduced cost does
+    the solver fall back to a cold full solve (which refreshes the
+    support).  An accepted warm solution is exactly optimal for the full
+    LP — primal-feasible by construction, dual-feasible by the pricing
+    check — but may sit on a *different* optimal vertex than the cold
+    path when the optimum is degenerate, so warm-started runs are not
+    bit-identical to cold ones (objective values agree to solver
+    tolerance; see the equivalence tests).  Off by default.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        requests: Sequence[Request],
+        *,
+        warm_start: bool = False,
+    ):
         if not requests:
             raise ValueError("need at least one request")
+        self._warm_start = bool(warm_start)
+        self._support: Optional[np.ndarray] = None
         self._network = network
         self._requests = list(requests)
         R, S = len(requests), network.n_stations
@@ -46,6 +90,18 @@ class PerSlotLpSolver:
         self._y_offset = R * S
         self._n_vars = R * S + len(self._pairs)
         y_column = {pair: self._y_offset + p for p, pair in enumerate(self._pairs)}
+        # x column l*S+i -> index of its (service_l, i) pair; the warm-start
+        # pricing repair folds per-column dual deficits onto pairs.
+        pair_index = {pair: p for p, pair in enumerate(self._pairs)}
+        self._pair_of_col = np.fromiter(
+            (
+                pair_index[(r.service_index, i)]
+                for r in self._requests
+                for i in range(S)
+            ),
+            dtype=int,
+            count=R * S,
+        )
 
         # ---- objective: x part patched per slot, y part constant -------
         self._c = np.zeros(self._n_vars)
@@ -164,6 +220,15 @@ class PerSlotLpSolver:
             # mid-horizon (failure injection degrades/restores stations).
             self._b_ub[:S] = self._network.capacities_mhz
 
+        if self._warm_start and self._support is not None:
+            warm = self._warm_solve()
+            if warm is not None:
+                obs.inc("lp.warm_hits", 1)
+                x_full, objective = warm
+                x = np.clip(x_full[: R * S], 0.0, 1.0)
+                return x.reshape(R, S), float(objective)
+            obs.inc("lp.warm_misses", 1)
+
         with obs.span("lp.solve"):
             result = linprog(
                 self._c,
@@ -181,5 +246,95 @@ class PerSlotLpSolver:
         # HiGHS reports its simplex/IPM iteration count; fold it into the
         # registry so the stage-level cost has an algorithmic denominator.
         obs.inc("lp.iterations", int(getattr(result, "nit", 0)))
+        if self._warm_start:
+            self._update_support(result)
         x = np.clip(np.asarray(result.x[: R * S]), 0.0, 1.0)
         return x.reshape(R, S), float(result.fun)
+
+    def _update_support(self, result: Any) -> None:
+        """Active x columns of the full-LP optimum, padded per request.
+
+        Keeps every column with positive mass plus each request's
+        ``_SUPPORT_PER_REQUEST`` cheapest columns by reduced cost
+        (HiGHS's ``lower.marginals``) — near-optimal alternates the next
+        slot's restricted LP may need.
+        """
+        x = np.asarray(result.x[: self._y_offset])
+        rc = np.asarray(result.lower.marginals[: self._y_offset])
+        keep = x > _SUPPORT_TOL
+        m = min(self._S, _SUPPORT_PER_REQUEST)
+        order = np.argsort(rc.reshape(self._R, self._S), axis=1)[:, :m]
+        keep.reshape(self._R, self._S)[np.arange(self._R)[:, None], order] = True
+        self._support = np.nonzero(keep)[0]
+
+    def _warm_solve(self) -> Optional[Tuple[np.ndarray, float]]:
+        """Column generation over the previous support.
+
+        Each round solves the LP restricted to the support's x columns
+        plus every y column, then prices the excluded x columns with the
+        restricted duals: ``rc = c - A_ub^T y_ub - A_eq^T y_eq``
+        (verified against HiGHS's ``lower.marginals``).  Columns that
+        price in are added to the support and the restricted LP is
+        re-solved; when none remain the restricted optimum is optimal
+        for the full LP and is accepted.  After ``_WARM_ROUNDS`` rounds
+        the caller falls back to a cold full solve (which also refreshes
+        the support).
+
+        Pricing is repaired for dual degeneracy before rejecting: HiGHS
+        leaves zero duals on the coupling rows of excluded columns (they
+        read ``-y_ki <= 0`` in the restricted LP), under-pricing those
+        columns.  Because coupling rows have b = 0, dual mass can be
+        pushed onto them freely — lifting x_li's reduced cost by delta
+        costs the matching y_ki column exactly delta of its reduced-cost
+        slack — so the repaired duals certify optimality by weak duality
+        iff every pair's total deficit fits inside its y slack (a y that
+        is basic or at its upper bound has none: conservative).
+        """
+        assert self._support is not None
+        support = self._support
+        y_cols = np.arange(self._y_offset, self._n_vars)
+        for _ in range(_WARM_ROUNDS):
+            cols = np.concatenate([support, y_cols])
+            with obs.span("lp.solve"):
+                result = linprog(
+                    self._c[cols],
+                    A_ub=self._a_ub[:, cols],
+                    b_ub=self._b_ub,
+                    A_eq=self._a_eq[:, cols],
+                    b_eq=self._b_eq,
+                    bounds=[(0.0, 1.0)] * len(cols),
+                    method="highs",
+                )
+            if result.status != 0:
+                return None  # restricted LP infeasible (support too small)
+            obs.inc("lp.iterations", int(getattr(result, "nit", 0)))
+            y_ub = np.asarray(result.ineqlin.marginals)
+            y_eq = np.asarray(result.eqlin.marginals)
+            reduced = np.asarray(
+                self._c - self._a_ub.T @ y_ub - self._a_eq.T @ y_eq
+            )
+            rc_x = reduced[: self._y_offset]
+            excluded = np.ones(self._y_offset, dtype=bool)
+            excluded[support] = False
+            tol = 1e-8 * max(1.0, float(np.abs(self._c).max()))
+            deficit_cols = np.nonzero(excluded & (rc_x < -tol))[0]
+            if deficit_cols.size:
+                deficiency = np.bincount(
+                    self._pair_of_col[deficit_cols],
+                    weights=-rc_x[deficit_cols],
+                    minlength=len(self._pairs),
+                )
+                rc_y = reduced[self._y_offset :]
+                if bool(np.any(deficiency > rc_y + tol)):
+                    # Columns genuinely price in: grow the support and
+                    # re-solve the (still much smaller) restricted LP.
+                    support = np.union1d(support, deficit_cols)
+                    continue
+            # Optimal for the full LP.  The (possibly grown) support
+            # carries to the next slot; a future miss's cold solve
+            # re-shrinks it.
+            self._support = support
+            x_full = np.zeros(self._n_vars)
+            x_full[cols] = result.x
+            return x_full, float(result.fun)
+        return None

@@ -75,7 +75,9 @@ class GreedyController(Controller):
             capacities[best_station] -= need
             cached.add((request.service_index, best_station))
 
-        return Assignment.from_stations(stations, self.requests)
+        return Assignment.from_stations(
+            stations, self.requests, service_of=self.service_of
+        )
 
     def observe(
         self,

@@ -105,7 +105,9 @@ class PriorityController(Controller):
             capacities[station] -= demands[l] * self.network.c_unit_mhz
             cached.add((request.service_index, station))
 
-        return Assignment.from_stations(stations, self.requests)
+        return Assignment.from_stations(
+            stations, self.requests, service_of=self.service_of
+        )
 
     def observe(
         self,

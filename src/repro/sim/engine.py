@@ -23,12 +23,13 @@ off (the default) the spans are shared no-ops.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from repro import obs
-from repro.core.assignment import Assignment, evaluate_assignment
+from repro.core.assignment import Assignment, SlotEvaluator
 from repro.core.controller import Controller
 from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact
 from repro.mec.network import MECNetwork
@@ -44,7 +45,14 @@ from repro.utils.timer import Stopwatch
 from repro.utils.validation import require_positive
 from repro.workload.demand import DemandModel
 
+if TYPE_CHECKING:  # imported lazily at runtime: failures.py imports us
+    from repro.sim.failures import FailureSchedule
+
 __all__ = ["run_simulation"]
+
+#: Floor left on a fully-failed station so utilisation ratios stay finite;
+#: no request fits in it.
+_OUTAGE_EPSILON_MHZ = 1e-6
 
 
 def run_simulation(
@@ -58,6 +66,8 @@ def run_simulation(
     exact_optimal: bool = False,
     metrics: Optional["obs.MetricsRegistry"] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    failures: Optional["FailureSchedule"] = None,
+    dtype: DTypeLike = np.float64,
 ) -> SimulationResult:
     """Run ``controller`` for ``horizon`` slots; returns the metric series.
 
@@ -79,6 +89,19 @@ def run_simulation(
     bit-identically (timing columns excepted — wall-clock is re-measured).
     The snapshot does not pin the horizon, so a run can resume into a
     longer horizon than it was interrupted at.
+
+    ``failures`` applies a :class:`repro.sim.failures.FailureSchedule`
+    around each slot: scheduled capacity factors are written to the live
+    station objects before the controller decides (so its LP/packing sees
+    the outage) and the original capacities are restored when the run
+    ends, even on error.  A full outage leaves an epsilon capacity so
+    utilisation ratios stay finite.
+
+    ``dtype`` selects the working precision of the slot evaluator's
+    cached arrays (see :class:`repro.core.assignment.SlotEvaluator`);
+    ``"float32"`` halves evaluation memory traffic on 10^5-request runs,
+    while the default float64 keeps the documented bit-identical
+    semantics.
     """
     require_positive("horizon", horizon)
     if demand_model.n_requests != controller.n_requests:
@@ -96,6 +119,8 @@ def run_simulation(
             compute_optimal,
             exact_optimal,
             checkpoint,
+            failures,
+            dtype,
         )
 
 
@@ -186,6 +211,8 @@ def _run_loop(
     compute_optimal: bool,
     exact_optimal: bool,
     checkpoint: Optional[CheckpointConfig],
+    failures: Optional["FailureSchedule"],
+    dtype: DTypeLike,
 ) -> SimulationResult:
     requests = controller.requests
     result = SimulationResult(controller_name=controller.name)
@@ -204,76 +231,103 @@ def _run_loop(
         )
     decide_watch = Stopwatch()
     observe_watch = Stopwatch()
+    evaluator = SlotEvaluator(network, requests, dtype=dtype)
+    original_capacities = (
+        [bs.capacity_mhz for bs in network.stations]
+        if failures is not None
+        else None
+    )
+    applied_factors: Optional[np.ndarray] = None
     obs.set_context(controller=controller.name)
 
-    for slot in range(result.horizon, horizon):
-        obs.set_context(slot=slot)
-        true_demands = demand_model.demand_at(slot)
+    try:
+        for slot in range(result.horizon, horizon):
+            obs.set_context(slot=slot)
+            if failures is not None and original_capacities is not None:
+                factors = failures.capacity_factors(network.n_stations, slot)
+                # Most slots have no outage transition; only touch the live
+                # station objects (and the evaluator's capacity cache) when
+                # the factor vector actually changes.
+                if applied_factors is None or not np.array_equal(
+                    factors, applied_factors
+                ):
+                    for index, bs in enumerate(network.stations):
+                        bs.capacity_mhz = max(
+                            original_capacities[index] * float(factors[index]),
+                            _OUTAGE_EPSILON_MHZ,
+                        )
+                    evaluator.refresh_capacities()
+                    applied_factors = factors
+            true_demands = demand_model.demand_at(slot)
 
-        with decide_watch, obs.span("sim.decide"):
-            assignment = controller.decide(
-                slot, true_demands if demands_known else None
+            with decide_watch, obs.span("sim.decide"):
+                assignment = controller.decide(
+                    slot, true_demands if demands_known else None
+                )
+
+            with obs.span("sim.evaluate"):
+                unit_delays = network.delays.sample(slot)
+                delay_ms = evaluator.evaluate(
+                    assignment, true_demands, unit_delays
+                )
+
+            optimal_ms: Optional[float] = None
+            if compute_optimal:
+                with obs.span("sim.optimal"):
+                    if exact_optimal:
+                        optimal_ms = clairvoyant_cost_exact(
+                            network, requests, true_demands, unit_delays
+                        )
+                    else:
+                        optimal_ms = clairvoyant_cost(
+                            network, requests, true_demands, unit_delays
+                        )
+
+            prediction_mae: Optional[float] = None
+            last_prediction = getattr(controller, "last_prediction", None)
+            if not demands_known and last_prediction is not None:
+                prediction_mae = float(
+                    np.mean(np.abs(last_prediction - true_demands))
+                )
+
+            with observe_watch, obs.span("sim.observe"):
+                controller.observe(slot, true_demands, unit_delays, assignment)
+
+            loads = evaluator.loads_mhz(assignment, true_demands)
+            # Churn is change *between* slots; slot 0's cold-start placement
+            # is accounted separately so total_churn no longer absorbs it.
+            churn = assignment.cache_churn(previous) if previous is not None else 0
+            initial = len(assignment.cached) if previous is None else 0
+            obs.inc("sim.slots")
+            result.append(
+                SlotRecord(
+                    slot=slot,
+                    average_delay_ms=delay_ms,
+                    decision_seconds=decide_watch.laps[-1],
+                    observe_seconds=observe_watch.laps[-1],
+                    cache_churn=churn,
+                    n_cached_instances=len(assignment.cached),
+                    max_load_fraction=float(
+                        np.max(loads / evaluator.capacities_mhz)
+                    ),
+                    optimal_delay_ms=optimal_ms,
+                    prediction_mae_mb=prediction_mae,
+                    initial_instantiations=initial,
+                )
             )
-
-        with obs.span("sim.evaluate"):
-            unit_delays = network.delays.sample(slot)
-            delay_ms = evaluate_assignment(
-                assignment, network, requests, true_demands, unit_delays
-            )
-
-        optimal_ms: Optional[float] = None
-        if compute_optimal:
-            with obs.span("sim.optimal"):
-                if exact_optimal:
-                    optimal_ms = clairvoyant_cost_exact(
-                        network, requests, true_demands, unit_delays
-                    )
-                else:
-                    optimal_ms = clairvoyant_cost(
-                        network, requests, true_demands, unit_delays
-                    )
-
-        prediction_mae: Optional[float] = None
-        last_prediction = getattr(controller, "last_prediction", None)
-        if not demands_known and last_prediction is not None:
-            prediction_mae = float(np.mean(np.abs(last_prediction - true_demands)))
-
-        with observe_watch, obs.span("sim.observe"):
-            controller.observe(slot, true_demands, unit_delays, assignment)
-
-        loads = assignment.loads_mhz(
-            true_demands, network.c_unit_mhz, network.n_stations
-        )
-        # Churn is change *between* slots; slot 0's cold-start placement is
-        # accounted separately so total_churn no longer absorbs it.
-        churn = assignment.cache_churn(previous) if previous is not None else 0
-        initial = len(assignment.cached) if previous is None else 0
-        obs.inc("sim.slots")
-        result.append(
-            SlotRecord(
-                slot=slot,
-                average_delay_ms=delay_ms,
-                decision_seconds=decide_watch.laps[-1],
-                observe_seconds=observe_watch.laps[-1],
-                cache_churn=churn,
-                n_cached_instances=len(assignment.cached),
-                max_load_fraction=float(
-                    np.max(loads / network.capacities_mhz)
-                ),
-                optimal_delay_ms=optimal_ms,
-                prediction_mae_mb=prediction_mae,
-                initial_instantiations=initial,
-            )
-        )
-        previous = assignment
-        if (
-            checkpoint is not None
-            and snapshot_path is not None
-            and checkpoint.due(result.horizon)
-        ):
-            _write_snapshot(
-                snapshot_path, controller, demand_model, result, previous,
-                demands_known,
-            )
+            previous = assignment
+            if (
+                checkpoint is not None
+                and snapshot_path is not None
+                and checkpoint.due(result.horizon)
+            ):
+                _write_snapshot(
+                    snapshot_path, controller, demand_model, result, previous,
+                    demands_known,
+                )
+    finally:
+        if failures is not None and original_capacities is not None:
+            for index, bs in enumerate(network.stations):
+                bs.capacity_mhz = original_capacities[index]
     obs.set_context(slot=None, controller=None)
     return result

@@ -7,20 +7,29 @@ drives a controller through the horizon applying and reverting the
 failures around each slot, so controllers are exercised against the
 topology *changing under them* — the robustness companion to the delay
 drift and demand bursts.
+
+:func:`run_with_failures` is a thin front over
+:func:`repro.sim.run_simulation` with its ``failures`` argument — one
+loop, one set of semantics — so failure runs get the same observability
+spans, clairvoyant comparator, prediction-error tracking and
+checkpoint/resume support as ordinary runs (the standalone loop this
+module used to carry had silently drifted behind on all four).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
+from numpy.typing import DTypeLike
 
-from repro.core.assignment import evaluate_assignment
+from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
-from repro.sim.metrics import SimulationResult, SlotRecord
-from repro.utils.timer import Stopwatch
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import SimulationResult
+from repro.state import CheckpointConfig
 from repro.utils.validation import require_non_negative, require_positive
 from repro.workload.demand import DemandModel
 
@@ -92,6 +101,21 @@ class FailureSchedule:
             }
         )
 
+    def capacity_factors(self, n_stations: int, slot: int) -> np.ndarray:
+        """Remaining capacity fraction per station in ``slot``.
+
+        The vectorised counterpart of :meth:`capacity_factor`: one float
+        vector per slot for the simulation loop, same most-severe-window
+        semantics.
+        """
+        factors = np.ones(n_stations)
+        for outage in self._outages:
+            if outage.start <= slot < outage.end and outage.station < n_stations:
+                factors[outage.station] = min(
+                    factors[outage.station], outage.remaining_fraction
+                )
+        return factors
+
 
 def run_with_failures(
     network: MECNetwork,
@@ -99,7 +123,13 @@ def run_with_failures(
     controller: Controller,
     horizon: int,
     failures: FailureSchedule,
+    *,
     demands_known: bool = True,
+    compute_optimal: bool = False,
+    exact_optimal: bool = False,
+    metrics: Optional["obs.MetricsRegistry"] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    dtype: DTypeLike = np.float64,
 ) -> SimulationResult:
     """Like :func:`repro.sim.run_simulation`, with per-slot failures applied.
 
@@ -108,61 +138,22 @@ def run_with_failures(
     the original capacities are always restored afterwards, even on error.
     A full outage (factor 0) leaves a tiny epsilon capacity so division-
     based utilisation metrics stay finite; no request fits in it.
+
+    Delegates to the shared :func:`repro.sim.run_simulation` loop, so
+    every engine feature — obs spans, ``compute_optimal``, prediction-MAE
+    tracking, ``checkpoint`` resume, the ``dtype`` knob — works under
+    failures too.
     """
-    require_positive("horizon", horizon)
-    if demand_model.n_requests != controller.n_requests:
-        raise ValueError(
-            f"demand model covers {demand_model.n_requests} requests, "
-            f"controller expects {controller.n_requests}"
-        )
-    original = [bs.capacity_mhz for bs in network.stations]
-    requests = controller.requests
-    result = SimulationResult(controller_name=controller.name)
-    previous = None
-    decide_watch, observe_watch = Stopwatch(), Stopwatch()
-    epsilon = 1e-6
-
-    try:
-        for slot in range(horizon):
-            for index, bs in enumerate(network.stations):
-                factor = failures.capacity_factor(index, slot)
-                bs.capacity_mhz = max(original[index] * factor, epsilon)
-
-            true_demands = demand_model.demand_at(slot)
-            with decide_watch:
-                assignment = controller.decide(
-                    slot, true_demands if demands_known else None
-                )
-            unit_delays = network.delays.sample(slot)
-            delay_ms = evaluate_assignment(
-                assignment, network, requests, true_demands, unit_delays
-            )
-            with observe_watch:
-                controller.observe(slot, true_demands, unit_delays, assignment)
-
-            loads = assignment.loads_mhz(
-                true_demands, network.c_unit_mhz, network.n_stations
-            )
-            # Same churn accounting as repro.sim.engine: slot 0's cold-start
-            # placement is initial_instantiations, not churn.
-            churn = assignment.cache_churn(previous) if previous is not None else 0
-            initial = len(assignment.cached) if previous is None else 0
-            result.append(
-                SlotRecord(
-                    slot=slot,
-                    average_delay_ms=delay_ms,
-                    decision_seconds=decide_watch.laps[-1],
-                    observe_seconds=observe_watch.laps[-1],
-                    cache_churn=churn,
-                    n_cached_instances=len(assignment.cached),
-                    max_load_fraction=float(
-                        np.max(loads / network.capacities_mhz)
-                    ),
-                    initial_instantiations=initial,
-                )
-            )
-            previous = assignment
-    finally:
-        for index, bs in enumerate(network.stations):
-            bs.capacity_mhz = original[index]
-    return result
+    return run_simulation(
+        network,
+        demand_model,
+        controller,
+        horizon,
+        demands_known=demands_known,
+        compute_optimal=compute_optimal,
+        exact_optimal=exact_optimal,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        failures=failures,
+        dtype=dtype,
+    )

@@ -15,9 +15,8 @@ a known flash crowd and check how controllers absorb it.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -88,22 +87,46 @@ class MmppBurstProcess:
         self._slot_jitter = float(slot_jitter)
         self._ramp_slots = int(ramp_slots)
         self._seed = int(rng.integers(2**63 - 1))
-        self._state_cache: Dict[int, int] = {0: NORMAL}
+        # Contiguous chain prefix: ``_states[0.._known]`` hold the walk so
+        # far and ``_episode_starts[t]`` the first slot of the burst episode
+        # containing ``t`` (-1 while NORMAL) — maintained *during* the
+        # forward walk, so episode lookups never walk backwards again.
+        self._states = np.full(16, NORMAL, dtype=np.int8)
+        self._episode_starts = np.full(16, -1, dtype=np.int64)
+        self._known = 0
+        self._amplitude_cache: Dict[int, float] = {}
+
+    def _advance_to(self, slot: int) -> None:
+        """Extend the cached chain prefix through ``slot``."""
+        if slot <= self._known:
+            return
+        if slot >= self._states.shape[0]:
+            size = max(2 * self._states.shape[0], slot + 1)
+            grown = np.full(size, NORMAL, dtype=np.int8)
+            grown[: self._states.shape[0]] = self._states
+            self._states = grown
+            grown_starts = np.full(size, -1, dtype=np.int64)
+            grown_starts[: self._episode_starts.shape[0]] = self._episode_starts
+            self._episode_starts = grown_starts
+        state = int(self._states[self._known])
+        episode = int(self._episode_starts[self._known])
+        for t in range(self._known + 1, slot + 1):
+            u = float(np.random.default_rng((self._seed, 0, t)).uniform())
+            if state == NORMAL and u < self._p_enter:
+                state = BURST
+                episode = t
+            elif state == BURST and u < self._p_exit:
+                state = NORMAL
+                episode = -1
+            self._states[t] = state
+            self._episode_starts[t] = episode
+        self._known = slot
 
     def state_at(self, slot: int) -> int:
         """The chain state (NORMAL or BURST) in ``slot``."""
         require_non_negative("slot", slot)
-        if slot not in self._state_cache:
-            known = max(s for s in self._state_cache if s <= slot)
-            state = self._state_cache[known]
-            for t in range(known + 1, slot + 1):
-                u = float(np.random.default_rng((self._seed, 0, t)).uniform())
-                if state == NORMAL and u < self._p_enter:
-                    state = BURST
-                elif state == BURST and u < self._p_exit:
-                    state = NORMAL
-                self._state_cache[t] = state
-        return self._state_cache[slot]
+        self._advance_to(int(slot))
+        return int(self._states[slot])
 
     def is_bursting(self, slot: int) -> bool:
         """True when the hotspot is in the BURST state in ``slot``."""
@@ -142,14 +165,14 @@ class MmppBurstProcess:
     def episode_start(self, slot: int) -> int:
         """First slot of the burst episode containing ``slot``.
 
-        Only meaningful while bursting; raises otherwise.
+        Only meaningful while bursting; raises otherwise.  O(1) after the
+        chain has been walked to ``slot`` — episode boundaries are recorded
+        during the forward walk instead of rediscovered by walking
+        backwards per query.
         """
         if not self.is_bursting(slot):
             raise ValueError(f"slot {slot} is not inside a burst episode")
-        start = slot
-        while start > 0 and self.state_at(start - 1) == BURST:
-            start -= 1
-        return start
+        return int(self._episode_starts[slot])
 
     def amplitude_at(self, slot: int) -> float:
         """Burst volume (MB) a user at this hotspot adds in ``slot``.
@@ -157,9 +180,14 @@ class MmppBurstProcess:
         Zero outside burst windows.  Within a burst, all users of the
         hotspot share the same amplitude (they are "playing the same VR
         game"); per-user jitter is applied by the demand model on top.
+        The value is memoised: demand models query it once per slot no
+        matter how many requests share the hotspot.
         """
         if not self.is_bursting(slot):
             return 0.0
+        cached = self._amplitude_cache.get(slot)
+        if cached is not None:
+            return cached
         # Flash crowds build up over `ramp_slots`: the crowd arrives over
         # several slots rather than materialising at once.  The ramp is the
         # learnable structure ("the rule of such burstiness") a linear
@@ -168,7 +196,9 @@ class MmppBurstProcess:
         ramp = min(1.0, (slot - start + 1) / self._ramp_slots)
         if self._amplitude_mode == "slot":
             amp_rng = np.random.default_rng((self._seed, 1, int(slot)))
-            return ramp * float(amp_rng.gamma(self._shape, self._scale))
+            amplitude = ramp * float(amp_rng.gamma(self._shape, self._scale))
+            self._amplitude_cache[int(slot)] = amplitude
+            return amplitude
         episode_rng = np.random.default_rng((self._seed, 1, start))
         amplitude = float(episode_rng.gamma(self._shape, self._scale))
         if self._slot_jitter > 0.0:
@@ -176,7 +206,9 @@ class MmppBurstProcess:
             amplitude *= float(
                 wobble_rng.uniform(1.0 - self._slot_jitter, 1.0 + self._slot_jitter)
             )
-        return ramp * amplitude
+        amplitude = ramp * amplitude
+        self._amplitude_cache[int(slot)] = amplitude
+        return amplitude
 
     @property
     def stationary_burst_fraction(self) -> float:
@@ -236,6 +268,25 @@ class FlashCrowdSchedule:
     def events_for(self, hotspot_index: int) -> List[Tuple[int, int, float]]:
         """All (start, end, amplitude) windows registered for a hotspot."""
         return [(w.start, w.end, w.amplitude_mb) for w in self._windows.get(hotspot_index, [])]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Canonical identity of the schedule (see :mod:`repro.state`).
+
+        The windows *are* the realisation — a demand model resumed under a
+        different schedule realises a different trajectory, so checkpoints
+        carry the full event list in a deterministic order for
+        verification on load.
+        """
+        events = sorted(
+            (hotspot, w.start, w.end, w.amplitude_mb)
+            for hotspot, windows in self._windows.items()
+            for w in windows
+        )
+        return {
+            "events": [
+                [int(h), int(s), int(e), float(a)] for h, s, e, a in events
+            ]
+        }
 
     @property
     def n_events(self) -> int:

@@ -12,7 +12,7 @@ Two concrete models:
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,8 +127,6 @@ class BurstyDemandModel(DemandModel):
         Relative per-user spread around the shared hotspot amplitude.
     """
 
-    _SOLO_KEY = -1  # pseudo-hotspot for requests without one
-
     def __init__(
         self,
         requests: Sequence[Request],
@@ -175,8 +173,53 @@ class BurstyDemandModel(DemandModel):
                     amplitude_mode=amplitude_mode,
                     ramp_slots=ramp_slots,
                 )
+        # Correlation-group structure, precomputed once: the positions (in
+        # request order) attached to each hotspot chain and to each solo
+        # chain.  ``bursty_at`` evaluates every chain exactly once per slot
+        # and scatters amplitudes through these index arrays — O(#chains +
+        # |R|) numpy work instead of a per-request python loop.
+        positions_by_key: Dict[int, List[int]] = {key: [] for key in hotspot_keys}
+        for position, r in enumerate(requests):
+            if r.hotspot_index is not None:
+                positions_by_key[r.hotspot_index].append(position)
+        self._hotspot_positions: Dict[int, np.ndarray] = {
+            key: np.array(positions, dtype=int)
+            for key, positions in positions_by_key.items()
+        }
+        self._solo_positions: List[Tuple[int, MmppBurstProcess]] = [
+            (position, self._solo_processes[r.index])
+            for position, r in enumerate(requests)
+            if r.hotspot_index is None
+        ]
 
     def bursty_at(self, slot: int) -> np.ndarray:
+        """Vectorised `rho_l^bst(t)`: one chain evaluation per group.
+
+        Bit-identical (float64) to :meth:`bursty_at_scalar`, the reference
+        per-request formulation — pinned by the equivalence tests.
+        """
+        require_non_negative("slot", slot)
+        jitter_rng = np.random.default_rng((self._jitter_seed, int(slot)))
+        jitters = jitter_rng.uniform(
+            1.0 - self._jitter, 1.0 + self._jitter, size=self.n_requests
+        )
+        amplitudes = np.zeros(self.n_requests)
+        for key, process in self._processes.items():
+            amplitude = process.amplitude_at(slot)
+            if self._flash_crowds is not None:
+                amplitude += self._flash_crowds.amplitude_at(key, slot)
+            if amplitude != 0.0:
+                amplitudes[self._hotspot_positions[key]] = amplitude
+        for position, process in self._solo_positions:
+            amplitudes[position] = process.amplitude_at(slot)
+        return amplitudes * jitters
+
+    def bursty_at_scalar(self, slot: int) -> np.ndarray:
+        """Reference per-request formulation of :meth:`bursty_at`.
+
+        Kept as the pinned scalar baseline for the equivalence tests and
+        the ``bench_slot_loop`` benchmark; not used on the hot path.
+        """
         require_non_negative("slot", slot)
         bursts = np.zeros(self.n_requests)
         jitter_rng = np.random.default_rng((self._jitter_seed, int(slot)))
@@ -207,10 +250,20 @@ class BurstyDemandModel(DemandModel):
         """Hotspots that have at least one attached request."""
         return sorted(self._processes)
 
+    def _flash_crowd_events(self) -> List[List[Any]]:
+        """Canonical event list of the attached schedule ([] when absent)."""
+        if self._flash_crowds is None:
+            return []
+        return self._flash_crowds.state_dict()["events"]
+
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
         state["jitter"] = self._jitter
         state["jitter_seed"] = self._jitter_seed
+        # The flash-crowd schedule is part of the realised trajectory:
+        # omitting it let a run resume under a different (or missing)
+        # schedule and silently realise different demands.
+        state["flash_crowds"] = {"events": self._flash_crowd_events()}
         state["processes"] = {
             str(key): process.state_dict()
             for key, process in self._processes.items()
@@ -228,12 +281,26 @@ class BurstyDemandModel(DemandModel):
             or int(state["jitter_seed"]) != self._jitter_seed
         ):
             raise ValueError("checkpointed jitter realisation differs from this model's")
+        theirs_crowds = state.get("flash_crowds")
+        theirs_events = (
+            [] if theirs_crowds is None
+            else [list(event) for event in theirs_crowds["events"]]
+        )
+        if theirs_events != self._flash_crowd_events():
+            raise ValueError(
+                "checkpointed flash-crowd schedule differs from this model's "
+                "(a resumed run must attach the exact schedule it was "
+                "checkpointed under; pre-PR-6 checkpoints carry no schedule "
+                "and can only resume schedule-free models)"
+            )
         for label, mine in (
             ("processes", self._processes),
             ("solo_processes", self._solo_processes),
         ):
             theirs = state[label]
-            if sorted(theirs) != [str(key) for key in sorted(mine)]:
+            # Compare as *sets*: zip-sorting strings against ints broke any
+            # run with >= 10 keys ("10" sorts before "2" lexicographically).
+            if set(theirs) != {str(key) for key in mine}:
                 raise ValueError(
                     f"checkpointed {label} cover different hotspots/requests"
                 )

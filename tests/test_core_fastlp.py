@@ -189,6 +189,73 @@ class TestPerSlotLpSolver:
         assert controller._lp_solver is first_solver  # reused, not rebuilt
 
 
+class TestWarmStart:
+    """Support-restricted warm solves are objective-exact vs cold solves."""
+
+    def _drift_sequence(self, n_slots, n_requests, n_stations, seed):
+        drift = np.random.default_rng(seed)
+        theta = drift.uniform(1.0, 3.0, n_stations)
+        return [
+            (
+                drift.uniform(0.5, 2.0, n_requests),
+                theta + 0.02 * drift.standard_normal(n_stations),
+            )
+            for _ in range(n_slots)
+        ]
+
+    def test_objectives_match_cold_solver(self):
+        network, requests, _ = make_instance(7, 12, 20)
+        warm = PerSlotLpSolver(network, requests, warm_start=True)
+        cold = PerSlotLpSolver(network, requests)
+        for demands, theta in self._drift_sequence(12, 20, 12, seed=0):
+            x_warm = warm.solve(demands, theta)
+            x_cold = cold.solve(demands, theta)
+            R = len(requests)
+            cost = lambda x: float((np.outer(demands, theta) / R * x).sum())  # noqa: E731
+            # Warm solves may land on a different optimal vertex, so we
+            # compare objective values, not solutions.
+            assert cost(x_warm) == pytest.approx(cost(x_cold), rel=1e-6, abs=1e-8)
+            np.testing.assert_allclose(x_warm.sum(axis=1), 1.0, atol=1e-6)
+            assert np.all(x_warm >= 0)
+
+    def test_warm_solutions_respect_capacity(self):
+        network, requests, _ = make_instance(11, 10, 16)
+        solver = PerSlotLpSolver(network, requests, warm_start=True)
+        for demands, theta in self._drift_sequence(8, 16, 10, seed=1):
+            x = solver.solve(demands, theta)
+            loads = (x * demands[:, None]).sum(axis=0) * network.c_unit_mhz
+            assert np.all(loads <= network.capacities_mhz + 1e-6)
+
+    def test_hits_and_misses_counted(self):
+        from repro import obs
+
+        network, requests, _ = make_instance(7, 12, 20)
+        solver = PerSlotLpSolver(network, requests, warm_start=True)
+        slots = self._drift_sequence(10, 20, 12, seed=2)
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg):
+            for demands, theta in slots:
+                solver.solve(demands, theta)
+        hits = int(reg.counters.get("lp.warm_hits", 0))
+        misses = int(reg.counters.get("lp.warm_misses", 0))
+        # The first solve is necessarily cold (no support yet); every slot
+        # is either a hit or a miss.
+        assert hits + misses == len(slots) - 1
+        assert hits > 0  # small drift: the support must survive some slots
+
+    def test_warm_start_off_by_default(self):
+        from repro import obs
+
+        network, requests, demands = make_instance(3, 8, 6)
+        solver = PerSlotLpSolver(network, requests)
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg):
+            solver.solve(demands, network.delays.true_means)
+            solver.solve(demands * 1.1, network.delays.true_means)
+        assert "lp.warm_hits" not in reg.counters
+        assert "lp.warm_misses" not in reg.counters
+
+
 class TestClairvoyantSolverCache:
     """clairvoyant_cost routes through a cached PerSlotLpSolver."""
 

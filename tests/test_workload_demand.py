@@ -142,3 +142,112 @@ class TestBurstyDemandModel:
         )
         series = model.matrix(2000)[:, 0]
         assert series.max() > 3.0 * np.median(series)
+
+
+def make_wide_requests(n=60, n_hotspots=12):
+    """Many hotspots (>= 10) plus solo users: the checkpoint-bug regime."""
+    return [
+        Request(
+            index=i,
+            service_index=i % 2,
+            basic_demand_mb=1.0 + (i % 5),
+            hotspot_index=None if i % 6 == 5 else i % n_hotspots,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCheckpointIdentity:
+    """state_dict / load_state_dict round-trips and mismatch detection."""
+
+    def test_round_trip_with_many_hotspot_keys(self):
+        """Regression: keys were compared zip-sorted, string-vs-int, so any
+        model with >= 10 hotspots ("10" < "2" lexicographically) failed to
+        resume even against its own checkpoint."""
+        requests = make_wide_requests()
+        a = BurstyDemandModel(requests, np.random.default_rng(11))
+        b = BurstyDemandModel(requests, np.random.default_rng(11))
+        b.load_state_dict(a.state_dict())  # must not raise
+        np.testing.assert_array_equal(a.matrix(30), b.matrix(30))
+
+    def test_different_hotspot_cover_rejected(self):
+        requests = make_wide_requests()
+        narrow = make_wide_requests(n_hotspots=3)
+        a = BurstyDemandModel(requests, np.random.default_rng(12))
+        b = BurstyDemandModel(narrow, np.random.default_rng(12))
+        with pytest.raises(ValueError, match="different hotspots"):
+            b.load_state_dict(a.state_dict())
+
+    def test_flash_crowd_schedule_round_trips(self):
+        requests = make_wide_requests()
+        schedule = (
+            FlashCrowdSchedule()
+            .add_event(0, start=2, duration=3, amplitude_mb=5.0)
+            .add_event(11, start=4, duration=2, amplitude_mb=3.0)
+        )
+        a = BurstyDemandModel(
+            requests, np.random.default_rng(13), flash_crowds=schedule
+        )
+        b = BurstyDemandModel(
+            requests, np.random.default_rng(13), flash_crowds=schedule
+        )
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.matrix(20), b.matrix(20))
+
+    def test_mutated_flash_crowd_schedule_rejected(self):
+        """Regression: the schedule was not part of state_dict, so a run
+        could resume under a different schedule and silently realise a
+        different demand trajectory."""
+        requests = make_wide_requests()
+        schedule = FlashCrowdSchedule().add_event(
+            0, start=2, duration=3, amplitude_mb=5.0
+        )
+        mutated = FlashCrowdSchedule().add_event(
+            0, start=2, duration=3, amplitude_mb=9.0
+        )
+        a = BurstyDemandModel(
+            requests, np.random.default_rng(14), flash_crowds=schedule
+        )
+        b = BurstyDemandModel(
+            requests, np.random.default_rng(14), flash_crowds=mutated
+        )
+        with pytest.raises(ValueError, match="flash-crowd schedule"):
+            b.load_state_dict(a.state_dict())
+
+    def test_missing_schedule_on_resume_rejected(self):
+        requests = make_wide_requests()
+        schedule = FlashCrowdSchedule().add_event(
+            0, start=1, duration=2, amplitude_mb=4.0
+        )
+        a = BurstyDemandModel(
+            requests, np.random.default_rng(15), flash_crowds=schedule
+        )
+        b = BurstyDemandModel(requests, np.random.default_rng(15))
+        with pytest.raises(ValueError, match="flash-crowd schedule"):
+            b.load_state_dict(a.state_dict())
+
+    def test_pre_pr6_checkpoint_loads_into_schedule_free_model(self):
+        """Older checkpoints carry no ``flash_crowds`` key; they must keep
+        resuming schedule-free models (and only those)."""
+        requests = make_wide_requests()
+        a = BurstyDemandModel(requests, np.random.default_rng(16))
+        state = a.state_dict()
+        del state["flash_crowds"]  # emulate a pre-PR-6 snapshot
+        b = BurstyDemandModel(requests, np.random.default_rng(16))
+        b.load_state_dict(state)  # schedule-free: fine
+
+        schedule = FlashCrowdSchedule().add_event(
+            0, start=0, duration=1, amplitude_mb=2.0
+        )
+        c = BurstyDemandModel(
+            requests, np.random.default_rng(16), flash_crowds=schedule
+        )
+        with pytest.raises(ValueError, match="flash-crowd schedule"):
+            c.load_state_dict(state)
+
+    def test_jitter_realisation_mismatch_rejected(self):
+        requests = make_wide_requests()
+        a = BurstyDemandModel(requests, np.random.default_rng(17))
+        b = BurstyDemandModel(requests, np.random.default_rng(18))
+        with pytest.raises(ValueError, match="jitter"):
+            b.load_state_dict(a.state_dict())
