@@ -8,6 +8,10 @@ fast cells to exploit (delay falls) but a bigger LP per slot (OL_GD's
 decision time grows).
 
 Run:  python examples/network_scaling.py [--sizes 30 60 90]
+
+This script is the single-run front-end of the declarative campaign in
+``examples/campaigns/network_scaling.toml``, where the size sweep is a
+factor axis: each size becomes a seeded, checkpointed campaign cell.
 """
 
 import argparse

@@ -10,6 +10,11 @@ This is the smallest end-to-end use of the library:
 4. print the per-slot average delay of both.
 
 Run:  python examples/quickstart.py
+
+This script is the single-run front-end of the declarative campaign in
+``examples/campaigns/quickstart.toml`` — run that spec via
+``python -m repro campaign run`` for the same study with seed-level
+statistics, checkpointed cells and an aggregated report.
 """
 
 import numpy as np

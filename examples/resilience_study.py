@@ -7,6 +7,12 @@ online learner and the greedy baseline absorb them, with seed-level
 statistics from the repetition machinery.
 
 Run:  python examples/resilience_study.py
+
+This script is the single-run front-end of the declarative campaign in
+``examples/campaigns/resilience_study.toml``: there the outages are
+pinned in the spec (a declarative campaign cannot probe the learner to
+pick its victim station, as done below) and the demand model is swept
+as a factor axis.
 """
 
 import numpy as np

@@ -1,0 +1,198 @@
+"""Campaign reporting: one aggregated view over the per-cell result tree.
+
+Loads the ``summary.json`` files a campaign run produced (RepetitionStudy
+aggregates, reproducible fields only) and renders them as an aligned
+text table grouped by cell, a per-controller sparkline across the factor
+grid (borrowing :func:`repro.experiments.plots.sparkline`), and a flat
+CSV for downstream tooling.  Reporting never touches the simulator: it
+reads exactly what :func:`repro.campaigns.run_campaign` persisted, so it
+works on partial campaigns too (incomplete cells are listed as pending).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaigns.runner import (
+    campaign_status,
+    cell_directory,
+    read_campaign_payload,
+    read_cell_summary,
+)
+from repro.campaigns.spec import CampaignError
+from repro.experiments.plots import sparkline
+
+__all__ = [
+    "CampaignReport",
+    "load_campaign_report",
+    "render_campaign_report",
+    "campaign_to_csv",
+    "write_campaign_report",
+]
+
+DEFAULT_METRIC = "mean_delay_ms"
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything the renderers need, loaded from one campaign directory."""
+
+    name: str
+    out_dir: Path
+    payload: Dict
+    #: cell_id -> persisted summary payload, in expansion order.
+    cell_summaries: Dict[str, Dict]
+    pending: Tuple[str, ...]
+
+    @property
+    def controllers(self) -> Tuple[str, ...]:
+        return tuple(self.payload["scenario"]["controllers"])
+
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        for summary in self.cell_summaries.values():
+            for per_metric in summary["summaries"].values():
+                return tuple(sorted(per_metric))
+        return ()
+
+
+def load_campaign_report(out_dir: Union[str, Path]) -> CampaignReport:
+    """Load a campaign directory's payload and every finished cell."""
+    out_dir = Path(out_dir)
+    payload = read_campaign_payload(out_dir)
+    status = campaign_status(out_dir)
+    summaries: Dict[str, Dict] = {}
+    pending: List[str] = []
+    for cell in status.cells:
+        summary = read_cell_summary(cell_directory(out_dir, cell.cell_id))
+        if summary is None:
+            pending.append(cell.cell_id)
+        else:
+            summaries[cell.cell_id] = summary
+    return CampaignReport(
+        name=payload["name"],
+        out_dir=out_dir,
+        payload=payload,
+        cell_summaries=summaries,
+        pending=tuple(pending),
+    )
+
+
+def _metric_rows(
+    report: CampaignReport, metric: str
+) -> List[Tuple[str, str, Dict]]:
+    """``(cell_id, controller, summary)`` rows for one metric."""
+    rows = []
+    for cell_id, summary in report.cell_summaries.items():
+        for controller in sorted(summary["summaries"]):
+            per_metric = summary["summaries"][controller]
+            if metric not in per_metric:
+                raise CampaignError(
+                    f"cell {cell_id!r} has no metric {metric!r}; "
+                    f"available: {sorted(per_metric)}"
+                )
+            rows.append((cell_id, controller, per_metric[metric]))
+    return rows
+
+
+def render_campaign_report(
+    report: CampaignReport, metric: str = DEFAULT_METRIC
+) -> str:
+    """Aligned text report of one metric across the whole factor grid."""
+    lines = [
+        f"campaign {report.name!r} — {metric} "
+        f"({len(report.cell_summaries)} cells"
+        + (f", {len(report.pending)} pending" if report.pending else "")
+        + ")"
+    ]
+    rows = _metric_rows(report, metric)
+    if not rows:
+        lines.append("  (no finished cells yet)")
+        return "\n".join(lines)
+    cell_width = max(len(cell_id) for cell_id, _, _ in rows)
+    ctrl_width = max(len(controller) for _, controller, _ in rows)
+    header = (
+        f"  {'cell':<{cell_width}} {'controller':<{ctrl_width}} "
+        f"{'mean':>10} {'std':>10} {'95% CI':>23} {'n':>4}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    previous = None
+    for cell_id, controller, summary in rows:
+        shown = cell_id if cell_id != previous else ""
+        previous = cell_id
+        lines.append(
+            f"  {shown:<{cell_width}} {controller:<{ctrl_width}} "
+            f"{summary['mean']:>10.3f} {summary['std']:>10.3f} "
+            f"[{summary['ci_low']:>9.3f}, {summary['ci_high']:>9.3f}] "
+            f"{len(summary['values']):>4}"
+        )
+    # Per-controller trend across the grid (expansion order).
+    by_controller: Dict[str, List[float]] = {}
+    for _, controller, summary in rows:
+        by_controller.setdefault(controller, []).append(summary["mean"])
+    if len(report.cell_summaries) > 1:
+        lines.append("")
+        lines.append("  trend across cells (expansion order):")
+        for controller in sorted(by_controller):
+            means = by_controller[controller]
+            lines.append(
+                f"  {controller:<{ctrl_width}} {sparkline(means)}  "
+                f"[{min(means):.3f} .. {max(means):.3f}]"
+            )
+    if report.pending:
+        lines.append("")
+        lines.append(f"  pending cells: {', '.join(report.pending)}")
+    return "\n".join(lines)
+
+
+def campaign_to_csv(
+    report: CampaignReport, path: Union[str, Path]
+) -> Path:
+    """Flat CSV of every finished cell: one row per (cell, controller, metric)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    factor_paths = [row["path"] for row in report.payload.get("factors", [])]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["cell_id", *factor_paths, "controller", "metric",
+             "mean", "std", "ci_low", "ci_high", "n"]
+        )
+        for cell_id, summary in report.cell_summaries.items():
+            overrides = dict(
+                (row[0], row[1]) for row in summary.get("overrides", [])
+            )
+            factor_values = [overrides.get(p, "") for p in factor_paths]
+            for controller in sorted(summary["summaries"]):
+                for metric in sorted(summary["summaries"][controller]):
+                    s = summary["summaries"][controller][metric]
+                    writer.writerow(
+                        [cell_id, *factor_values, controller, metric,
+                         s["mean"], s["std"], s["ci_low"], s["ci_high"],
+                         len(s["values"])]
+                    )
+    return path
+
+
+def write_campaign_report(
+    out_dir: Union[str, Path],
+    metric: str = DEFAULT_METRIC,
+    report_name: str = "report.md",
+    csv_name: str = "results.csv",
+) -> Tuple[Path, Path, Optional[CampaignReport]]:
+    """Render and persist ``report.md`` + ``results.csv`` into ``out_dir``.
+
+    Returns the two written paths and the loaded report (for callers that
+    also want to print it).
+    """
+    out_dir = Path(out_dir)
+    report = load_campaign_report(out_dir)
+    text = render_campaign_report(report, metric)
+    report_path = out_dir / report_name
+    report_path.write_text(text + "\n", encoding="utf-8")
+    csv_path = campaign_to_csv(report, out_dir / csv_name)
+    return report_path, csv_path, report

@@ -1,0 +1,341 @@
+"""Campaign execution: the result tree, cell scheduling and resume.
+
+A campaign run owns one directory::
+
+    <out_dir>/
+        campaign.json            # the spec's identity payload
+        cells/<cell_id>/
+            manifest.json        # repro.state sweep manifest
+            rep00000-ctrl000.npz # per-(repetition, controller) snapshots
+            summary.json         # written once the cell is complete
+
+Every cell is one :func:`repro.sim.run_repetitions` study over the
+cell's :class:`~repro.campaigns.scenario.CampaignScenario`, seeded with
+the cell's own derived seed and checkpointed into the cell directory.
+Resume therefore works at two grains: a finished cell is recognised by
+its ``summary.json`` and never re-executed, and a *partially* finished
+cell re-enters the sweep-manifest resume path and runs only its missing
+``(repetition, controller)`` items.
+
+``campaign.json`` pins the campaign's identity: restarting with
+``resume=True`` against a directory whose payload differs from the spec
+raises instead of silently mixing two campaigns' results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaigns.scenario import CampaignScenario, failure_schedule
+from repro.campaigns.spec import CampaignCell, CampaignError, CampaignSpec
+from repro.sim.multirun import RepetitionStudy, run_repetitions
+from repro.state.manifest import completed_items
+
+__all__ = [
+    "CampaignResult",
+    "CellStatus",
+    "CampaignStatus",
+    "run_campaign",
+    "campaign_status",
+    "cell_directory",
+    "write_cell_summary",
+    "read_cell_summary",
+    "read_campaign_payload",
+]
+
+logger = logging.getLogger(__name__)
+
+_CAMPAIGN_FILE = "campaign.json"
+_SUMMARY_FILE = "summary.json"
+_CELLS_DIR = "cells"
+
+
+def cell_directory(out_dir: Union[str, Path], cell_id: str) -> Path:
+    """The result directory of one cell."""
+    return Path(out_dir) / _CELLS_DIR / cell_id
+
+
+def _write_json(path: Path, payload: object) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, path)
+
+
+def write_cell_summary(
+    directory: Union[str, Path], cell: CampaignCell, study: RepetitionStudy
+) -> Path:
+    """Persist the aggregate of one finished cell (reproducible fields only).
+
+    Wall-clock and CPU accounting are deliberately left out: the summary
+    of a resumed campaign must be byte-identical to an uninterrupted
+    run's.
+    """
+    payload = {
+        "cell_id": cell.cell_id,
+        "index": cell.index,
+        "seed": cell.seed,
+        "overrides": [[path, value] for path, value in cell.overrides],
+        "horizon": study.horizon,
+        "repetitions": study.repetitions,
+        "n_failed": study.n_failed,
+        "failed_items": sorted(
+            [f.repetition, f.controller_index] for f in study.failures
+        ),
+        "summaries": {
+            controller: {
+                metric: {
+                    "mean": summary.mean,
+                    "std": summary.std,
+                    "ci_low": summary.ci_low,
+                    "ci_high": summary.ci_high,
+                    "values": list(summary.values),
+                    "repetitions": list(summary.repetitions),
+                }
+                for metric, summary in metrics.items()
+            }
+            for controller, metrics in study.summaries.items()
+        },
+    }
+    path = Path(directory) / _SUMMARY_FILE
+    _write_json(path, payload)
+    return path
+
+
+def read_cell_summary(directory: Union[str, Path]) -> Optional[Dict]:
+    """The persisted summary of a cell directory, or ``None``."""
+    path = Path(directory) / _SUMMARY_FILE
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def read_campaign_payload(out_dir: Union[str, Path]) -> Dict:
+    """The ``campaign.json`` identity payload of a campaign directory."""
+    path = Path(out_dir) / _CAMPAIGN_FILE
+    if not path.exists():
+        raise CampaignError(f"no campaign at {path}")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _check_or_claim_directory(
+    spec: CampaignSpec, out_dir: Path, resume: bool
+) -> None:
+    path = out_dir / _CAMPAIGN_FILE
+    payload = spec.to_payload()
+    if path.exists():
+        existing = json.loads(path.read_text(encoding="utf-8"))
+        if existing != payload:
+            raise CampaignError(
+                f"{out_dir} holds campaign {existing.get('name')!r} with a "
+                "different spec; refusing to mix results (pick a fresh "
+                "--out directory)"
+            )
+        if not resume:
+            raise CampaignError(
+                f"{out_dir} already holds this campaign; pass resume=True "
+                "to continue it"
+            )
+    else:
+        _write_json(path, payload)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A completed (or truncated) campaign run."""
+
+    spec: CampaignSpec
+    out_dir: Path
+    cells: Tuple[CampaignCell, ...]
+    #: cell_id -> freshly-executed study (cells skipped on resume or cut
+    #: by ``max_cells`` are absent here; their summaries are on disk).
+    studies: Dict[str, RepetitionStudy]
+    executed: Tuple[str, ...]
+    skipped: Tuple[str, ...]
+    remaining: Tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.remaining
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Union[str, Path],
+    *,
+    n_jobs: int = 1,
+    resume: bool = False,
+    max_retries: int = 0,
+    max_cells: Optional[int] = None,
+    collect_metrics: Optional[bool] = None,
+) -> CampaignResult:
+    """Execute ``spec``'s cells into ``out_dir``; resumable at any point.
+
+    ``n_jobs``/``max_retries``/``collect_metrics`` are forwarded to each
+    cell's :func:`repro.sim.run_repetitions` call (workers fan out
+    *within* a cell; cells run in expansion order).  ``max_cells`` stops
+    after executing that many cells — the programmatic stand-in for a
+    mid-campaign kill, and what the CI smoke test uses to exercise the
+    resume path deterministically.
+    """
+    out_dir = Path(out_dir)
+    cells = spec.expand()
+    _check_or_claim_directory(spec, out_dir, resume)
+
+    studies: Dict[str, RepetitionStudy] = {}
+    executed: List[str] = []
+    skipped: List[str] = []
+    remaining: List[str] = []
+    budget = len(cells) if max_cells is None else max_cells
+    for cell in cells:
+        cell_dir = cell_directory(out_dir, cell.cell_id)
+        if read_cell_summary(cell_dir) is not None:
+            skipped.append(cell.cell_id)
+            continue
+        if budget <= 0:
+            remaining.append(cell.cell_id)
+            continue
+        budget -= 1
+        logger.info(
+            "campaign %s: cell %s (%d/%d), seed=%d",
+            spec.name, cell.cell_id, cell.index + 1, len(cells), cell.seed,
+        )
+        study = run_repetitions(
+            CampaignScenario(cell.scenario),
+            seed=cell.seed,
+            repetitions=spec.repetitions,
+            horizon=cell.scenario.horizon,
+            demands_known=spec.demands_known,
+            confidence=spec.confidence,
+            n_jobs=n_jobs,
+            n_controllers=len(cell.scenario.controllers),
+            collect_metrics=collect_metrics,
+            failures=failure_schedule(cell.scenario),
+            max_retries=max_retries,
+            checkpoint_dir=cell_dir,
+            resume=resume,
+        )
+        write_cell_summary(cell_dir, cell, study)
+        studies[cell.cell_id] = study
+        executed.append(cell.cell_id)
+    return CampaignResult(
+        spec=spec,
+        out_dir=out_dir,
+        cells=cells,
+        studies=studies,
+        executed=tuple(executed),
+        skipped=tuple(skipped),
+        remaining=tuple(remaining),
+    )
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """Progress of one cell: persisted items versus the full grid."""
+
+    cell_id: str
+    complete: bool
+    items_done: int
+    items_total: int
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress of a campaign directory, cell by cell."""
+
+    name: str
+    out_dir: Path
+    cells: Tuple[CellStatus, ...]
+
+    @property
+    def n_complete(self) -> int:
+        return sum(1 for cell in self.cells if cell.complete)
+
+    @property
+    def complete(self) -> bool:
+        return self.n_complete == len(self.cells)
+
+    def table(self) -> str:
+        lines = [
+            f"campaign {self.name!r}: {self.n_complete}/{len(self.cells)} "
+            f"cells complete ({self.out_dir})"
+        ]
+        width = max((len(c.cell_id) for c in self.cells), default=4)
+        for cell in self.cells:
+            state = (
+                "done" if cell.complete
+                else f"{cell.items_done}/{cell.items_total} items"
+            )
+            lines.append(f"  {cell.cell_id:<{width}}  {state}")
+        return "\n".join(lines)
+
+
+def campaign_status(
+    out_dir: Union[str, Path], spec: Optional[CampaignSpec] = None
+) -> CampaignStatus:
+    """Inspect a campaign directory without executing anything.
+
+    With ``spec`` given, its expansion defines the cell list (and the
+    directory payload is checked against it); otherwise the cell ids are
+    reconstructed from ``campaign.json``'s recorded factor grid by
+    re-expanding the persisted payload.
+    """
+    out_dir = Path(out_dir)
+    payload = read_campaign_payload(out_dir)
+    if spec is not None and spec.to_payload() != payload:
+        raise CampaignError(
+            f"{out_dir} holds campaign {payload.get('name')!r} with a "
+            "different spec than the one given"
+        )
+    if spec is None:
+        spec = _spec_from_payload(payload)
+    cells = spec.expand()
+    items_total = spec.repetitions * len(spec.scenario.controllers)
+    statuses = []
+    for cell in cells:
+        cell_dir = cell_directory(out_dir, cell.cell_id)
+        done = read_cell_summary(cell_dir) is not None
+        n_items = len(completed_items(cell_dir))
+        statuses.append(
+            CellStatus(
+                cell_id=cell.cell_id,
+                complete=done,
+                items_done=items_total if done else n_items,
+                items_total=spec.repetitions
+                * len(cell.scenario.controllers),
+            )
+        )
+    return CampaignStatus(
+        name=spec.name, out_dir=out_dir, cells=tuple(statuses)
+    )
+
+
+def _spec_from_payload(payload: Dict) -> CampaignSpec:
+    """Rebuild a :class:`CampaignSpec` from its ``campaign.json`` payload."""
+    from repro.campaigns.spec import FactorAxis, OutageSpec, ScenarioSpec
+
+    scenario_payload = dict(payload["scenario"])
+    scenario_payload["controllers"] = tuple(scenario_payload["controllers"])
+    scenario_payload["outages"] = tuple(
+        OutageSpec(**row) for row in scenario_payload.get("outages", ())
+    )
+    factors = tuple(
+        FactorAxis(path=row["path"], values=tuple(row["values"]))
+        for row in payload.get("factors", ())
+    )
+    return CampaignSpec(
+        name=payload["name"],
+        seed=payload["seed"],
+        repetitions=payload["repetitions"],
+        confidence=payload.get("confidence", 0.95),
+        demands_known=payload.get("demands_known", True),
+        scenario=ScenarioSpec(**scenario_payload),
+        factors=factors,
+    )

@@ -1,0 +1,121 @@
+"""From a declarative :class:`ScenarioSpec` to a runnable world.
+
+:class:`CampaignScenario` is the bridge between the spec layer and the
+repetition machinery: it is a picklable scenario *builder* (the callable
+``repro.sim.run_repetitions`` fans out over worker processes), built
+entirely through the name registries — :func:`repro.mec.make_topology`,
+:func:`repro.workload.make_workload`, :func:`repro.core.make_controller`
+— so the identity the spec declares is enforced on every object the
+cell actually runs.
+
+The construction recipe is the one the example scripts established:
+synthesise a Wi-Fi trace, anchor the topology on its hotspots, derive
+one request per trace user, then calibrate ``c_unit`` against the mean
+basic demand.  Every random draw comes from the repetition's
+:class:`~repro.utils.seeding.RngRegistry` streams, so two cells with
+the same scenario and seed are bit-identical worlds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.campaigns.spec import ScenarioSpec
+from repro.core.controller import Controller
+from repro.core.registry import make_controller
+from repro.mec.delay import DriftingDelay
+from repro.mec.network import MECNetwork
+from repro.mec.registry import make_topology
+from repro.sim.failures import FailureSchedule
+from repro.utils.seeding import RngRegistry
+from repro.workload.demand import DemandModel
+from repro.workload.registry import make_workload
+from repro.workload.trace import requests_from_trace, synthesize_nyc_wifi_trace
+
+__all__ = ["CampaignScenario", "failure_schedule"]
+
+
+def failure_schedule(spec: ScenarioSpec) -> Optional[FailureSchedule]:
+    """The scripted outages of ``spec`` as a schedule, or ``None``."""
+    if not spec.outages:
+        return None
+    schedule = FailureSchedule()
+    for outage in spec.outages:
+        schedule.add_outage(
+            outage.station,
+            start=outage.start,
+            duration=outage.duration,
+            remaining_fraction=outage.remaining_fraction,
+        )
+    return schedule
+
+
+class CampaignScenario:
+    """Picklable scenario builder realising one :class:`ScenarioSpec`.
+
+    Instances are the ``build`` argument of
+    :func:`repro.sim.run_repetitions`: called with a per-repetition
+    :class:`RngRegistry`, they return the usual
+    ``(network, demand_model, controllers)`` triple.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate_names()
+        self.spec = spec
+
+    def __call__(
+        self, rngs: RngRegistry
+    ) -> Tuple[MECNetwork, DemandModel, List[Controller]]:
+        spec = self.spec
+        trace = synthesize_nyc_wifi_trace(
+            spec.n_hotspots,
+            spec.n_requests,
+            rngs.get("trace"),
+            horizon_slots=spec.horizon,
+        )
+        network = make_topology(
+            spec.topology,
+            rngs,
+            n_stations=spec.n_stations,
+            n_services=spec.n_services,
+            anchor_points=[h.location for h in trace.hotspots],
+            **spec.topology_options,
+        )
+        network.delays = DriftingDelay(
+            network.stations, rngs.get("drift"), drift_ms=spec.drift_ms
+        )
+        requests = requests_from_trace(
+            trace, network.services, rngs.get("requests")
+        )
+        if spec.capacity_headroom is not None:
+            mean_demand = float(
+                np.mean([r.basic_demand_mb for r in requests])
+            )
+            network.c_unit_mhz = float(
+                network.capacities_mhz.min()
+                / (spec.capacity_headroom * mean_demand)
+            )
+        model = make_workload(
+            spec.workload, requests, rngs.get("demand"), **spec.workload_options
+        )
+        controllers = [
+            make_controller(
+                name,
+                network,
+                requests,
+                rngs.get(f"controller/{name}"),
+                **spec.controller_options.get(name, {}),
+            )
+            for name in spec.controllers
+        ]
+        return network, model, controllers
+
+    def __repr__(self) -> str:
+        spec = self.spec
+        return (
+            f"CampaignScenario(topology={spec.topology!r}, "
+            f"workload={spec.workload!r}, "
+            f"controllers={list(spec.controllers)})"
+        )

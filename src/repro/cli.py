@@ -6,11 +6,16 @@ Usage::
     python -m repro figure fig3 [--profile quick|full] [--out DIR] [--json]
     python -m repro report [--profile quick|full] [--only fig3 fig6] [--out FILE]
     python -m repro trace --hotspots 20 --users 100 --out DIR [--seed N]
+    python -m repro campaign run SPEC.toml --out DIR [--jobs N] [--resume]
+    python -m repro campaign status DIR
+    python -m repro campaign report DIR [--metric NAME]
 
 ``figure`` renders the chosen experiment to stdout as a text table and
 optionally exports CSV/JSON; ``trace`` writes a synthetic NYC-Wi-Fi-like
 dataset (hotspots.csv / users.csv) for use with
-:func:`repro.workload.WifiTrace.from_csv`.
+:func:`repro.workload.WifiTrace.from_csv`; ``campaign`` executes,
+inspects and aggregates declarative TOML experiment campaigns
+(:mod:`repro.campaigns`).
 """
 
 from __future__ import annotations
@@ -115,6 +120,54 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--horizon", type=int, default=100)
     trace_parser.add_argument("--out", type=Path, required=True)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run/inspect declarative experiment campaigns"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    run_parser = campaign_sub.add_parser(
+        "run", help="execute a TOML campaign spec into a result directory"
+    )
+    run_parser.add_argument("spec", type=Path, help="campaign TOML file")
+    run_parser.add_argument(
+        "--out", type=Path, required=True,
+        help="campaign result directory (one sub-directory per cell)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes within each cell (0 = all cores; results "
+             "are bit-identical for any worker count)",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed campaign: finished cells are skipped, "
+             "partial cells run only their missing items",
+    )
+    run_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-execute crashed work items up to N extra rounds",
+    )
+    run_parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after executing N cells (smoke tests / staged runs)",
+    )
+
+    status_parser = campaign_sub.add_parser(
+        "status", help="show per-cell progress of a campaign directory"
+    )
+    status_parser.add_argument("out", type=Path, help="campaign directory")
+
+    report_parser = campaign_sub.add_parser(
+        "report", help="aggregate finished cells into report.md + results.csv"
+    )
+    report_parser.add_argument("out", type=Path, help="campaign directory")
+    report_parser.add_argument(
+        "--metric", default="mean_delay_ms",
+        help="metric to tabulate (default: mean_delay_ms)",
+    )
     return parser
 
 
@@ -256,6 +309,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.all_hard_claims_pass else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Imported lazily: the campaign layer pulls in the whole scenario
+    # stack, which `repro figure`/`repro trace` invocations never need.
+    from repro.campaigns import (
+        CampaignError,
+        load_campaign_toml,
+        campaign_status,
+        run_campaign,
+        render_campaign_report,
+        write_campaign_report,
+    )
+
+    try:
+        if args.campaign_command == "run":
+            spec = load_campaign_toml(args.spec)
+            result = run_campaign(
+                spec,
+                args.out,
+                n_jobs=args.jobs,
+                resume=args.resume,
+                max_retries=args.retries,
+                max_cells=args.max_cells,
+            )
+            print(campaign_status(args.out, spec).table())
+            if not result.complete:
+                print(
+                    f"stopped early ({len(result.remaining)} cells left); "
+                    f"continue with: repro campaign run {args.spec} "
+                    f"--out {args.out} --resume"
+                )
+                return 1
+            return 0
+        if args.campaign_command == "status":
+            status = campaign_status(args.out)
+            print(status.table())
+            return 0 if status.complete else 1
+        if args.campaign_command == "report":
+            report_path, csv_path, report = write_campaign_report(
+                args.out, metric=args.metric
+            )
+            print(render_campaign_report(report, args.metric))
+            print(f"\nwrote {report_path}\nwrote {csv_path}")
+            return 0
+    except (CampaignError, RuntimeError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled campaign command {args.campaign_command!r}"
+    )
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     # Named stream from the seeding registry (not a bare default_rng):
     # the CLI trace draws stay isolated from any other consumer of the
@@ -284,4 +388,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_telemetry(args, lambda: _cmd_report(args))
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")

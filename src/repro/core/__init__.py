@@ -37,6 +37,7 @@ from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact, static_
 from repro.core.priority import PriorityController
 from repro.core.queueing import evaluate_mm1, mm1_factor
 from repro.core.registry import (
+    CONTROLLERS,
     ControllerFactory,
     controller_names,
     make_controller,
@@ -75,6 +76,7 @@ __all__ = [
     "ControllerFactory",
     "controller_names",
     "make_controller",
+    "CONTROLLERS",
     "register_controller",
     "evaluate_mm1",
     "mm1_factor",

@@ -13,11 +13,19 @@ mismatched run.
 Registering is open: :func:`register_controller` accepts project-external
 factories (e.g. an ablation variant in a benchmark script) as long as the
 built controller answers to the registered name.
+
+The registry itself is one instance of the generic
+:class:`repro.utils.registry.Registry` pattern; the parallel registries
+for topologies (:mod:`repro.mec.registry`), demand models
+(:mod:`repro.workload.registry`) and predictors
+(:mod:`repro.prediction.registry`) share the same enforcement, which is
+what lets a declarative campaign spec (:mod:`repro.campaigns`) name every
+axis of a scenario.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Sequence, Tuple
+from typing import Any, Callable, Sequence, Tuple
 
 import numpy as np
 
@@ -30,14 +38,24 @@ from repro.core.ol_reg import OlRegController
 from repro.core.priority import PriorityController
 from repro.mec.network import MECNetwork
 from repro.mec.requests import Request
+from repro.utils.registry import Registry
 
-__all__ = ["ControllerFactory", "register_controller", "controller_names", "make_controller"]
+__all__ = [
+    "CONTROLLERS",
+    "ControllerFactory",
+    "register_controller",
+    "controller_names",
+    "make_controller",
+]
 
 #: A factory builds one controller for one world; extra options are the
 #: controller's own keyword-only tuning parameters, forwarded verbatim.
 ControllerFactory = Callable[..., Controller]
 
-_REGISTRY: Dict[str, ControllerFactory] = {}
+#: The controller registry instance (names are checkpoint identities).
+CONTROLLERS: Registry[Controller] = Registry(
+    "controller", identity=lambda controller: controller.name
+)
 
 
 def register_controller(name: str, factory: ControllerFactory) -> None:
@@ -48,16 +66,12 @@ def register_controller(name: str, factory: ControllerFactory) -> None:
     name — :func:`make_controller` enforces this, because the name is the
     identity checkpoints are validated against.
     """
-    if not name:
-        raise ValueError("controller name must be non-empty")
-    if name in _REGISTRY:
-        raise ValueError(f"controller {name!r} is already registered")
-    _REGISTRY[name] = factory
+    CONTROLLERS.register(name, factory)
 
 
 def controller_names() -> Tuple[str, ...]:
     """All registered controller names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return CONTROLLERS.names()
 
 
 def make_controller(
@@ -75,19 +89,7 @@ def make_controller(
     keyword-only tuning parameters of the underlying controller class
     (e.g. ``gamma=0.2`` for ``OL_GD``, ``window=8`` for ``OL_GAN``).
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown controller {name!r}; registered: {', '.join(controller_names())}"
-        ) from None
-    controller = factory(network, requests, rng, **options)
-    if controller.name != name:
-        raise ValueError(
-            f"factory for {name!r} built a controller named "
-            f"{controller.name!r}; registry names must be identities"
-        )
-    return controller
+    return CONTROLLERS.make(name, network, requests, rng, **options)
 
 
 register_controller("OL_GD", OlGdController)

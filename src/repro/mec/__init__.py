@@ -13,6 +13,13 @@ from repro.mec.geometry import Point, distance, points_within
 from repro.mec.datacenter import RemoteDataCenter, cloud_only_delay_ms
 from repro.mec.network import MECNetwork
 from repro.mec.paths import BackhaulPaths, access_station
+from repro.mec.registry import (
+    TOPOLOGIES,
+    TopologyFactory,
+    make_topology,
+    register_topology,
+    topology_names,
+)
 from repro.mec.radio import RadioConfig, path_loss_db, receive_power_w, link_rate_mbps
 from repro.mec.requests import Request
 from repro.mec.services import Service, ServiceCatalog
@@ -48,6 +55,11 @@ __all__ = [
     "Request",
     "Service",
     "ServiceCatalog",
+    "TOPOLOGIES",
+    "TopologyFactory",
+    "make_topology",
+    "register_topology",
+    "topology_names",
     "as1755_topology",
     "as3967_topology",
     "gtitm_topology",

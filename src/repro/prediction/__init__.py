@@ -13,6 +13,13 @@ from repro.prediction.base import (
     OraclePredictor,
 )
 from repro.prediction.ewma import EwmaPredictor
+from repro.prediction.registry import (
+    PREDICTORS,
+    PredictorFactory,
+    make_predictor,
+    predictor_names,
+    register_predictor,
+)
 
 __all__ = [
     "ArPredictor",
@@ -21,4 +28,9 @@ __all__ = [
     "MeanPredictor",
     "OraclePredictor",
     "EwmaPredictor",
+    "PREDICTORS",
+    "PredictorFactory",
+    "make_predictor",
+    "predictor_names",
+    "register_predictor",
 ]

@@ -1,0 +1,139 @@
+"""Named predictor factories: ``make_predictor``.
+
+The predictor counterpart of :func:`repro.core.make_controller`: the §V
+demand forecasters are registered by name, the name is stamped onto the
+built predictor (``predictor.predictor_name``) and enforced as its
+identity, so campaign specs and checkpoints can pin which forecaster a
+predictive controller variant used.
+
+Factories are called as ``factory(n_requests, rng, **options)``.  The
+closed-form predictors (``last``, ``mean``, ``ewma``, ``ar``) draw
+nothing from ``rng``; the ``gan`` entry (the paper's InfoGAN forecaster)
+is registered lazily — :mod:`repro.gan` is only imported when the name is
+actually built — and requires the caller to supply the location ``codes``
+its conditioning needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+from repro.prediction.arma import ArPredictor
+from repro.prediction.base import DemandPredictor, LastValuePredictor, MeanPredictor
+from repro.prediction.ewma import EwmaPredictor
+from repro.utils.registry import Registry
+
+__all__ = [
+    "PREDICTORS",
+    "PredictorFactory",
+    "register_predictor",
+    "predictor_names",
+    "make_predictor",
+]
+
+PredictorFactory = Callable[..., DemandPredictor]
+
+#: The predictor registry instance (names are campaign-spec identities).
+PREDICTORS: Registry[DemandPredictor] = Registry(
+    "predictor",
+    identity=lambda predictor: getattr(predictor, "predictor_name", None),
+)
+
+
+def register_predictor(name: str, factory: PredictorFactory) -> None:
+    """Register ``factory`` under ``name`` (must be new and non-empty).
+
+    The built predictor must carry ``predictor_name == name`` —
+    :func:`make_predictor` enforces it, mirroring the controller registry.
+    """
+    PREDICTORS.register(name, factory)
+
+
+def predictor_names() -> Tuple[str, ...]:
+    """All registered predictor names, sorted."""
+    return PREDICTORS.names()
+
+
+def make_predictor(
+    name: str,
+    n_requests: int,
+    rng: np.random.Generator,
+    **options: Any,
+) -> DemandPredictor:
+    """Build the predictor registered under ``name``.
+
+    ``options`` are the predictor's own tuning parameters (``alpha`` for
+    ``ewma``, ``order``/``weights`` for ``ar``, the GAN hyper-parameters
+    for ``gan``), forwarded verbatim.
+    """
+    return PREDICTORS.make(name, n_requests, rng, **options)
+
+
+def _stamped(predictor: DemandPredictor, name: str) -> DemandPredictor:
+    predictor.predictor_name = name
+    return predictor
+
+
+def _last(
+    n_requests: int, rng: np.random.Generator, **options: Any
+) -> DemandPredictor:
+    """Repeats the most recent observation."""
+    del rng
+    return _stamped(LastValuePredictor(n_requests, **options), "last")
+
+
+def _mean(
+    n_requests: int, rng: np.random.Generator, **options: Any
+) -> DemandPredictor:
+    """Running mean of all observations."""
+    del rng
+    return _stamped(MeanPredictor(n_requests, **options), "mean")
+
+
+def _ewma(
+    n_requests: int, rng: np.random.Generator, **options: Any
+) -> DemandPredictor:
+    """Exponentially weighted moving average."""
+    del rng
+    return _stamped(EwmaPredictor(n_requests, **options), "ewma")
+
+
+def _ar(
+    n_requests: int, rng: np.random.Generator, **options: Any
+) -> DemandPredictor:
+    """Fixed-weight AR(p), Eq. 27 (what OL_Reg runs on)."""
+    del rng
+    return _stamped(ArPredictor(n_requests, **options), "ar")
+
+
+def _gan(
+    n_requests: int, rng: np.random.Generator, **options: Any
+) -> DemandPredictor:
+    """InfoGAN forecaster (what OL_GAN runs on); needs ``codes``.
+
+    ``codes`` — the `(n_requests, code_dim)` one-hot location matrix the
+    GAN conditions on — must be passed in ``options`` and must cover
+    exactly ``n_requests`` rows.
+    """
+    from repro.gan.predictor import GanDemandPredictor
+
+    if "codes" not in options:
+        raise ValueError(
+            "predictor 'gan' needs the location code matrix: "
+            "make_predictor('gan', n, rng, codes=...)"
+        )
+    codes = np.asarray(options.pop("codes"), dtype=float)
+    if codes.ndim != 2 or codes.shape[0] != n_requests:
+        raise ValueError(
+            f"codes must be ({n_requests}, code_dim), got {codes.shape}"
+        )
+    return _stamped(GanDemandPredictor(codes, rng, **options), "gan")
+
+
+register_predictor("last", _last)
+register_predictor("mean", _mean)
+register_predictor("ewma", _ewma)
+register_predictor("ar", _ar)
+register_predictor("gan", _gan)

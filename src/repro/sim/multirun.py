@@ -28,6 +28,7 @@ import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.obs import MetricsRegistry
+from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import (
     ParallelRunner,
@@ -51,7 +52,12 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """Mean / spread / CI of one scalar metric across repetitions."""
+    """Mean / spread / CI of one scalar metric across repetitions.
+
+    ``repetitions[i]`` is the repetition index that produced
+    ``values[i]`` — the key :func:`compare_controllers` pairs on.  When a
+    repetition crashed for this controller, its index is simply absent.
+    """
 
     name: str
     values: Tuple[float, ...]
@@ -59,13 +65,36 @@ class MetricSummary:
     std: float
     ci_low: float
     ci_high: float
+    repetitions: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.repetitions:
+            # Summaries built from bare value lists (no repetition
+            # provenance) default to positional indices.
+            object.__setattr__(
+                self, "repetitions", tuple(range(len(self.values)))
+            )
+        if len(self.repetitions) != len(self.values):
+            raise ValueError(
+                f"{len(self.repetitions)} repetition keys for "
+                f"{len(self.values)} values"
+            )
 
     @property
     def n(self) -> int:
         return len(self.values)
 
+    def by_repetition(self) -> Dict[int, float]:
+        """``repetition -> value`` (what paired comparisons join on)."""
+        return dict(zip(self.repetitions, self.values))
 
-def _summarise(name: str, values: Sequence[float], confidence: float) -> MetricSummary:
+
+def _summarise(
+    name: str,
+    values: Sequence[float],
+    confidence: float,
+    repetitions: Optional[Sequence[int]] = None,
+) -> MetricSummary:
     # The closed endpoints are rejected: t.ppf(1.0) is +inf (an infinite
     # CI) and confidence=0 is a zero-width interval nobody means to ask for.
     require_open_probability("confidence", confidence)
@@ -84,6 +113,9 @@ def _summarise(name: str, values: Sequence[float], confidence: float) -> MetricS
         std=std,
         ci_low=mean - half_width,
         ci_high=mean + half_width,
+        repetitions=(
+            tuple(int(r) for r in repetitions) if repetitions is not None else ()
+        ),
     )
 
 
@@ -202,7 +234,8 @@ def run_repetitions(
     confidence: float = 0.95,
     n_jobs: int = 1,
     n_controllers: Optional[int] = None,
-    collect_metrics: bool = False,
+    collect_metrics: Optional[bool] = None,
+    failures: Optional[FailureSchedule] = None,
     max_retries: int = 0,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
@@ -225,11 +258,18 @@ def run_repetitions(
     A repetition that raises is recorded in the study's ``failures`` with
     its traceback and excluded from the summaries; the count is logged.
 
-    ``collect_metrics=True`` additionally records :mod:`repro.obs`
+    ``collect_metrics`` is a tri-state: ``True`` records :mod:`repro.obs`
     telemetry per work item and attaches the merged aggregate
     (``study.metrics``) and the per-worker breakdown
     (``study.worker_metrics``, keyed by executing pid) to the study —
-    rendered by :meth:`RepetitionStudy.metrics_table`.
+    rendered by :meth:`RepetitionStudy.metrics_table`; ``None`` (default)
+    auto-enables collection when a registry is active in the calling
+    process; ``False`` keeps collection off unconditionally, active
+    registry or not.
+
+    ``failures`` applies one scripted
+    :class:`~repro.sim.failures.FailureSchedule` (station outages /
+    capacity degradations) inside every repetition's run.
 
     ``max_retries`` re-executes crashed work items (bounded rounds, fresh
     workers) before recording them as failures; ``checkpoint_dir`` /
@@ -243,7 +283,10 @@ def run_repetitions(
     require_positive("horizon", horizon)
     require_open_probability("confidence", confidence)
     if skip_warmup is None:
-        skip_warmup = max(horizon // 4, 1)
+        # Clamped so short horizons keep at least one measured slot:
+        # the bare max(horizon // 4, 1) made horizon=1 skip its only slot
+        # and unconditionally fail its own validation below.
+        skip_warmup = max(min(horizon - 1, max(horizon // 4, 1)), 0)
     if skip_warmup >= horizon:
         raise ValueError(
             f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
@@ -258,7 +301,11 @@ def run_repetitions(
         horizon=horizon,
         demands_known=demands_known,
         n_controllers=n_controllers,
-        collect_metrics=collect_metrics or None,
+        # Tri-state forwarded verbatim: an explicit False must stay off
+        # even when a parent obs registry is active (the old
+        # ``collect_metrics or None`` silently re-enabled it).
+        collect_metrics=collect_metrics,
+        failures=failures,
         max_retries=max_retries,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
@@ -278,46 +325,54 @@ def run_repetitions(
         per_worker = worker_metrics.setdefault(item.pid, MetricsRegistry())
         per_worker.merge(snapshot)
 
-    metric_values: Dict[str, Dict[str, List[float]]] = {}
+    # metric values are keyed by the repetition that produced them, so a
+    # paired comparison can join on repetition instead of list position
+    # (failures drop per (repetition, controller) item — positions lie).
+    metric_values: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
     raw: Dict[str, List[SimulationResult]] = {}
-    failures: List[RepetitionFailure] = []
+    failed_items: List[RepetitionFailure] = []
     completed = 0
     for item in work_results:  # already in (repetition, controller) order
         if not item.ok:
-            failures.append(item.failure())
+            failed_items.append(item.failure())
             continue
         completed += 1
         result = item.result
         store = metric_values.setdefault(item.controller_name, {})
         store.setdefault("mean_delay_ms", []).append(
-            result.mean_delay_ms(skip_warmup=skip_warmup)
+            (item.repetition, result.mean_delay_ms(skip_warmup=skip_warmup))
         )
         store.setdefault("mean_decision_s", []).append(
-            result.mean_decision_seconds()
+            (item.repetition, result.mean_decision_seconds())
         )
         store.setdefault("total_churn", []).append(
-            float(result.cache_churn.sum())
+            (item.repetition, float(result.cache_churn.sum()))
         )
         raw.setdefault(item.controller_name, []).append(result)
 
-    if failures:
-        for failure in failures:
+    if failed_items:
+        for failure in failed_items:
             logger.warning("repetition failed: %s", failure)
         logger.warning(
             "%d of %d runs failed and were excluded from the summaries",
-            len(failures),
+            len(failed_items),
             len(work_results),
         )
     if not metric_values:
-        details = "\n".join(f.traceback for f in failures[:1])
+        details = "\n".join(f.traceback for f in failed_items[:1])
         raise RuntimeError(
             f"all {len(work_results)} runs failed; first traceback:\n{details}"
         )
 
     summaries = {
         name: {
-            metric: _summarise(metric, values, confidence)
-            for metric, values in metrics.items()
+            metric: _summarise(
+                metric,
+                [value for _, value in pairs],
+                confidence,
+                repetitions=[rep for rep, _ in pairs],
+            )
+            for metric, pairs in metrics.items()
         }
         for name, metrics in metric_values.items()
     }
@@ -330,7 +385,7 @@ def run_repetitions(
         wall_clock_seconds=wall_clock,
         cpu_seconds=float(sum(r.cpu_seconds for r in work_results)),
         completed_runs=completed,
-        failures=failures,
+        failures=failed_items,
         metrics=aggregate_metrics,
         worker_metrics=worker_metrics,
     )
@@ -338,7 +393,13 @@ def run_repetitions(
 
 @dataclass(frozen=True)
 class PairedComparison:
-    """Paired across-seed comparison of two controllers on one metric."""
+    """Paired across-seed comparison of two controllers on one metric.
+
+    Pairs are joined by repetition index, not list position: when a
+    repetition crashed for exactly one of the two controllers, it cannot
+    be paired and is reported in ``dropped_repetitions`` instead of being
+    silently matched against a different world.
+    """
 
     metric: str
     name_a: str
@@ -348,6 +409,14 @@ class PairedComparison:
     wins_b: int
     ties: int
     sign_test_p: float
+    #: Repetition indices actually paired (present for both controllers).
+    paired_repetitions: Tuple[int, ...] = ()
+    #: Repetitions with a value for exactly one controller — unpaired.
+    dropped_repetitions: Tuple[int, ...] = ()
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.paired_repetitions)
 
     @property
     def a_wins_majority(self) -> bool:
@@ -363,15 +432,31 @@ def compare_controllers(
     """Paired comparison: per-seed differences, win counts, sign test.
 
     The two controllers must have been run in the same study (same worlds
-    per repetition), which is what makes the pairing valid.
+    per repetition), which is what makes the pairing valid.  Values are
+    joined on their repetition index: a repetition missing on one side
+    (its work item crashed) is dropped from the pairing and surfaced in
+    :attr:`PairedComparison.dropped_repetitions` — the previous positional
+    zip silently compared different worlds whenever the two controllers
+    failed on *different* repetitions (equal-length lists, shifted keys).
     """
-    a = study.summary(name_a, metric).values
-    b = study.summary(name_b, metric).values
-    if len(a) != len(b):
+    a = study.summary(name_a, metric).by_repetition()
+    b = study.summary(name_b, metric).by_repetition()
+    common = sorted(set(a) & set(b))
+    dropped = tuple(sorted(set(a) ^ set(b)))
+    if not common:
         raise ValueError(
-            f"controllers have different repetition counts: {len(a)} vs {len(b)}"
+            f"controllers {name_a!r} and {name_b!r} share no completed "
+            f"repetitions on {metric!r}; nothing to pair"
         )
-    differences = np.asarray(b) - np.asarray(a)
+    if dropped:
+        logger.warning(
+            "paired comparison %s vs %s: repetitions %s completed for only "
+            "one controller and were dropped from the pairing",
+            name_a,
+            name_b,
+            list(dropped),
+        )
+    differences = np.asarray([b[rep] - a[rep] for rep in common])
     wins_a = int(np.sum(differences > 0))
     wins_b = int(np.sum(differences < 0))
     ties = int(np.sum(differences == 0))
@@ -391,4 +476,6 @@ def compare_controllers(
         wins_b=wins_b,
         ties=ties,
         sign_test_p=sign_p,
+        paired_repetitions=tuple(common),
+        dropped_repetitions=dropped,
     )

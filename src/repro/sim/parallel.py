@@ -44,6 +44,7 @@ from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
 from repro.sim.engine import run_simulation
+from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import SimulationResult
 from repro.state import (
     WORK_RESULT_KIND,
@@ -189,6 +190,7 @@ def _execute_work_item(
     demands_known: bool,
     collect_metrics: bool = False,
     checkpoint: Optional[CheckpointConfig] = None,
+    failures: Optional[FailureSchedule] = None,
 ) -> WorkResult:
     """Rebuild the repetition's world and run one controller over it.
 
@@ -218,6 +220,7 @@ def _execute_work_item(
             demands_known=demands_known,
             metrics=registry,
             checkpoint=checkpoint,
+            failures=failures,
         )
         if checkpoint is not None:
             snapshot = checkpoint.path_for(controller.name)
@@ -322,6 +325,7 @@ class ParallelRunner:
         demands_known: bool = True,
         n_controllers: Optional[int] = None,
         collect_metrics: Optional[bool] = None,
+        failures: Optional[FailureSchedule] = None,
         max_retries: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
@@ -340,7 +344,14 @@ class ParallelRunner:
         auto-enables collection when a registry is active in the calling
         process (e.g. the CLI's ``--metrics-out``); item snapshots are then
         also merged into that registry, so parent-side telemetry works the
-        same for serial and pooled execution.
+        same for serial and pooled execution.  An explicit ``False`` keeps
+        collection off even under an active registry.
+
+        ``failures`` applies one scripted
+        :class:`~repro.sim.failures.FailureSchedule` inside every work
+        item's simulation (scripted outages are part of the scenario, so
+        the same schedule runs in every repetition; it must be picklable
+        for the pool path).
 
         ``max_retries`` bounds crash-tolerant retry rounds: after a round,
         every failed item is re-executed — in the pool path on a *fresh*
@@ -396,6 +407,7 @@ class ParallelRunner:
             executed = self._run_serial(
                 build, seed, range(repetitions), horizon, demands_known,
                 collect_metrics, done, sweep_dir, checkpoint_every,
+                failures=failures,
             )
         else:
             if n_controllers is None:
@@ -410,6 +422,7 @@ class ParallelRunner:
             executed = self._run_pool_items(
                 build, seed, items, horizon, demands_known, collect_metrics,
                 sweep_dir, checkpoint_every, capture_pool_errors=max_retries > 0,
+                failures=failures,
             )
         for item in executed:
             by_key[(item.repetition, item.controller_index)] = item
@@ -427,6 +440,7 @@ class ParallelRunner:
                 retried = self._run_serial(
                     build, seed, repetitions_to_retry, horizon, demands_known,
                     collect_metrics, done_now, sweep_dir, checkpoint_every,
+                    failures=failures,
                 )
             else:
                 retry_items = [
@@ -436,7 +450,7 @@ class ParallelRunner:
                 retried = self._run_pool_items(
                     build, seed, retry_items, horizon, demands_known,
                     collect_metrics, sweep_dir, checkpoint_every,
-                    capture_pool_errors=True,
+                    capture_pool_errors=True, failures=failures,
                 )
             for item in retried:
                 by_key[(item.repetition, item.controller_index)] = item
@@ -488,6 +502,7 @@ class ParallelRunner:
         sweep_dir: Optional[Path],
         checkpoint_every: Optional[int],
         capture_pool_errors: bool,
+        failures: Optional[FailureSchedule] = None,
     ) -> List[WorkResult]:
         """Execute ``items`` on one process pool, persisting as they land.
 
@@ -512,6 +527,7 @@ class ParallelRunner:
                     demands_known,
                     collect_metrics,
                     _item_checkpoint(sweep_dir, item, checkpoint_every),
+                    failures,
                 ): item
                 for item in items
             }
@@ -552,6 +568,7 @@ class ParallelRunner:
         done: Set[Tuple[int, int]],
         sweep_dir: Optional[Path],
         checkpoint_every: Optional[int] = None,
+        failures: Optional[FailureSchedule] = None,
     ) -> List[WorkResult]:
         """In-process execution, one world build per repetition.
 
@@ -613,6 +630,7 @@ class ParallelRunner:
                         demands_known=demands_known,
                         metrics=registry,
                         checkpoint=item_checkpoint,
+                        failures=failures,
                     )
                     if item_checkpoint is not None:
                         snapshot = item_checkpoint.path_for(controller.name)

@@ -1,0 +1,103 @@
+"""Generic name-indexed factory registries (the ``make_controller`` pattern).
+
+PR 5 introduced ``repro.core.make_controller``: every controller the
+experiments compare is built *by name*, the name doubles as the
+checkpoint/spec identity, and construction recipes have exactly one
+spelling.  Declarative campaigns (:mod:`repro.campaigns`) need the same
+pattern for every axis of a scenario — topologies, workload/demand
+models, predictors — so the pattern lives here once as a small generic
+class and each domain package instantiates it:
+
+* :data:`repro.core.registry` — controllers (``OL_GD``, ``OL_GAN``, ...)
+* :mod:`repro.mec.registry` — topology factories (``gtitm``, ``as1755``)
+* :mod:`repro.workload.registry` — demand models (``constant``, ``bursty``)
+* :mod:`repro.prediction.registry` — §V predictors (``ewma``, ``ar``, ...)
+
+Identity enforcement: a registry may carry an ``identity`` extractor
+(e.g. ``lambda c: c.name``).  When present, :meth:`Registry.make`
+verifies the built object answers to the registered name — the name is
+what campaign specs and sweep manifests store, so a factory registered
+under one name must never quietly build something that reports another.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Name -> factory mapping with optional built-object identity checks.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun for error messages (``"controller"``,
+        ``"topology"``, ...).
+    identity:
+        Optional extractor returning the name a built object reports
+        (``None`` when the object carries no identity).  When provided,
+        :meth:`make` raises unless the extracted identity equals the
+        registered name.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        identity: Optional[Callable[[T], Optional[str]]] = None,
+    ) -> None:
+        if not kind:
+            raise ValueError("registry kind must be non-empty")
+        self._kind = kind
+        self._identity = identity
+        self._factories: Dict[str, Callable[..., T]] = {}
+
+    @property
+    def kind(self) -> str:
+        """The noun this registry's error messages use."""
+        return self._kind
+
+    def register(self, name: str, factory: Callable[..., T]) -> None:
+        """Register ``factory`` under ``name`` (must be new and non-empty)."""
+        if not name:
+            raise ValueError(f"{self._kind} name must be non-empty")
+        if name in self._factories:
+            raise ValueError(f"{self._kind} {name!r} is already registered")
+        self._factories[name] = factory
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def factory(self, name: str) -> Callable[..., T]:
+        """The raw factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self._kind} {name!r}; "
+                f"registered: {', '.join(self.names())}"
+            ) from None
+
+    def make(self, name: str, *args: Any, **kwargs: Any) -> T:
+        """Build the object registered under ``name``.
+
+        Positional and keyword arguments are forwarded to the factory
+        verbatim.  With an ``identity`` extractor configured, the built
+        object must report exactly ``name``.
+        """
+        built = self.factory(name)(*args, **kwargs)
+        if self._identity is not None:
+            reported = self._identity(built)
+            if reported != name:
+                raise ValueError(
+                    f"factory for {name!r} built a {self._kind} named "
+                    f"{reported!r}; registry names must be identities"
+                )
+        return built

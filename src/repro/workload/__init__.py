@@ -16,6 +16,13 @@ from repro.workload.features import (
     one_hot,
 )
 from repro.workload.mobility import HotspotHoppingMobility, MobilePriorityController
+from repro.workload.registry import (
+    WORKLOADS,
+    WorkloadFactory,
+    make_workload,
+    register_workload,
+    workload_names,
+)
 from repro.workload.stats import (
     BurstinessReport,
     autocorrelation,
@@ -43,6 +50,11 @@ __all__ = [
     "one_hot",
     "HotspotHoppingMobility",
     "MobilePriorityController",
+    "WORKLOADS",
+    "WorkloadFactory",
+    "make_workload",
+    "register_workload",
+    "workload_names",
     "BurstinessReport",
     "autocorrelation",
     "burstiness_score",

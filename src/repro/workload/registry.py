@@ -1,0 +1,91 @@
+"""Named demand-model factories: ``make_workload``.
+
+The workload counterpart of :func:`repro.core.make_controller`: the two
+demand settings the paper evaluates — given constant demands (§IV) and
+hotspot-correlated bursty demands (§V) — are registered by name, the name
+is stamped onto the built model (``model.workload_name``) and enforced as
+its identity, so a campaign spec's ``workload`` field names exactly the
+demand process every cell of the sweep realises.
+
+Factories are called as ``factory(requests, rng, **options)``; ``rng`` is
+the demand stream of the repetition's seeding registry (the constant
+model simply does not draw from it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.mec.requests import Request
+from repro.utils.registry import Registry
+from repro.workload.demand import BurstyDemandModel, ConstantDemandModel, DemandModel
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadFactory",
+    "register_workload",
+    "workload_names",
+    "make_workload",
+]
+
+WorkloadFactory = Callable[..., DemandModel]
+
+#: The demand-model registry instance (names are campaign-spec identities).
+WORKLOADS: Registry[DemandModel] = Registry(
+    "workload",
+    identity=lambda model: getattr(model, "workload_name", None),
+)
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register ``factory`` under ``name`` (must be new and non-empty).
+
+    The built model must carry ``workload_name == name`` —
+    :func:`make_workload` enforces it, mirroring the controller registry.
+    """
+    WORKLOADS.register(name, factory)
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names, sorted."""
+    return WORKLOADS.names()
+
+
+def make_workload(
+    name: str,
+    requests: Sequence[Request],
+    rng: np.random.Generator,
+    **options: Any,
+) -> DemandModel:
+    """Build the demand model registered under ``name``.
+
+    ``options`` are the model's own tuning parameters (e.g. ``jitter`` or
+    ``p_enter`` for ``bursty``), forwarded verbatim.
+    """
+    return WORKLOADS.make(name, requests, rng, **options)
+
+
+def _stamped(model: DemandModel, name: str) -> DemandModel:
+    model.workload_name = name
+    return model
+
+
+def _constant(
+    requests: Sequence[Request], rng: np.random.Generator, **options: Any
+) -> DemandModel:
+    """Given demands, `rho_l(t) = rho_l^bsc` (§IV; draws nothing from rng)."""
+    del rng  # uniform factory signature; the constant model is draw-free
+    return _stamped(ConstantDemandModel(requests, **options), "constant")
+
+
+def _bursty(
+    requests: Sequence[Request], rng: np.random.Generator, **options: Any
+) -> DemandModel:
+    """Hotspot-correlated MMPP bursts (§V setting)."""
+    return _stamped(BurstyDemandModel(requests, rng, **options), "bursty")
+
+
+register_workload("constant", _constant)
+register_workload("bursty", _bursty)

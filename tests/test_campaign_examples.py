@@ -1,0 +1,108 @@
+"""The shipped example campaign specs stay valid and pin their grids.
+
+Every TOML under examples/campaigns must parse, validate against the
+registries and expand to its documented cell list with stable derived
+seeds (the pinned seeds below are the campaign contract: changing the
+seeding derivation or the cell-id scheme invalidates existing result
+trees, and must show up here).  The smoke campaign is additionally run
+end-to-end at reduced scale and checked for bit-identical equivalence
+with a direct ``run_repetitions`` call over the same cells.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import (
+    CampaignScenario,
+    CampaignSpec,
+    failure_schedule,
+    load_campaign_toml,
+    run_campaign,
+)
+from repro.sim import run_repetitions
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "campaigns"
+
+
+def load(name: str) -> CampaignSpec:
+    return load_campaign_toml(EXAMPLES / f"{name}.toml")
+
+
+class TestSpecsParseAndExpand:
+    @pytest.mark.parametrize(
+        "name", ["quickstart", "network_scaling", "resilience_study", "smoke"]
+    )
+    def test_loads_and_expands(self, name):
+        spec = load(name)
+        cells = spec.expand()
+        assert cells
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_quickstart_matches_script_setting(self):
+        spec = load("quickstart")
+        assert spec.seed == 7
+        assert spec.scenario.controllers == ("OL_GD", "Greedy_GD")
+        assert spec.scenario.horizon == 40
+        assert spec.scenario.n_stations == 40
+        assert [c.cell_id for c in spec.expand()] == ["base"]
+
+    def test_network_scaling_sweeps_sizes(self):
+        spec = load("network_scaling")
+        assert spec.scenario.controllers == ("OL_GD", "Pri_GD", "Greedy_GD")
+        assert [c.cell_id for c in spec.expand()] == [
+            "n_stations=30", "n_stations=60", "n_stations=90",
+        ]
+        assert [c.scenario.n_stations for c in spec.expand()] == [30, 60, 90]
+
+    def test_resilience_pins_outages_and_sweeps_workload(self):
+        spec = load("resilience_study")
+        assert len(spec.scenario.outages) == 2
+        assert spec.scenario.outages[0].remaining_fraction == 0.0
+        assert spec.scenario.outages[1].remaining_fraction == 0.3
+        cells = spec.expand()
+        assert [c.cell_id for c in cells] == [
+            "workload=constant", "workload=bursty",
+        ]
+        for cell in cells:
+            schedule = failure_schedule(cell.scenario)
+            assert schedule is not None and schedule.n_outages == 2
+
+    def test_smoke_is_two_by_two(self):
+        assert len(load("smoke").expand()) == 4
+
+    def test_cell_seeds_are_pinned(self):
+        """Seed derivation is part of the on-disk campaign contract."""
+        spec = load("smoke")
+        seeds = {c.cell_id: c.seed for c in spec.expand()}
+        assert seeds == {
+            "n_stations=12-workload=constant": 10348842576864410878,
+            "n_stations=12-workload=bursty": 1111802933159792548,
+            "n_stations=16-workload=constant": 8974672453904589343,
+            "n_stations=16-workload=bursty": 10458316430341636518,
+        }
+
+
+class TestSmokeEquivalence:
+    def test_campaign_cells_equal_direct_runs(self, tmp_path):
+        # The shipped smoke spec, scaled down to a single repetition so
+        # the end-to-end check stays fast.
+        spec = dataclasses.replace(load("smoke"), repetitions=1)
+        result = run_campaign(spec, tmp_path / "camp")
+        assert result.complete
+        for cell in result.cells:
+            direct = run_repetitions(
+                CampaignScenario(cell.scenario),
+                seed=cell.seed,
+                repetitions=spec.repetitions,
+                horizon=cell.scenario.horizon,
+                failures=failure_schedule(cell.scenario),
+            )
+            study = result.studies[cell.cell_id]
+            for controller in cell.scenario.controllers:
+                for metric in ("mean_delay_ms", "total_churn"):
+                    assert (
+                        study.summary(controller, metric).values
+                        == direct.summary(controller, metric).values
+                    ), (cell.cell_id, controller, metric)

@@ -1,0 +1,185 @@
+"""Tests for the generic registry and its domain instances.
+
+The controller registry's behaviour (names, identity enforcement) is
+covered in test_core_controllers; here the focus is the generalised
+machinery — :class:`repro.utils.registry.Registry` — and the new
+topology / workload / predictor registries built on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CONTROLLERS, make_controller
+from repro.mec import TOPOLOGIES, make_topology, topology_names
+from repro.prediction import PREDICTORS, make_predictor, predictor_names
+from repro.utils.registry import Registry
+from repro.utils.seeding import RngRegistry
+from repro.workload import (
+    WORKLOADS,
+    BurstyDemandModel,
+    ConstantDemandModel,
+    make_workload,
+    workload_names,
+)
+from repro.mec.requests import Request
+
+
+def _requests(n=6, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            index=i,
+            service_index=int(rng.integers(2)),
+            basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+        )
+        for i in range(n)
+    ]
+
+
+class _Thing:
+    def __init__(self, name):
+        self.thing_name = name
+
+
+class TestGenericRegistry:
+    def _registry(self):
+        return Registry("thing", identity=lambda t: t.thing_name)
+
+    def test_register_and_make(self):
+        registry = self._registry()
+        registry.register("a", lambda: _Thing("a"))
+        assert "a" in registry
+        assert registry.names() == ("a",)
+        assert registry.make("a").thing_name == "a"
+
+    def test_names_sorted(self):
+        registry = self._registry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.register(name, lambda n=name: _Thing(n))
+        assert registry.names() == ("alpha", "mid", "zeta")
+
+    def test_duplicate_and_empty_names_rejected(self):
+        registry = self._registry()
+        registry.register("a", lambda: _Thing("a"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", lambda: _Thing("a"))
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register("", lambda: _Thing(""))
+
+    def test_unknown_name_lists_registered(self):
+        registry = self._registry()
+        registry.register("a", lambda: _Thing("a"))
+        with pytest.raises(KeyError, match="unknown thing 'b'; registered: a"):
+            registry.make("b")
+
+    def test_identity_enforced(self):
+        registry = self._registry()
+        registry.register("good", lambda: _Thing("evil"))
+        with pytest.raises(ValueError, match="identities"):
+            registry.make("good")
+
+    def test_factory_lookup(self):
+        registry = self._registry()
+        factory = lambda: _Thing("a")  # noqa: E731
+        registry.register("a", factory)
+        assert registry.factory("a") is factory
+
+
+class TestTopologyRegistry:
+    def test_names(self):
+        assert "gtitm" in topology_names()
+        assert "as1755" in topology_names()
+        assert "gtitm" in TOPOLOGIES
+
+    def test_gtitm_default_and_explicit_size(self):
+        network = make_topology("gtitm", RngRegistry(5), n_services=2)
+        assert network.n_stations == 30
+        assert network.topology_name == "gtitm"
+        sized = make_topology(
+            "gtitm", RngRegistry(5), n_stations=12, n_services=2
+        )
+        assert sized.n_stations == 12
+
+    def test_as1755_rejects_mismatching_size(self):
+        network = make_topology("as1755", RngRegistry(5), n_services=2)
+        assert network.topology_name == "as1755"
+        with pytest.raises(ValueError, match="exactly"):
+            make_topology(
+                "as1755",
+                RngRegistry(5),
+                n_stations=network.n_stations + 1,
+                n_services=2,
+            )
+
+    def test_unknown_topology(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            make_topology("nope", RngRegistry(5), n_services=2)
+
+    def test_reproducible(self):
+        a = make_topology("gtitm", RngRegistry(9), n_stations=10, n_services=2)
+        b = make_topology("gtitm", RngRegistry(9), n_stations=10, n_services=2)
+        assert np.array_equal(a.capacities_mhz, b.capacities_mhz)
+
+
+class TestWorkloadRegistry:
+    def test_names(self):
+        assert workload_names() == tuple(sorted(workload_names()))
+        assert "constant" in WORKLOADS and "bursty" in WORKLOADS
+
+    def test_constant(self):
+        requests = _requests()
+        rng = RngRegistry(5).get("demand")
+        model = make_workload("constant", requests, rng)
+        assert isinstance(model, ConstantDemandModel)
+        assert model.workload_name == "constant"
+
+    def test_bursty_with_options(self):
+        requests = _requests()
+        rng = RngRegistry(5).get("demand")
+        model = make_workload("bursty", requests, rng)
+        assert isinstance(model, BurstyDemandModel)
+        assert model.workload_name == "bursty"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_workload("nope", _requests(), RngRegistry(5).get("demand"))
+
+
+class TestPredictorRegistry:
+    @pytest.mark.parametrize("name", ["last", "mean", "ewma", "ar"])
+    def test_closed_form_predictors(self, name):
+        predictor = make_predictor(name, 4, RngRegistry(5).get("predict"))
+        assert predictor.predictor_name == name
+        predictor.observe(np.ones(4))
+        assert predictor.predict_next().shape == (4,)
+
+    def test_names(self):
+        assert set(predictor_names()) >= {"last", "mean", "ewma", "ar", "gan"}
+        assert "gan" in PREDICTORS
+
+    def test_gan_requires_codes(self):
+        with pytest.raises(ValueError, match="codes"):
+            make_predictor("gan", 4, RngRegistry(5).get("predict"))
+
+    def test_gan_rejects_bad_code_shape(self):
+        with pytest.raises(ValueError, match="codes must be"):
+            make_predictor(
+                "gan", 4, RngRegistry(5).get("predict"), codes=np.ones(3)
+            )
+
+
+class TestControllerRegistryStillWorks:
+    def test_controllers_is_generic_registry(self):
+        assert isinstance(CONTROLLERS, Registry)
+        assert "OL_GD" in CONTROLLERS
+
+    def test_make_controller_roundtrip(self):
+        rngs = RngRegistry(5)
+        network = make_topology(
+            "gtitm", rngs, n_stations=10, n_services=2
+        )
+        requests = _requests()
+        controller = make_controller(
+            "Greedy_GD", network, requests, rngs.get("greedy")
+        )
+        assert controller.name == "Greedy_GD"
