@@ -5,12 +5,14 @@ The campaign layer turns "run this grid of experiments" into data: a
 through the registries — topology, workload, controllers, predictors —
 and a cartesian factor grid over it; :meth:`CampaignSpec.expand`
 deterministically derives one seeded :class:`CampaignCell` per grid
-point; :func:`run_campaign` executes the cells through
-:func:`repro.sim.run_repetitions` with per-cell checkpoint directories,
-so a killed campaign restarted with ``resume=True`` re-runs only the
-missing work; and :mod:`repro.campaigns.report` aggregates the result
-tree into one table/CSV.  CLI front-end: ``repro campaign run|status|
-report``.
+point; :func:`run_campaign` executes the cells — either sequentially
+per cell or through the campaign-wide work-stealing scheduler
+(:mod:`repro.campaigns.scheduler`, one persistent worker pool over the
+full ``cell × repetition × controller`` grid) — with per-cell
+checkpoint directories, so a killed campaign restarted with
+``resume=True`` re-runs only the missing work; and
+:mod:`repro.campaigns.report` aggregates the result tree into one
+table/CSV.  CLI front-end: ``repro campaign run|status|report``.
 """
 
 from repro.campaigns.report import (
@@ -21,6 +23,7 @@ from repro.campaigns.report import (
     write_campaign_report,
 )
 from repro.campaigns.runner import (
+    SCHEDULERS,
     CampaignResult,
     CampaignStatus,
     CellStatus,
@@ -29,6 +32,7 @@ from repro.campaigns.runner import (
     run_campaign,
 )
 from repro.campaigns.scenario import CampaignScenario, failure_schedule
+from repro.campaigns.scheduler import run_campaign_scheduled
 from repro.campaigns.spec import (
     CampaignCell,
     CampaignError,
@@ -50,6 +54,7 @@ __all__ = [
     "CellStatus",
     "FactorAxis",
     "OutageSpec",
+    "SCHEDULERS",
     "ScenarioSpec",
     "campaign_status",
     "campaign_to_csv",
@@ -59,5 +64,6 @@ __all__ = [
     "load_campaign_toml",
     "render_campaign_report",
     "run_campaign",
+    "run_campaign_scheduled",
     "write_campaign_report",
 ]

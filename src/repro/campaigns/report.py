@@ -21,6 +21,7 @@ from repro.campaigns.runner import (
     cell_directory,
     read_campaign_payload,
     read_cell_summary,
+    read_cell_timing,
 )
 from repro.campaigns.spec import CampaignError
 from repro.experiments.plots import sparkline
@@ -60,18 +61,31 @@ class CampaignReport:
 
 
 def load_campaign_report(out_dir: Union[str, Path]) -> CampaignReport:
-    """Load a campaign directory's payload and every finished cell."""
+    """Load a campaign directory's payload and every finished cell.
+
+    Timing metric summaries (the ``timing.json`` sidecar, e.g.
+    ``mean_decision_s``) are merged back into each cell's metric map, so
+    reports and CSV exports keep showing decision times even though the
+    deterministic ``summary.json`` no longer carries them.
+    """
     out_dir = Path(out_dir)
     payload = read_campaign_payload(out_dir)
     status = campaign_status(out_dir)
     summaries: Dict[str, Dict] = {}
     pending: List[str] = []
     for cell in status.cells:
-        summary = read_cell_summary(cell_directory(out_dir, cell.cell_id))
+        directory = cell_directory(out_dir, cell.cell_id)
+        summary = read_cell_summary(directory)
         if summary is None:
             pending.append(cell.cell_id)
-        else:
-            summaries[cell.cell_id] = summary
+            continue
+        timing = read_cell_timing(directory)
+        if timing is not None:
+            for controller, per_metric in timing.get("summaries", {}).items():
+                target = summary["summaries"].setdefault(controller, {})
+                for metric, values in per_metric.items():
+                    target.setdefault(metric, values)
+        summaries[cell.cell_id] = summary
     return CampaignReport(
         name=payload["name"],
         out_dir=out_dir,

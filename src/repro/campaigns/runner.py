@@ -7,14 +7,20 @@ A campaign run owns one directory::
         cells/<cell_id>/
             manifest.json        # repro.state sweep manifest
             rep00000-ctrl000.npz # per-(repetition, controller) snapshots
-            summary.json         # written once the cell is complete
+            summary.json         # deterministic aggregate, written once
+                                 # the cell is complete
+            timing.json          # wall-clock sidecar (decision times,
+                                 # execution accounting)
 
-Every cell is one :func:`repro.sim.run_repetitions` study over the
-cell's :class:`~repro.campaigns.scenario.CampaignScenario`, seeded with
-the cell's own derived seed and checkpointed into the cell directory.
-Resume therefore works at two grains: a finished cell is recognised by
-its ``summary.json`` and never re-executed, and a *partially* finished
-cell re-enters the sweep-manifest resume path and runs only its missing
+Every cell is one repetition study over the cell's
+:class:`~repro.campaigns.scenario.CampaignScenario`, seeded with the
+cell's own derived seed and checkpointed into the cell directory —
+executed either cell-by-cell through :func:`repro.sim.run_repetitions`
+or by the campaign-wide scheduler (:mod:`repro.campaigns.scheduler`);
+see :func:`run_campaign`'s ``scheduler`` argument.  Resume works at two
+grains under both engines: a finished cell is recognised by its
+``summary.json`` and never re-executed, and a *partially* finished cell
+re-enters the sweep-manifest resume path and runs only its missing
 ``(repetition, controller)`` items.
 
 ``campaign.json`` pins the campaign's identity: restarting with
@@ -33,18 +39,22 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.campaigns.scenario import CampaignScenario, failure_schedule
 from repro.campaigns.spec import CampaignCell, CampaignError, CampaignSpec
-from repro.sim.multirun import RepetitionStudy, run_repetitions
+from repro.sim.multirun import MetricSummary, RepetitionStudy, run_repetitions
+from repro.sim.parallel import resolve_n_jobs
 from repro.state.manifest import completed_items
 
 __all__ = [
     "CampaignResult",
     "CellStatus",
     "CampaignStatus",
+    "SCHEDULERS",
+    "TIMING_METRICS",
     "run_campaign",
     "campaign_status",
     "cell_directory",
     "write_cell_summary",
     "read_cell_summary",
+    "read_cell_timing",
     "read_campaign_payload",
 ]
 
@@ -52,7 +62,17 @@ logger = logging.getLogger(__name__)
 
 _CAMPAIGN_FILE = "campaign.json"
 _SUMMARY_FILE = "summary.json"
+_TIMING_FILE = "timing.json"
 _CELLS_DIR = "cells"
+
+#: Valid ``scheduler`` arguments of :func:`run_campaign`.
+SCHEDULERS = ("auto", "global", "cell")
+
+#: Metric summaries built from wall-clock measurements.  They are split
+#: out of ``summary.json`` (whose contract is byte-identity across
+#: reruns, worker counts and scheduler choices) into ``timing.json``;
+#: the report layer merges them back for tables and CSV.
+TIMING_METRICS = ("mean_decision_s",)
 
 
 def cell_directory(out_dir: Union[str, Path], cell_id: str) -> Path:
@@ -69,14 +89,31 @@ def _write_json(path: Path, payload: object) -> None:
     os.replace(tmp, path)
 
 
+def _summary_payload(metrics: Dict[str, MetricSummary]) -> Dict[str, Dict]:
+    return {
+        metric: {
+            "mean": summary.mean,
+            "std": summary.std,
+            "ci_low": summary.ci_low,
+            "ci_high": summary.ci_high,
+            "values": list(summary.values),
+            "repetitions": list(summary.repetitions),
+        }
+        for metric, summary in metrics.items()
+    }
+
+
 def write_cell_summary(
     directory: Union[str, Path], cell: CampaignCell, study: RepetitionStudy
 ) -> Path:
     """Persist the aggregate of one finished cell (reproducible fields only).
 
-    Wall-clock and CPU accounting are deliberately left out: the summary
-    of a resumed campaign must be byte-identical to an uninterrupted
-    run's.
+    ``summary.json`` carries only seed-determined fields: the summary of
+    a resumed campaign — or one executed by a different scheduler or
+    worker count — must be byte-identical to an uninterrupted sequential
+    run's.  Wall-clock-derived metric summaries (:data:`TIMING_METRICS`,
+    i.e. controller decision time) and the run's execution accounting go
+    to ``timing.json`` next to it; the report layer merges them back.
     """
     payload = {
         "cell_id": cell.cell_id,
@@ -90,21 +127,35 @@ def write_cell_summary(
             [f.repetition, f.controller_index] for f in study.failures
         ),
         "summaries": {
-            controller: {
-                metric: {
-                    "mean": summary.mean,
-                    "std": summary.std,
-                    "ci_low": summary.ci_low,
-                    "ci_high": summary.ci_high,
-                    "values": list(summary.values),
-                    "repetitions": list(summary.repetitions),
+            controller: _summary_payload(
+                {
+                    metric: summary
+                    for metric, summary in metrics.items()
+                    if metric not in TIMING_METRICS
                 }
-                for metric, summary in metrics.items()
-            }
+            )
             for controller, metrics in study.summaries.items()
         },
     }
-    path = Path(directory) / _SUMMARY_FILE
+    timing = {
+        "cell_id": cell.cell_id,
+        "n_jobs": study.n_jobs,
+        "wall_clock_seconds": study.wall_clock_seconds,
+        "cpu_seconds": study.cpu_seconds,
+        "summaries": {
+            controller: _summary_payload(
+                {
+                    metric: summary
+                    for metric, summary in metrics.items()
+                    if metric in TIMING_METRICS
+                }
+            )
+            for controller, metrics in study.summaries.items()
+        },
+    }
+    directory = Path(directory)
+    _write_json(directory / _TIMING_FILE, timing)
+    path = directory / _SUMMARY_FILE
     _write_json(path, payload)
     return path
 
@@ -112,6 +163,18 @@ def write_cell_summary(
 def read_cell_summary(directory: Union[str, Path]) -> Optional[Dict]:
     """The persisted summary of a cell directory, or ``None``."""
     path = Path(directory) / _SUMMARY_FILE
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def read_cell_timing(directory: Union[str, Path]) -> Optional[Dict]:
+    """The persisted timing sidecar of a cell directory, or ``None``.
+
+    Absent for campaigns written before the summary/timing split; the
+    report layer treats that as "no timing metrics recorded".
+    """
+    path = Path(directory) / _TIMING_FILE
     if not path.exists():
         return None
     return json.loads(path.read_text(encoding="utf-8"))
@@ -175,16 +238,49 @@ def run_campaign(
     max_retries: int = 0,
     max_cells: Optional[int] = None,
     collect_metrics: Optional[bool] = None,
+    scheduler: str = "auto",
 ) -> CampaignResult:
     """Execute ``spec``'s cells into ``out_dir``; resumable at any point.
 
-    ``n_jobs``/``max_retries``/``collect_metrics`` are forwarded to each
-    cell's :func:`repro.sim.run_repetitions` call (workers fan out
-    *within* a cell; cells run in expansion order).  ``max_cells`` stops
+    ``scheduler`` picks the execution engine:
+
+    * ``"global"`` — the campaign-wide work-stealing scheduler
+      (:mod:`repro.campaigns.scheduler`): one persistent pool of
+      ``n_jobs`` workers drains the entire ``(cell × repetition ×
+      controller)`` grid from a shared queue.
+    * ``"cell"`` — the legacy path: cells run sequentially in expansion
+      order, each with its own per-cell pool of ``n_jobs`` workers
+      (forwarded to :func:`repro.sim.run_repetitions`).
+    * ``"auto"`` (default) — ``"global"`` when ``n_jobs`` resolves to
+      more than one worker, ``"cell"`` otherwise (in-process execution
+      already shares world builds, so the pool buys nothing at 1).
+
+    Both engines write the same directory tree with byte-identical
+    ``summary.json`` per cell, so they can be mixed freely across
+    resumes.  ``max_retries``/``collect_metrics`` keep their
+    :meth:`ParallelRunner.run` semantics under both.  ``max_cells`` stops
     after executing that many cells — the programmatic stand-in for a
     mid-campaign kill, and what the CI smoke test uses to exercise the
     resume path deterministically.
     """
+    if scheduler not in SCHEDULERS:
+        raise CampaignError(
+            f"unknown scheduler {scheduler!r}; pick one of {SCHEDULERS}"
+        )
+    if scheduler == "global" or (
+        scheduler == "auto" and resolve_n_jobs(n_jobs) > 1
+    ):
+        from repro.campaigns.scheduler import run_campaign_scheduled
+
+        return run_campaign_scheduled(
+            spec,
+            out_dir,
+            n_jobs=n_jobs,
+            resume=resume,
+            max_retries=max_retries,
+            max_cells=max_cells,
+            collect_metrics=collect_metrics,
+        )
     out_dir = Path(out_dir)
     cells = spec.expand()
     _check_or_claim_directory(spec, out_dir, resume)

@@ -1,0 +1,529 @@
+"""Campaign-wide work-stealing scheduler: one pool over the whole grid.
+
+The historical execution model (:func:`repro.campaigns.runner.run_campaign`
+with ``scheduler="cell"``) runs cells *sequentially*: each cell builds its
+own :class:`~repro.sim.parallel.ParallelRunner` and its own short-lived
+``ProcessPoolExecutor``, so a campaign's wall-clock is bounded by the
+slowest repetition of every cell in turn, pays pool spin-up plus builder
+pickling per cell, and leaves workers idle through every cell's tail.
+
+This module flattens the entire campaign into one global queue of
+``(cell, repetition, controller)`` work items and drains it through a
+**single persistent pool**:
+
+* **Dispatch units.**  The missing items of one ``(cell, repetition)``
+  are dispatched together, so a worker builds the repetition's world once
+  and runs every queued controller on it — the same world sharing the
+  serial path has always used.  World realisations are slot-keyed and
+  controller streams are name-keyed, so any grouping or ordering of
+  items produces bit-identical results (the determinism argument of
+  :mod:`repro.sim.parallel`).
+* **Longest-expected-cell-first.**  Units are enqueued cell-major in
+  decreasing expected remaining cost (pending items × horizon ×
+  requests), so the big cells start first and small cells fill the tail.
+* **Work stealing.**  All units go into the one shared queue up front;
+  an idle worker simply takes the next unit regardless of which cell it
+  belongs to, so no worker idles while any cell has work left.  A worker
+  whose consecutive units belong to different cells counts as a steal
+  (``campaign.items_stolen``).
+* **Per-worker world cache.**  Each worker process keeps a small cache
+  of built worlds keyed by cell id; a unit that lands on a worker which
+  just built the same ``(cell, repetition)`` reuses the build — but only
+  for controller indices that have not yet run on it, because
+  controllers are stateful and a rerun must start fresh.  Hit/miss
+  counts surface as ``campaign.world_cache_hits`` / ``_misses``.
+* **Streaming results.**  Every completed item is persisted immediately
+  into the cell's existing checkpoint tree
+  (``cells/<id>/rep*-ctrl*.npz`` + sweep manifest), and a cell's
+  ``summary.json`` is written the moment its grid completes — so the
+  two-grain resume story is unchanged: a finished cell is recognised by
+  its summary, a partial cell re-enters through the sweep-manifest
+  resume path, and a killed campaign resumes bit-identically.
+
+Failure semantics mirror :meth:`ParallelRunner.run`: scenario errors are
+captured per item and recorded on the owning cell; ``max_retries`` adds
+bounded retry rounds on the same persistent pool (a broken pool is
+replaced); with ``max_retries=0`` pool infrastructure errors propagate.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.campaigns.scenario import CampaignScenario, failure_schedule
+from repro.campaigns.spec import CampaignCell, CampaignSpec, ScenarioSpec
+from repro.sim.failures import FailureSchedule
+from repro.sim.multirun import RepetitionStudy, aggregate_work_results
+from repro.sim.parallel import (
+    WorkItem,
+    WorkResult,
+    World,
+    build_world,
+    controller_names_from_results,
+    load_work_result,
+    make_worker_pool,
+    persist_work_result,
+    resolve_n_jobs,
+    run_item_on_world,
+)
+from repro.state import SweepManifest, completed_items, finalise_controllers
+from repro.utils.validation import require_non_negative
+
+__all__ = [
+    "ScheduledUnit",
+    "UnitOutcome",
+    "run_campaign_scheduled",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ScheduledUnit:
+    """One dispatch unit: the queued items of one ``(cell, repetition)``.
+
+    Self-contained and picklable — a worker needs nothing but the unit to
+    rebuild the repetition's world (`scenario` + `seed`) and run every
+    listed controller on it.
+    """
+
+    cell_id: str
+    scenario: ScenarioSpec
+    seed: int
+    repetition: int
+    controller_indices: Tuple[int, ...]
+    horizon: int
+    demands_known: bool
+    collect_metrics: bool
+    failures: Optional[FailureSchedule]
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What a worker sends back: one :class:`WorkResult` per unit item."""
+
+    cell_id: str
+    repetition: int
+    results: Tuple[WorkResult, ...]
+    #: True when the worker served the world from its per-process cache.
+    cache_hit: bool
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+#: Worlds kept per worker process (LRU by cell id).  Small on purpose:
+#: a world holds the full topology + requests + controller line-up, and
+#: the scheduler dispatches cell-major so consecutive units of one cell
+#: dominate; capacity beyond a few cells buys nothing.
+_WORLD_CACHE_CAPACITY = 4
+
+
+class _CachedWorld:
+    """One cached build plus the controller indices already run on it."""
+
+    __slots__ = ("repetition", "world", "used")
+
+    def __init__(self, repetition: int, world: World, used: Set[int]) -> None:
+        self.repetition = repetition
+        self.world = world
+        self.used = used
+
+
+_WORLD_CACHE: "OrderedDict[str, _CachedWorld]" = OrderedDict()
+
+
+def _cached_world(unit: ScheduledUnit) -> Tuple[World, bool]:
+    """The unit's world, from this worker's cache when reusable.
+
+    A cached build is only reusable for controller indices that have not
+    run on it yet: controllers are stateful, and re-running one on a
+    world it already consumed would continue from mutated state instead
+    of reproducing a fresh run (the retry path hits exactly this).
+    """
+    entry = _WORLD_CACHE.get(unit.cell_id)
+    if (
+        entry is not None
+        and entry.repetition == unit.repetition
+        and not entry.used.intersection(unit.controller_indices)
+    ):
+        entry.used.update(unit.controller_indices)
+        _WORLD_CACHE.move_to_end(unit.cell_id)
+        return entry.world, True
+    world = build_world(
+        CampaignScenario(unit.scenario), unit.seed, unit.repetition
+    )
+    _WORLD_CACHE[unit.cell_id] = _CachedWorld(
+        unit.repetition, world, set(unit.controller_indices)
+    )
+    _WORLD_CACHE.move_to_end(unit.cell_id)
+    while len(_WORLD_CACHE) > _WORLD_CACHE_CAPACITY:
+        _WORLD_CACHE.popitem(last=False)
+    return world, False
+
+
+def _execute_unit(unit: ScheduledUnit) -> UnitOutcome:
+    """Run every item of one unit on a single world build; never raises.
+
+    A build crash fails every item of the unit (the world is unknowable
+    without it); item-level errors are captured per item by
+    :func:`run_item_on_world`, so one bad controller cannot take its
+    siblings down.
+    """
+    try:
+        world, cache_hit = _cached_world(unit)
+    except Exception as exc:  # noqa: BLE001 — reported per item, never fatal
+        error_tb = traceback.format_exc()
+        return UnitOutcome(
+            cell_id=unit.cell_id,
+            repetition=unit.repetition,
+            results=tuple(
+                WorkResult(
+                    repetition=unit.repetition,
+                    controller_index=index,
+                    controller_name=None,
+                    result=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_traceback=error_tb,
+                    wall_seconds=0.0,
+                    cpu_seconds=0.0,
+                    pid=os.getpid(),
+                )
+                for index in unit.controller_indices
+            ),
+            cache_hit=False,
+        )
+    results = tuple(
+        run_item_on_world(
+            world,
+            WorkItem(repetition=unit.repetition, controller_index=index),
+            unit.horizon,
+            demands_known=unit.demands_known,
+            collect_metrics=unit.collect_metrics,
+            failures=unit.failures,
+        )
+        for index in unit.controller_indices
+    )
+    return UnitOutcome(
+        cell_id=unit.cell_id,
+        repetition=unit.repetition,
+        results=results,
+        cache_hit=cache_hit,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _CellPlan:
+    """Parent-side execution state of one unfinished cell."""
+
+    cell: CampaignCell
+    directory: Path
+    manifest: SweepManifest
+    failures: Optional[FailureSchedule]
+    #: (repetition, controller_index) -> result; starts with the items
+    #: loaded back from disk on resume, grows as units stream in.
+    results: Dict[Tuple[int, int], WorkResult] = field(default_factory=dict)
+    #: repetition -> controller indices still to execute.
+    queued: Dict[int, List[int]] = field(default_factory=dict)
+    #: Items submitted and not yet returned.
+    pending: int = 0
+
+    def expected_cost(self) -> float:
+        """Dispatch-ordering heuristic: pending work × per-item weight.
+
+        Horizon × requests tracks the slot loop's dominant dimensions; it
+        only orders the queue (big cells first), so a rough proxy is fine.
+        """
+        n_items = sum(len(indices) for indices in self.queued.values())
+        scenario = self.cell.scenario
+        return float(n_items * scenario.horizon * scenario.n_requests)
+
+
+def _plan_units(
+    plan: _CellPlan, spec: CampaignSpec, collect_metrics: bool
+) -> List[ScheduledUnit]:
+    """Turn a plan's queued items into dispatch units (repetition-major)."""
+    units = []
+    for repetition in sorted(plan.queued):
+        indices = plan.queued[repetition]
+        if not indices:
+            continue
+        units.append(
+            ScheduledUnit(
+                cell_id=plan.cell.cell_id,
+                scenario=plan.cell.scenario,
+                seed=plan.cell.seed,
+                repetition=repetition,
+                controller_indices=tuple(sorted(indices)),
+                horizon=plan.cell.scenario.horizon,
+                demands_known=spec.demands_known,
+                collect_metrics=collect_metrics,
+                failures=plan.failures,
+            )
+        )
+        plan.pending += len(indices)
+    plan.queued = {}
+    return units
+
+
+def _ordered_units(
+    plans: Sequence[_CellPlan], spec: CampaignSpec, collect_metrics: bool
+) -> List[ScheduledUnit]:
+    """All queued units, longest-expected-cell-first (ties by cell index)."""
+    ordered = sorted(
+        plans, key=lambda plan: (-plan.expected_cost(), plan.cell.index)
+    )
+    units: List[ScheduledUnit] = []
+    for plan in ordered:
+        units.extend(_plan_units(plan, spec, collect_metrics))
+    return units
+
+
+def run_campaign_scheduled(
+    spec: CampaignSpec,
+    out_dir: Union[str, Path],
+    *,
+    n_jobs: Optional[int] = None,
+    resume: bool = False,
+    max_retries: int = 0,
+    max_cells: Optional[int] = None,
+    collect_metrics: Optional[bool] = None,
+) -> "CampaignResult":
+    """Execute ``spec`` with the campaign-wide scheduler (see module doc).
+
+    Same contract as :func:`repro.campaigns.runner.run_campaign` — same
+    directory tree, same resume semantics, bit-identical ``summary.json``
+    per cell — but ``n_jobs`` counts campaign-global workers drained from
+    one shared queue instead of workers within each sequential cell.
+    ``max_cells`` still budgets the first N unfinished cells in expansion
+    order (the kill/resume hook CI uses), and ``collect_metrics`` keeps
+    the tri-state semantics of :meth:`ParallelRunner.run`.
+    """
+    from repro.campaigns.runner import (
+        CampaignResult,
+        _check_or_claim_directory,
+        cell_directory,
+        read_cell_summary,
+        write_cell_summary,
+    )
+
+    require_non_negative("max_retries", max_retries)
+    out_dir = Path(out_dir)
+    cells = spec.expand()
+    _check_or_claim_directory(spec, out_dir, resume)
+    workers = resolve_n_jobs(n_jobs)
+    parent_registry = obs.active_registry()
+    if collect_metrics is None:
+        collect_metrics = parent_registry is not None
+
+    skipped: List[str] = []
+    remaining: List[str] = []
+    plans: Dict[str, _CellPlan] = {}
+    budget = len(cells) if max_cells is None else max_cells
+    for cell in cells:
+        directory = cell_directory(out_dir, cell.cell_id)
+        if read_cell_summary(directory) is not None:
+            skipped.append(cell.cell_id)
+            continue
+        if budget <= 0:
+            remaining.append(cell.cell_id)
+            continue
+        budget -= 1
+        manifest = SweepManifest(
+            seed=int(cell.seed),
+            repetitions=int(spec.repetitions),
+            horizon=int(cell.scenario.horizon),
+            demands_known=bool(spec.demands_known),
+        )
+        loaded: Dict[Tuple[int, int], WorkResult] = {}
+        if resume and SweepManifest.exists(directory):
+            SweepManifest.read(directory).require_compatible(manifest)
+            for (r, c), _path in sorted(completed_items(directory).items()):
+                if r < spec.repetitions:
+                    loaded[(r, c)] = load_work_result(directory, r, c)
+        manifest.write(directory)
+        plan = _CellPlan(
+            cell=cell,
+            directory=directory,
+            manifest=manifest,
+            failures=failure_schedule(cell.scenario),
+            results=loaded,
+        )
+        n_controllers = len(cell.scenario.controllers)
+        for repetition in range(spec.repetitions):
+            missing = [
+                index
+                for index in range(n_controllers)
+                if (repetition, index) not in loaded
+            ]
+            if missing:
+                plan.queued[repetition] = missing
+        plans[cell.cell_id] = plan
+
+    logger.info(
+        "campaign %s: global scheduler, %d worker(s), %d cell(s) to run "
+        "(%d skipped, %d beyond budget)",
+        spec.name, workers, len(plans), len(skipped), len(remaining),
+    )
+
+    wall_start = time.perf_counter()
+    studies: Dict[str, RepetitionStudy] = {}
+    last_cell_by_pid: Dict[int, str] = {}
+
+    def finalise(plan: _CellPlan) -> None:
+        results = sorted(
+            plan.results.values(),
+            key=lambda r: (r.repetition, r.controller_index),
+        )
+        finalise_controllers(
+            plan.directory, plan.manifest, controller_names_from_results(results)
+        )
+        study = aggregate_work_results(
+            results,
+            horizon=plan.cell.scenario.horizon,
+            repetitions=spec.repetitions,
+            confidence=spec.confidence,
+            n_jobs=workers,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+        )
+        write_cell_summary(plan.directory, plan.cell, study)
+        studies[plan.cell.cell_id] = study
+        obs.inc("campaign.cells_completed")
+
+    def handle_outcome(unit: ScheduledUnit, outcome: UnitOutcome) -> None:
+        plan = plans[unit.cell_id]
+        pid = outcome.results[0].pid if outcome.results else 0
+        if pid:
+            previous = last_cell_by_pid.get(pid)
+            if previous is not None and previous != unit.cell_id:
+                obs.inc("campaign.items_stolen", len(outcome.results))
+            last_cell_by_pid[pid] = unit.cell_id
+        if outcome.cache_hit:
+            obs.inc("campaign.world_cache_hits")
+        else:
+            obs.inc("campaign.world_cache_misses")
+        for work_result in outcome.results:
+            if work_result.ok:
+                persist_work_result(plan.directory, work_result)
+            if parent_registry is not None and work_result.metrics is not None:
+                parent_registry.merge(
+                    obs.MetricsRegistry.from_snapshot(work_result.metrics)
+                )
+            key = (work_result.repetition, work_result.controller_index)
+            plan.results[key] = work_result
+        plan.pending -= len(outcome.results)
+        obs.gauge(
+            "campaign.cells_in_flight",
+            sum(1 for p in plans.values() if p.pending > 0),
+        )
+        # Stream the summary out the moment the cell's grid is clean; a
+        # cell carrying failures waits for the retry rounds (or the final
+        # sweep below) so retried items can still amend it.
+        if plan.pending == 0 and all(r.ok for r in plan.results.values()):
+            finalise(plan)
+
+    def drain(
+        pool: ProcessPoolExecutor,
+        units: Sequence[ScheduledUnit],
+        capture_pool_errors: bool,
+    ) -> bool:
+        """Submit all units, process outcomes as they land; True if pool ok."""
+        pool_ok = True
+        futures: Dict["Future[UnitOutcome]", ScheduledUnit] = {
+            pool.submit(_execute_unit, unit): unit for unit in units
+        }
+        for future in as_completed(futures):
+            unit = futures[future]
+            if capture_pool_errors:
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 — retried next round
+                    pool_ok = False
+                    error_tb = traceback.format_exc()
+                    outcome = UnitOutcome(
+                        cell_id=unit.cell_id,
+                        repetition=unit.repetition,
+                        results=tuple(
+                            WorkResult(
+                                repetition=unit.repetition,
+                                controller_index=index,
+                                controller_name=None,
+                                result=None,
+                                error=f"{type(exc).__name__}: {exc}",
+                                error_traceback=error_tb,
+                                wall_seconds=0.0,
+                                cpu_seconds=0.0,
+                                pid=0,
+                            )
+                            for index in unit.controller_indices
+                        ),
+                        cache_hit=False,
+                    )
+            else:
+                outcome = future.result()
+            handle_outcome(unit, outcome)
+        return pool_ok
+
+    units = _ordered_units(list(plans.values()), spec, collect_metrics)
+    obs.inc("campaign.units_dispatched", len(units))
+    pool: Optional[ProcessPoolExecutor] = None
+    pool_ok = True
+    try:
+        if units:
+            pool = make_worker_pool(min(workers, len(units)))
+            pool_ok = drain(pool, units, capture_pool_errors=max_retries > 0)
+        for _round in range(max_retries):
+            for plan in plans.values():
+                for (r, c), result in sorted(plan.results.items()):
+                    if not result.ok and plan.cell.cell_id not in studies:
+                        plan.queued.setdefault(r, []).append(c)
+            retry_units = _ordered_units(
+                list(plans.values()), spec, collect_metrics
+            )
+            if not retry_units:
+                break
+            n_retried = sum(len(u.controller_indices) for u in retry_units)
+            obs.inc("sim.retries", n_retried)
+            if pool is None or not pool_ok:
+                if pool is not None:
+                    pool.shutdown(wait=False)
+                pool = make_worker_pool(min(workers, len(retry_units)))
+                pool_ok = True
+            pool_ok = drain(pool, retry_units, capture_pool_errors=True)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    # Whatever was not streamed out above: cells whose items were all on
+    # disk already (nothing pending) and cells that kept failures past
+    # the retry budget — their summaries record the failed items.
+    for cell in cells:
+        plan = plans.get(cell.cell_id)
+        if plan is not None and cell.cell_id not in studies:
+            finalise(plan)
+
+    executed = tuple(c.cell_id for c in cells if c.cell_id in studies)
+    return CampaignResult(
+        spec=spec,
+        out_dir=out_dir,
+        cells=cells,
+        studies=studies,
+        executed=executed,
+        skipped=tuple(skipped),
+        remaining=tuple(remaining),
+    )

@@ -138,8 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes within each cell (0 = all cores; results "
-             "are bit-identical for any worker count)",
+        help="campaign-global worker processes: one persistent pool drains "
+             "the whole (cell x repetition x controller) grid (0 = all "
+             "cores; results are bit-identical for any worker count)",
+    )
+    run_parser.add_argument(
+        "--scheduler", choices=("auto", "global", "cell"), default="auto",
+        help="execution engine: 'global' = one work-stealing pool over "
+             "every cell; 'cell' = legacy sequential cells with per-cell "
+             "pools of --jobs workers; 'auto' (default) picks global "
+             "whenever --jobs resolves to more than one worker",
     )
     run_parser.add_argument(
         "--resume", action="store_true",
@@ -331,6 +339,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 max_retries=args.retries,
                 max_cells=args.max_cells,
+                scheduler=args.scheduler,
             )
             print(campaign_status(args.out, spec).table())
             if not result.complete:

@@ -119,7 +119,6 @@ class PerSlotLpSolver:
                 rows.append(i)
                 cols.append(l * S + i)
                 data.append(1.0)  # placeholder, patched per slot
-        self._n_capacity_entries = len(data)
         # Coupling (Eq. 6, negated GE -> LE): x_li - y_ki <= 0.
         row = S
         for l, request in enumerate(self._requests):
@@ -136,23 +135,38 @@ class PerSlotLpSolver:
         matrix = sparse.coo_matrix(
             (data, (rows, cols)), shape=(n_ub_rows, self._n_vars)
         )
-        # COO -> CSR reorders entries; keep COO so our data layout stays
-        # ours, and convert with a stable mapping: build CSR manually from
-        # the (sorted-by-row, insertion-stable) order above, which is
-        # already row-major because we emitted rows in increasing order.
-        self._a_ub = sparse.csr_matrix(matrix)
-        # Recover the CSR data positions of the capacity entries:
-        # they are the entries of rows < S at columns l*S+i; since each
-        # capacity row i holds exactly R entries with strictly increasing
-        # column order l*S+i (l = 0..R-1), CSR stores them contiguously.
-        self._capacity_data_index = np.zeros((S, R), dtype=int)
-        indptr, indices = self._a_ub.indptr, self._a_ub.indices
-        for i in range(S):
-            start, end = indptr[i], indptr[i + 1]
-            row_cols = indices[start:end]
-            # column l*S+i  ->  l
-            l_of = (row_cols - i) // S
-            self._capacity_data_index[i, l_of] = np.arange(start, end)
+        # CSC: HiGHS consumes columns, and the warm path slices columns
+        # (`A[:, cols]`), so column-major storage avoids a format
+        # conversion per solve.  It also makes the capacity patch a single
+        # fancy assignment: each x column l*S+i holds exactly two entries
+        # — capacity row i and coupling row S+l*S+i — and after
+        # sort_indices() the capacity entry (row i < S <= S+l*S+i) sits
+        # first, at data position indptr[l*S+i].
+        self._a_ub = sparse.csc_matrix(matrix)
+        self._a_ub.sort_indices()
+        # [i, l] = data index of the capacity coefficient for x(l, i);
+        # shape (S, R) so assigning the (R,) per-slot needs broadcasts
+        # across stations in one shot.
+        self._capacity_data_index = (
+            np.asarray(self._a_ub.indptr[: R * S], dtype=np.int64)
+            .reshape(R, S)
+            .T.copy()
+        )
+        # With two entries per x column the capacity coefficients sit at
+        # the *even* data positions of the first R*S columns, so the
+        # per-slot patch can write through a strided view instead of a
+        # fancy-index gather (~7x cheaper at paper scale).
+        if not np.array_equal(
+            self._a_ub.indptr[: R * S + 1], 2 * np.arange(R * S + 1)
+        ):
+            raise AssertionError(
+                "x columns must hold exactly (capacity, coupling) entries"
+            )
+        # repro: allow[AG002] -- scipy.sparse CSC buffer, not a Tensor
+        data = self._a_ub.data
+        #: (R, S) view of the capacity coefficients: [l, i] aliases the
+        #: data slot of x(l, i)'s capacity entry.
+        self._capacity_view = data[: 2 * R * S : 2].reshape(R, S)
 
         # Capacity RHS is a snapshot; stations can change capacity between
         # slots (outages, recovery), so solve() re-reads the live values.
@@ -163,11 +177,14 @@ class PerSlotLpSolver:
         # ---- A_eq: assignment rows (all fixed) --------------------------
         eq_rows = np.repeat(np.arange(R), S)
         eq_cols = np.arange(R * S)
-        self._a_eq = sparse.csr_matrix(
+        self._a_eq = sparse.csc_matrix(
             (np.ones(R * S), (eq_rows, eq_cols)), shape=(R, self._n_vars)
         )
         self._b_eq = np.ones(R)
-        self._bounds = [(0.0, 1.0)] * self._n_vars
+        # A single (lo, hi) pair applies to every variable; building the
+        # n_vars-long list of identical tuples per instance was pure
+        # allocation overhead.
+        self._bounds = (0.0, 1.0)
 
     @property
     def n_variables(self) -> int:
@@ -211,10 +228,7 @@ class PerSlotLpSolver:
             self._c[: R * S] = (np.outer(demands_mb, theta_ms) / R).reshape(-1)
             # Patch the capacity coefficients: rho_l * C_unit.
             needs = demands_mb * self._network.c_unit_mhz
-            # repro: allow[AG002] -- scipy.sparse CSC buffer, not a Tensor
-            data = self._a_ub.data
-            for i in range(S):
-                data[self._capacity_data_index[i]] = needs
+            self._capacity_view[:] = needs[:, None]
             # Re-patch the capacity RHS from the live stations: the snapshot
             # taken at construction goes stale when capacities change
             # mid-horizon (failure injection degrades/restores stations).
@@ -302,7 +316,7 @@ class PerSlotLpSolver:
                     b_ub=self._b_ub,
                     A_eq=self._a_eq[:, cols],
                     b_eq=self._b_eq,
-                    bounds=[(0.0, 1.0)] * len(cols),
+                    bounds=(0.0, 1.0),
                     method="highs",
                 )
             if result.status != 0:

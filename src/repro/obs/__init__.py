@@ -21,6 +21,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     activate,
     active_registry,
+    gauge,
     inc,
     observe,
     set_context,
@@ -34,6 +35,7 @@ __all__ = [
     "MetricsRegistry",
     "activate",
     "active_registry",
+    "gauge",
     "inc",
     "observe",
     "set_context",

@@ -47,6 +47,7 @@ __all__ = [
     "MetricsRegistry",
     "activate",
     "active_registry",
+    "gauge",
     "inc",
     "observe",
     "set_context",
@@ -389,6 +390,13 @@ def inc(name: str, amount: float = 1.0) -> None:
     registry = _ACTIVE
     if registry is not None:
         registry.inc(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name, value)
 
 
 def observe(

@@ -13,13 +13,21 @@ from repro.sim.multirun import (
     MetricSummary,
     PairedComparison,
     RepetitionStudy,
+    aggregate_work_results,
     compare_controllers,
     run_repetitions,
 )
 from repro.sim.parallel import (
     ParallelRunner,
     RepetitionFailure,
+    WorkItem,
+    WorkResult,
+    build_world,
+    load_work_result,
+    make_worker_pool,
+    persist_work_result,
     resolve_n_jobs,
+    run_item_on_world,
 )
 from repro.state import CheckpointConfig, CheckpointError, SweepManifest
 
@@ -37,7 +45,15 @@ __all__ = [
     "RepetitionStudy",
     "RepetitionFailure",
     "ParallelRunner",
+    "WorkItem",
+    "WorkResult",
+    "aggregate_work_results",
+    "build_world",
     "compare_controllers",
+    "load_work_result",
+    "make_worker_pool",
+    "persist_work_result",
+    "run_item_on_world",
     "run_repetitions",
     "resolve_n_jobs",
 ]

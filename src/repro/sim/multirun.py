@@ -42,6 +42,8 @@ __all__ = [
     "MetricSummary",
     "RepetitionStudy",
     "RepetitionFailure",
+    "aggregate_work_results",
+    "default_skip_warmup",
     "run_repetitions",
     "compare_controllers",
     "PairedComparison",
@@ -223,6 +225,131 @@ class RepetitionStudy:
         return "\n".join(lines)
 
 
+def default_skip_warmup(horizon: int) -> int:
+    """The default warm-up slots dropped from delay averages.
+
+    A quarter of the horizon, clamped so short horizons keep at least one
+    measured slot (the bare ``max(horizon // 4, 1)`` made ``horizon=1``
+    skip its only slot).
+    """
+    return max(min(horizon - 1, max(horizon // 4, 1)), 0)
+
+
+def aggregate_work_results(
+    work_results: Sequence[WorkResult],
+    *,
+    horizon: int,
+    repetitions: int,
+    confidence: float = 0.95,
+    skip_warmup: Optional[int] = None,
+    n_jobs: int = 1,
+    wall_clock_seconds: float = 0.0,
+) -> RepetitionStudy:
+    """Aggregate a stream of work items into a :class:`RepetitionStudy`.
+
+    The single summarisation path shared by :func:`run_repetitions` and
+    the campaign-wide scheduler (:mod:`repro.campaigns.scheduler`):
+    whoever executed the ``(repetition, controller)`` grid, the same
+    per-controller metric summaries (``mean_delay_ms``,
+    ``mean_decision_s``, ``total_churn``) come out of the same work-item
+    stream — which is what makes scheduler summaries bit-identical to the
+    sequential path's.  ``work_results`` may arrive in any order; items
+    are sorted into the serial ``(repetition, controller)`` iteration
+    order first.  Failed items are recorded in the study's ``failures``
+    and excluded; when *every* item failed, a :class:`RuntimeError`
+    carries the first traceback.  ``n_jobs`` and ``wall_clock_seconds``
+    only fill the study's execution accounting.
+    """
+    require_positive("horizon", horizon)
+    require_positive("repetitions", repetitions)
+    if skip_warmup is None:
+        skip_warmup = default_skip_warmup(horizon)
+    if skip_warmup >= horizon:
+        raise ValueError(
+            f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
+        )
+    work_results = sorted(
+        work_results, key=lambda r: (r.repetition, r.controller_index)
+    )
+
+    aggregate_metrics: Optional[MetricsRegistry] = None
+    worker_metrics: Dict[int, MetricsRegistry] = {}
+    for item in work_results:
+        if item.metrics is None:
+            continue
+        snapshot = MetricsRegistry.from_snapshot(item.metrics)
+        if aggregate_metrics is None:
+            aggregate_metrics = MetricsRegistry()
+        aggregate_metrics.merge(snapshot)
+        per_worker = worker_metrics.setdefault(item.pid, MetricsRegistry())
+        per_worker.merge(snapshot)
+
+    # metric values are keyed by the repetition that produced them, so a
+    # paired comparison can join on repetition instead of list position
+    # (failures drop per (repetition, controller) item — positions lie).
+    metric_values: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    raw: Dict[str, List[SimulationResult]] = {}
+    failed_items: List[RepetitionFailure] = []
+    completed = 0
+    for item in work_results:
+        if not item.ok:
+            failed_items.append(item.failure())
+            continue
+        completed += 1
+        result = item.result
+        store = metric_values.setdefault(item.controller_name, {})
+        store.setdefault("mean_delay_ms", []).append(
+            (item.repetition, result.mean_delay_ms(skip_warmup=skip_warmup))
+        )
+        store.setdefault("mean_decision_s", []).append(
+            (item.repetition, result.mean_decision_seconds())
+        )
+        store.setdefault("total_churn", []).append(
+            (item.repetition, float(result.cache_churn.sum()))
+        )
+        raw.setdefault(item.controller_name, []).append(result)
+
+    if failed_items:
+        for failure in failed_items:
+            logger.warning("repetition failed: %s", failure)
+        logger.warning(
+            "%d of %d runs failed and were excluded from the summaries",
+            len(failed_items),
+            len(work_results),
+        )
+    if not metric_values:
+        details = "\n".join(f.traceback for f in failed_items[:1])
+        raise RuntimeError(
+            f"all {len(work_results)} runs failed; first traceback:\n{details}"
+        )
+
+    summaries = {
+        name: {
+            metric: _summarise(
+                metric,
+                [value for _, value in pairs],
+                confidence,
+                repetitions=[rep for rep, _ in pairs],
+            )
+            for metric, pairs in metrics.items()
+        }
+        for name, metrics in metric_values.items()
+    }
+    return RepetitionStudy(
+        horizon=horizon,
+        repetitions=repetitions,
+        summaries=summaries,
+        raw=raw,
+        n_jobs=n_jobs,
+        wall_clock_seconds=wall_clock_seconds,
+        cpu_seconds=float(sum(r.cpu_seconds for r in work_results)),
+        completed_runs=completed,
+        failures=failed_items,
+        metrics=aggregate_metrics,
+        worker_metrics=worker_metrics,
+    )
+
+
 def run_repetitions(
     build: ScenarioBuilder,
     seed: int,
@@ -283,10 +410,7 @@ def run_repetitions(
     require_positive("horizon", horizon)
     require_open_probability("confidence", confidence)
     if skip_warmup is None:
-        # Clamped so short horizons keep at least one measured slot:
-        # the bare max(horizon // 4, 1) made horizon=1 skip its only slot
-        # and unconditionally fail its own validation below.
-        skip_warmup = max(min(horizon - 1, max(horizon // 4, 1)), 0)
+        skip_warmup = default_skip_warmup(horizon)
     if skip_warmup >= horizon:
         raise ValueError(
             f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
@@ -312,82 +436,14 @@ def run_repetitions(
         resume=resume,
     )
     wall_clock = time.perf_counter() - wall_start
-
-    aggregate_metrics: Optional[MetricsRegistry] = None
-    worker_metrics: Dict[int, MetricsRegistry] = {}
-    for item in work_results:
-        if item.metrics is None:
-            continue
-        snapshot = MetricsRegistry.from_snapshot(item.metrics)
-        if aggregate_metrics is None:
-            aggregate_metrics = MetricsRegistry()
-        aggregate_metrics.merge(snapshot)
-        per_worker = worker_metrics.setdefault(item.pid, MetricsRegistry())
-        per_worker.merge(snapshot)
-
-    # metric values are keyed by the repetition that produced them, so a
-    # paired comparison can join on repetition instead of list position
-    # (failures drop per (repetition, controller) item — positions lie).
-    metric_values: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
-    raw: Dict[str, List[SimulationResult]] = {}
-    failed_items: List[RepetitionFailure] = []
-    completed = 0
-    for item in work_results:  # already in (repetition, controller) order
-        if not item.ok:
-            failed_items.append(item.failure())
-            continue
-        completed += 1
-        result = item.result
-        store = metric_values.setdefault(item.controller_name, {})
-        store.setdefault("mean_delay_ms", []).append(
-            (item.repetition, result.mean_delay_ms(skip_warmup=skip_warmup))
-        )
-        store.setdefault("mean_decision_s", []).append(
-            (item.repetition, result.mean_decision_seconds())
-        )
-        store.setdefault("total_churn", []).append(
-            (item.repetition, float(result.cache_churn.sum()))
-        )
-        raw.setdefault(item.controller_name, []).append(result)
-
-    if failed_items:
-        for failure in failed_items:
-            logger.warning("repetition failed: %s", failure)
-        logger.warning(
-            "%d of %d runs failed and were excluded from the summaries",
-            len(failed_items),
-            len(work_results),
-        )
-    if not metric_values:
-        details = "\n".join(f.traceback for f in failed_items[:1])
-        raise RuntimeError(
-            f"all {len(work_results)} runs failed; first traceback:\n{details}"
-        )
-
-    summaries = {
-        name: {
-            metric: _summarise(
-                metric,
-                [value for _, value in pairs],
-                confidence,
-                repetitions=[rep for rep, _ in pairs],
-            )
-            for metric, pairs in metrics.items()
-        }
-        for name, metrics in metric_values.items()
-    }
-    return RepetitionStudy(
+    return aggregate_work_results(
+        work_results,
         horizon=horizon,
         repetitions=repetitions,
-        summaries=summaries,
-        raw=raw,
+        confidence=confidence,
+        skip_warmup=skip_warmup,
         n_jobs=runner.n_jobs,
         wall_clock_seconds=wall_clock,
-        cpu_seconds=float(sum(r.cpu_seconds for r in work_results)),
-        completed_runs=completed,
-        failures=failed_items,
-        metrics=aggregate_metrics,
-        worker_metrics=worker_metrics,
     )
 
 

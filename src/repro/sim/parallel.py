@@ -31,12 +31,13 @@ class) because it is shipped to worker processes.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -51,6 +52,7 @@ from repro.state import (
     CheckpointConfig,
     SweepManifest,
     completed_items,
+    finalise_controllers,
     load_checkpoint,
     result_path,
     save_checkpoint,
@@ -61,18 +63,59 @@ from repro.workload.demand import DemandModel
 
 __all__ = [
     "ScenarioBuilder",
+    "World",
     "WorkItem",
     "WorkResult",
     "RepetitionFailure",
     "ParallelRunner",
     "resolve_n_jobs",
     "repetition_registry",
+    "build_world",
+    "run_item_on_world",
+    "persist_work_result",
+    "load_work_result",
+    "controller_names_from_results",
+    "make_worker_pool",
 ]
+
+logger = logging.getLogger(__name__)
 
 # A scenario builder returns the world for one repetition.
 ScenarioBuilder = Callable[
     [RngRegistry], Tuple[MECNetwork, DemandModel, List[Controller]]
 ]
+
+#: One repetition's fully built scenario: network, demand model and the
+#: controller line-up (indexable by ``WorkItem.controller_index``).
+World = Tuple[MECNetwork, DemandModel, List[Controller]]
+
+#: Environment marker set (via :func:`_mark_pool_worker`) in every process
+#: a repro-owned pool spawns.  :func:`resolve_n_jobs` reads it to refuse
+#: nested parallelism: code running inside a worker that forwards its own
+#: ``n_jobs`` would otherwise multiply processes (campaign-wide workers ×
+#: per-cell workers) and oversubscribe the machine.
+_POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+
+def _mark_pool_worker() -> None:
+    """Pool initializer: brand this process as a repro pool worker."""
+    os.environ[_POOL_WORKER_ENV] = "1"
+
+
+def make_worker_pool(n_workers: int) -> ProcessPoolExecutor:
+    """A fork-preferring process pool whose workers carry the nested-
+    parallelism marker (see :func:`resolve_n_jobs`).
+
+    All repro-owned pools — :class:`ParallelRunner`'s per-sweep pool and
+    the campaign-wide scheduler's persistent pool — are created through
+    this factory so the oversubscription guard holds everywhere.
+    """
+    require_positive("n_workers", n_workers)
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=_preferred_context(),
+        initializer=_mark_pool_worker,
+    )
 
 
 def repetition_registry(seed: int, repetition: int) -> RngRegistry:
@@ -90,14 +133,27 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     ``None`` or ``0`` means "all cores"; negative values count back from
     the core count joblib-style (``-1`` == all cores, ``-2`` == all but
     one); positive values are taken literally.
+
+    Inside a repro pool worker (marked by :func:`make_worker_pool`'s
+    initializer) any multi-worker request is clamped to ``1`` with a
+    warning: the process is already one of N workers, and spawning its
+    own pool would oversubscribe the machine by the product of the two
+    worker counts.
     """
     cores = os.cpu_count() or 1
     if n_jobs is None or n_jobs == 0:
-        return cores
-    n_jobs = int(n_jobs)
-    if n_jobs < 0:
-        return max(1, cores + 1 + n_jobs)
-    return n_jobs
+        resolved = cores
+    else:
+        n_jobs = int(n_jobs)
+        resolved = max(1, cores + 1 + n_jobs) if n_jobs < 0 else n_jobs
+    if resolved > 1 and os.environ.get(_POOL_WORKER_ENV):
+        logger.warning(
+            "n_jobs=%r requested inside a pool worker; clamping to 1 "
+            "(nested parallelism would oversubscribe the machine)",
+            n_jobs,
+        )
+        return 1
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -182,37 +238,53 @@ def _item_checkpoint(
     )
 
 
-def _execute_work_item(
-    build: ScenarioBuilder,
-    seed: int,
+def build_world(build: ScenarioBuilder, seed: int, repetition: int) -> World:
+    """Build one repetition's world from its canonical registry.
+
+    Thin composition of ``build`` with :func:`repetition_registry`; both
+    execution paths (per-item rebuilds and shared-world batches) go
+    through it, so a world is always derived the same way.
+    """
+    return build(repetition_registry(seed, repetition))
+
+
+def run_item_on_world(
+    world: World,
     item: WorkItem,
     horizon: int,
-    demands_known: bool,
+    *,
+    demands_known: bool = True,
     collect_metrics: bool = False,
     checkpoint: Optional[CheckpointConfig] = None,
     failures: Optional[FailureSchedule] = None,
+    trace: Optional["obs.TraceWriter"] = None,
 ) -> WorkResult:
-    """Rebuild the repetition's world and run one controller over it.
+    """Run one controller of an already-built world; never raises.
 
-    Runs inside a worker process (but is equally valid in-process).  All
-    exceptions are converted to a failed :class:`WorkResult` so one bad
-    repetition cannot kill the study.  With ``collect_metrics`` the item
-    records into a fresh :class:`repro.obs.MetricsRegistry` whose snapshot
-    rides back on the :class:`WorkResult` (plain dict — picklable).
-    ``checkpoint`` enables the engine's slot-level snapshots for this item
-    (see :func:`_item_checkpoint`); the snapshot is deleted once the item
-    completes — the persisted work result is the durable artifact.
+    The reusable core of every execution path: all exceptions are
+    converted to a failed :class:`WorkResult` so one bad item cannot kill
+    a study.  Because world realisations are slot-keyed and controller
+    streams name-keyed, running item ``j`` on a shared world build is
+    observationally identical to running it on a fresh rebuild — which is
+    what lets callers batch several items of one repetition onto one
+    build.  With ``collect_metrics`` the item records into a fresh
+    :class:`repro.obs.MetricsRegistry` whose snapshot rides back on the
+    :class:`WorkResult` (plain dict — picklable); ``trace`` threads a
+    parent trace writer into that registry (in-process callers only:
+    writers are not picklable).  ``checkpoint`` enables the engine's
+    slot-level snapshots for this item (see :func:`_item_checkpoint`);
+    the snapshot is deleted once the item completes — the persisted work
+    result is the durable artifact.
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     name: Optional[str] = None
-    registry = obs.MetricsRegistry() if collect_metrics else None
+    registry = obs.MetricsRegistry(trace=trace) if collect_metrics else None
     try:
-        rngs = repetition_registry(seed, item.repetition)
-        network, demand_model, controllers = build(rngs)
+        network, demand_model, controllers = world
         controller = controllers[item.controller_index]
         name = controller.name
-        result = run_simulation(
+        result: Optional[SimulationResult] = run_simulation(
             network,
             demand_model,
             controller,
@@ -246,7 +318,56 @@ def _execute_work_item(
     )
 
 
-def _persist_work_result(directory: Path, item: WorkResult) -> None:
+def _execute_work_item(
+    build: ScenarioBuilder,
+    seed: int,
+    item: WorkItem,
+    horizon: int,
+    demands_known: bool,
+    collect_metrics: bool = False,
+    checkpoint: Optional[CheckpointConfig] = None,
+    failures: Optional[FailureSchedule] = None,
+) -> WorkResult:
+    """Rebuild the repetition's world and run one controller over it.
+
+    The pool path's per-item entry point: :func:`build_world` +
+    :func:`run_item_on_world`, with the build time folded into the item's
+    wall/CPU accounting (each item pays its own rebuild here).  A build
+    crash is reported as a failed :class:`WorkResult` for this item.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        world = build_world(build, seed, item.repetition)
+    except Exception as exc:  # noqa: BLE001 — graceful degradation by design
+        return WorkResult(
+            repetition=item.repetition,
+            controller_index=item.controller_index,
+            controller_name=None,
+            result=None,
+            error=f"{type(exc).__name__}: {exc}",
+            error_traceback=traceback.format_exc(),
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+            pid=os.getpid(),
+        )
+    item_result = run_item_on_world(
+        world,
+        item,
+        horizon,
+        demands_known=demands_known,
+        collect_metrics=collect_metrics,
+        checkpoint=checkpoint,
+        failures=failures,
+    )
+    return replace(
+        item_result,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+    )
+
+
+def persist_work_result(directory: Path, item: WorkResult) -> None:
     """Write one completed work item's snapshot into the sweep directory."""
     if item.result is None:
         return
@@ -269,7 +390,7 @@ def _persist_work_result(directory: Path, item: WorkResult) -> None:
     obs.inc("state.save")
 
 
-def _load_work_result(
+def load_work_result(
     directory: Path, repetition: int, controller_index: int
 ) -> WorkResult:
     """Rebuild a persisted work item as a completed :class:`WorkResult`.
@@ -294,6 +415,22 @@ def _load_work_result(
         metrics=None,
         pid=0,
     )
+
+
+def controller_names_from_results(
+    results: Sequence[WorkResult],
+) -> Dict[int, str]:
+    """Controller index -> name mapping learned from successful items.
+
+    Input shape for :func:`repro.state.finalise_controllers`: names are
+    only trusted from items that completed (a failed item may not have
+    reached controller construction).
+    """
+    names: Dict[int, str] = {}
+    for item in results:
+        if item.ok and item.controller_name is not None:
+            names.setdefault(item.controller_index, item.controller_name)
+    return names
 
 
 class ParallelRunner:
@@ -354,14 +491,15 @@ class ParallelRunner:
         for the pool path).
 
         ``max_retries`` bounds crash-tolerant retry rounds: after a round,
-        every failed item is re-executed — in the pool path on a *fresh*
-        process pool (so hard worker deaths, surfacing as
-        ``BrokenProcessPool``, are retried too), in the serial path by
-        rebuilding the repetition's world.  Because worlds are slot-keyed
-        and controller streams name-keyed, a retried item reproduces
-        exactly the result an untroubled first attempt would have had.
-        With the default ``0``, pool infrastructure errors propagate as
-        before and scenario failures stay recorded.
+        every failed item is re-executed — in the pool path on the *same*
+        persistent pool (a broken pool, surfacing as
+        ``BrokenProcessPool``, is replaced by a fresh one so hard worker
+        deaths are retried too), in the serial path by rebuilding the
+        repetition's world.  Because worlds are slot-keyed and controller
+        streams name-keyed, a retried item reproduces exactly the result
+        an untroubled first attempt would have had.  With the default
+        ``0``, pool infrastructure errors propagate as before and
+        scenario failures stay recorded.
 
         ``checkpoint_dir`` persists every completed item as a
         ``work-result`` snapshot next to a sweep manifest (see
@@ -399,61 +537,83 @@ class ParallelRunner:
                 SweepManifest.read(sweep_dir).require_compatible(manifest)
                 for (r, c), _path in sorted(completed_items(sweep_dir).items()):
                     if r < repetitions:
-                        by_key[(r, c)] = _load_work_result(sweep_dir, r, c)
+                        by_key[(r, c)] = load_work_result(sweep_dir, r, c)
             manifest.write(sweep_dir)
         done: Set[Tuple[int, int]] = set(by_key)
 
-        if self.n_jobs == 1:
-            executed = self._run_serial(
-                build, seed, range(repetitions), horizon, demands_known,
-                collect_metrics, done, sweep_dir, checkpoint_every,
-                failures=failures,
-            )
-        else:
-            if n_controllers is None:
-                n_controllers = self._probe_controller_count(build, seed)
-            require_positive("n_controllers", n_controllers)
-            items = [
-                WorkItem(repetition=r, controller_index=c)
-                for r in range(repetitions)
-                for c in range(n_controllers)
-                if (r, c) not in done
-            ]
-            executed = self._run_pool_items(
-                build, seed, items, horizon, demands_known, collect_metrics,
-                sweep_dir, checkpoint_every, capture_pool_errors=max_retries > 0,
-                failures=failures,
-            )
-        for item in executed:
-            by_key[(item.repetition, item.controller_index)] = item
-
-        for _round in range(max_retries):
-            failed = [r for r in by_key.values() if not r.ok]
-            if not failed:
-                break
-            obs.inc("sim.retries", len(failed))
+        pool: Optional[ProcessPoolExecutor] = None
+        pool_ok = True
+        try:
             if self.n_jobs == 1:
-                # A serial build crash loses the whole repetition, so retry
-                # at repetition granularity, skipping items already done.
-                repetitions_to_retry = sorted({f.repetition for f in failed})
-                done_now = {k for k, r in by_key.items() if r.ok}
-                retried = self._run_serial(
-                    build, seed, repetitions_to_retry, horizon, demands_known,
-                    collect_metrics, done_now, sweep_dir, checkpoint_every,
+                executed = self._run_serial(
+                    build, seed, range(repetitions), horizon, demands_known,
+                    collect_metrics, done, sweep_dir, checkpoint_every,
                     failures=failures,
                 )
             else:
-                retry_items = [
-                    WorkItem(repetition=f.repetition, controller_index=f.controller_index)
-                    for f in failed
+                if n_controllers is None:
+                    n_controllers = self._probe_controller_count(build, seed)
+                require_positive("n_controllers", n_controllers)
+                items = [
+                    WorkItem(repetition=r, controller_index=c)
+                    for r in range(repetitions)
+                    for c in range(n_controllers)
+                    if (r, c) not in done
                 ]
-                retried = self._run_pool_items(
-                    build, seed, retry_items, horizon, demands_known,
-                    collect_metrics, sweep_dir, checkpoint_every,
-                    capture_pool_errors=True, failures=failures,
-                )
-            for item in retried:
+                if items:
+                    pool = make_worker_pool(min(self.n_jobs, len(items)))
+                    executed, pool_ok = self._run_pool_items(
+                        pool, build, seed, items, horizon, demands_known,
+                        collect_metrics, sweep_dir, checkpoint_every,
+                        capture_pool_errors=max_retries > 0, failures=failures,
+                    )
+                else:
+                    executed = []
+            for item in executed:
                 by_key[(item.repetition, item.controller_index)] = item
+
+            for _round in range(max_retries):
+                failed = [r for r in by_key.values() if not r.ok]
+                if not failed:
+                    break
+                obs.inc("sim.retries", len(failed))
+                if self.n_jobs == 1:
+                    # A serial build crash loses the whole repetition, so retry
+                    # at repetition granularity, skipping items already done.
+                    repetitions_to_retry = sorted({f.repetition for f in failed})
+                    done_now = {k for k, r in by_key.items() if r.ok}
+                    retried = self._run_serial(
+                        build, seed, repetitions_to_retry, horizon,
+                        demands_known, collect_metrics, done_now, sweep_dir,
+                        checkpoint_every, failures=failures,
+                    )
+                else:
+                    retry_items = [
+                        WorkItem(
+                            repetition=f.repetition,
+                            controller_index=f.controller_index,
+                        )
+                        for f in failed
+                    ]
+                    # Retries reuse the persistent pool; only a broken one
+                    # (hard worker death) is torn down and replaced.
+                    if pool is None or not pool_ok:
+                        if pool is not None:
+                            pool.shutdown(wait=False)
+                        pool = make_worker_pool(
+                            min(self.n_jobs, len(retry_items))
+                        )
+                        pool_ok = True
+                    retried, pool_ok = self._run_pool_items(
+                        pool, build, seed, retry_items, horizon, demands_known,
+                        collect_metrics, sweep_dir, checkpoint_every,
+                        capture_pool_errors=True, failures=failures,
+                    )
+                for item in retried:
+                    by_key[(item.repetition, item.controller_index)] = item
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         results = sorted(
             by_key.values(), key=lambda r: (r.repetition, r.controller_index)
@@ -472,27 +632,14 @@ class ParallelRunner:
     def _finalise_manifest(
         sweep_dir: Path, manifest: SweepManifest, results: List[WorkResult]
     ) -> None:
-        """Rewrite the manifest with controller names once they are known.
-
-        Names double as the checkpoint subsystem's controller identifiers
-        (see ``repro.core.make_controller``), so a later resume can refuse
-        a directory produced by a different controller line-up.
-        """
-        names: Dict[int, str] = {}
-        for item in results:
-            if item.ok and item.controller_name is not None:
-                names.setdefault(item.controller_index, item.controller_name)
-        if names and sorted(names) == list(range(len(names))):
-            SweepManifest(
-                seed=manifest.seed,
-                repetitions=manifest.repetitions,
-                horizon=manifest.horizon,
-                demands_known=manifest.demands_known,
-                controllers=tuple(names[i] for i in range(len(names))),
-            ).write(sweep_dir)
+        """Record controller names in the manifest once they are known."""
+        finalise_controllers(
+            sweep_dir, manifest, controller_names_from_results(results)
+        )
 
     def _run_pool_items(
         self,
+        pool: ProcessPoolExecutor,
         build: ScenarioBuilder,
         seed: int,
         items: Sequence[WorkItem],
@@ -503,57 +650,58 @@ class ParallelRunner:
         checkpoint_every: Optional[int],
         capture_pool_errors: bool,
         failures: Optional[FailureSchedule] = None,
-    ) -> List[WorkResult]:
-        """Execute ``items`` on one process pool, persisting as they land.
+    ) -> Tuple[List[WorkResult], bool]:
+        """Execute ``items`` on the given pool, persisting as they land.
 
-        With ``capture_pool_errors`` a dead pool (``BrokenProcessPool``)
-        is converted into failed :class:`WorkResult` items instead of
-        propagating, so a retry round can resubmit them on a fresh pool.
+        Returns ``(results, pool_ok)``; ``pool_ok`` is ``False`` when a
+        submission failed at the pool level (``BrokenProcessPool``), which
+        tells the caller to replace the pool before the next round.  With
+        ``capture_pool_errors`` such failures are converted into failed
+        :class:`WorkResult` items instead of propagating, so a retry
+        round can resubmit them.
         """
         if not items:
-            return []
+            return [], True
         results: List[WorkResult] = []
-        workers = min(self.n_jobs, len(items))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_preferred_context()
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _execute_work_item,
-                    build,
-                    seed,
-                    item,
-                    horizon,
-                    demands_known,
-                    collect_metrics,
-                    _item_checkpoint(sweep_dir, item, checkpoint_every),
-                    failures,
-                ): item
-                for item in items
-            }
-            for future in as_completed(futures):
-                item = futures[future]
-                if capture_pool_errors:
-                    try:
-                        work_result = future.result()
-                    except Exception as exc:  # noqa: BLE001 — retried on a fresh pool
-                        work_result = WorkResult(
-                            repetition=item.repetition,
-                            controller_index=item.controller_index,
-                            controller_name=None,
-                            result=None,
-                            error=f"{type(exc).__name__}: {exc}",
-                            error_traceback=traceback.format_exc(),
-                            wall_seconds=0.0,
-                            cpu_seconds=0.0,
-                            pid=0,
-                        )
-                else:
+        pool_ok = True
+        futures = {
+            pool.submit(
+                _execute_work_item,
+                build,
+                seed,
+                item,
+                horizon,
+                demands_known,
+                collect_metrics,
+                _item_checkpoint(sweep_dir, item, checkpoint_every),
+                failures,
+            ): item
+            for item in items
+        }
+        for future in as_completed(futures):
+            item = futures[future]
+            if capture_pool_errors:
+                try:
                     work_result = future.result()
-                if sweep_dir is not None and work_result.ok:
-                    _persist_work_result(sweep_dir, work_result)
-                results.append(work_result)
-        return results
+                except Exception as exc:  # noqa: BLE001 — retried next round
+                    pool_ok = False
+                    work_result = WorkResult(
+                        repetition=item.repetition,
+                        controller_index=item.controller_index,
+                        controller_name=None,
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_traceback=traceback.format_exc(),
+                        wall_seconds=0.0,
+                        cpu_seconds=0.0,
+                        pid=0,
+                    )
+            else:
+                work_result = future.result()
+            if sweep_dir is not None and work_result.ok:
+                persist_work_result(sweep_dir, work_result)
+            results.append(work_result)
+        return results, pool_ok
 
     # ------------------------------------------------------------------ #
 
@@ -588,8 +736,7 @@ class ParallelRunner:
             wall_start = time.perf_counter()
             cpu_start = time.process_time()
             try:
-                rngs = repetition_registry(seed, repetition)
-                network, demand_model, controllers = build(rngs)
+                world = build_world(build, seed, repetition)
             except Exception as exc:  # noqa: BLE001
                 # The whole repetition is lost; report it as one failed
                 # item (the pool path reports one per controller, but the
@@ -608,54 +755,24 @@ class ParallelRunner:
                     )
                 )
                 continue
-            for index, controller in enumerate(controllers):
+            for index in range(len(world[2])):
                 if (repetition, index) in done:
                     continue
-                wall_start = time.perf_counter()
-                cpu_start = time.process_time()
-                registry = (
-                    obs.MetricsRegistry(trace=trace) if collect_metrics else None
-                )
-                item_checkpoint = _item_checkpoint(
-                    sweep_dir,
-                    WorkItem(repetition=repetition, controller_index=index),
-                    checkpoint_every,
-                )
-                try:
-                    result = run_simulation(
-                        network,
-                        demand_model,
-                        controller,
-                        horizon=horizon,
-                        demands_known=demands_known,
-                        metrics=registry,
-                        checkpoint=item_checkpoint,
-                        failures=failures,
-                    )
-                    if item_checkpoint is not None:
-                        snapshot = item_checkpoint.path_for(controller.name)
-                        if snapshot.exists():
-                            snapshot.unlink()
-                    error = None
-                    error_tb = None
-                except Exception as exc:  # noqa: BLE001
-                    result = None
-                    error = f"{type(exc).__name__}: {exc}"
-                    error_tb = traceback.format_exc()
-                work_result = WorkResult(
-                    repetition=repetition,
-                    controller_index=index,
-                    controller_name=controller.name,
-                    result=result,
-                    error=error,
-                    error_traceback=error_tb,
-                    wall_seconds=time.perf_counter() - wall_start,
-                    cpu_seconds=time.process_time() - cpu_start,
-                    metrics=registry.snapshot() if registry is not None else None,
-                    pid=os.getpid(),
+                item = WorkItem(repetition=repetition, controller_index=index)
+                work_result = run_item_on_world(
+                    world,
+                    item,
+                    horizon,
+                    demands_known=demands_known,
+                    collect_metrics=collect_metrics,
+                    checkpoint=_item_checkpoint(
+                        sweep_dir, item, checkpoint_every
+                    ),
+                    failures=failures,
+                    trace=trace,
                 )
                 if sweep_dir is not None and work_result.ok:
-                    _persist_work_result(sweep_dir, work_result)
+                    persist_work_result(sweep_dir, work_result)
                 results.append(work_result)
         return results
 

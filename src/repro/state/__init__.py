@@ -25,6 +25,7 @@ from repro.state.manifest import (
     WORK_RESULT_KIND,
     SweepManifest,
     completed_items,
+    finalise_controllers,
     result_path,
 )
 from repro.state.snapshot import (
@@ -48,6 +49,7 @@ __all__ = [
     "SweepManifest",
     "WORK_RESULT_KIND",
     "completed_items",
+    "finalise_controllers",
     "result_path",
     "flatten_state",
     "unflatten_state",

@@ -24,11 +24,17 @@ import json
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.state.snapshot import CheckpointError
 
-__all__ = ["SweepManifest", "WORK_RESULT_KIND", "result_path", "completed_items"]
+__all__ = [
+    "SweepManifest",
+    "WORK_RESULT_KIND",
+    "result_path",
+    "completed_items",
+    "finalise_controllers",
+]
 
 #: ``kind`` tag of per-item snapshots (see :func:`repro.state.save_checkpoint`).
 WORK_RESULT_KIND = "work-result"
@@ -133,6 +139,32 @@ def result_path(
 ) -> Path:
     """Snapshot file of work item ``(repetition, controller_index)``."""
     return Path(directory) / f"rep{repetition:05d}-ctrl{controller_index:03d}.npz"
+
+
+def finalise_controllers(
+    directory: Union[str, Path],
+    manifest: SweepManifest,
+    names: Mapping[int, str],
+) -> None:
+    """Rewrite ``directory``'s manifest with controller names once known.
+
+    Names double as the checkpoint subsystem's controller identifiers
+    (a controller built by ``repro.core.make_controller`` answers to its
+    registry name), so a later resume can refuse a directory produced by
+    a different controller line-up.  ``names`` maps controller index to
+    name; the rewrite only happens when the mapping covers a complete
+    ``0..N-1`` range — partial knowledge (e.g. every item of one
+    controller failed) keeps the name-less manifest, which stays
+    resumable.
+    """
+    if names and sorted(names) == list(range(len(names))):
+        SweepManifest(
+            seed=manifest.seed,
+            repetitions=manifest.repetitions,
+            horizon=manifest.horizon,
+            demands_known=manifest.demands_known,
+            controllers=tuple(names[i] for i in range(len(names))),
+        ).write(directory)
 
 
 def completed_items(

@@ -237,23 +237,20 @@ class TestRunAndResume:
         assert resumed.complete
 
         # The stitched-together campaign equals a fresh uninterrupted one:
-        # every simulated metric bit-identical per cell (decision timing
-        # is wall-clock and excluded), and the rendered aggregate table
-        # byte-identical.
+        # summary.json is deterministic by contract (wall-clock timing
+        # lives in the timing.json sidecar), so the files themselves are
+        # byte-identical, and the rendered aggregate table matches too.
         fresh = run_campaign(spec, tmp_path / "fresh")
         assert fresh.complete
         for cell in spec.expand():
-            a = json.loads(
-                (cell_directory(tmp_path / "camp", cell.cell_id)
-                 / "summary.json").read_text(encoding="utf-8")
-            )
-            b = json.loads(
-                (cell_directory(tmp_path / "fresh", cell.cell_id)
-                 / "summary.json").read_text(encoding="utf-8")
-            )
-            for payload in (a, b):
-                for per_metric in payload["summaries"].values():
-                    per_metric.pop("mean_decision_s")
+            a = (
+                cell_directory(tmp_path / "camp", cell.cell_id)
+                / "summary.json"
+            ).read_bytes()
+            b = (
+                cell_directory(tmp_path / "fresh", cell.cell_id)
+                / "summary.json"
+            ).read_bytes()
             assert a == b
         _, _, stitched = write_campaign_report(tmp_path / "camp")
         _, _, uncut = write_campaign_report(tmp_path / "fresh")
