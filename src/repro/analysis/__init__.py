@@ -13,28 +13,40 @@ in-process (no subprocess, no skip path).  Rules and rationale are
 documented in ``docs/STATIC_ANALYSIS.md``.
 """
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, PrunedEntry
+from repro.analysis.cache import AnalysisCache, default_cache_path
 from repro.analysis.engine import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     Suppression,
     analyze_paths,
     analyze_source,
+    analyze_sources,
     iter_python_files,
     parse_suppressions,
 )
+from repro.analysis.project import ModuleSummary, ProjectContext, build_summary
 from repro.analysis.rules import all_rules, rule_by_id, rules_table
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectRule",
+    "PrunedEntry",
     "Rule",
     "Suppression",
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
+    "build_summary",
+    "default_cache_path",
     "iter_python_files",
     "parse_suppressions",
     "rule_by_id",

@@ -19,12 +19,18 @@ inline with a justification — so the file mostly documents the workflow:
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.analysis.engine import Finding
 
-__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+__all__ = [
+    "Baseline",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "PrunedEntry",
+]
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
@@ -32,11 +38,40 @@ DEFAULT_BASELINE_NAME = "analysis-baseline.json"
 _Key = Tuple[str, str, str]
 
 
-class Baseline:
-    """A multiset of grandfathered finding keys."""
+def _default_exists(path: str) -> bool:
+    return Path(path).exists()
 
-    def __init__(self, entries: Union[Dict[_Key, int], None] = None) -> None:
+
+@dataclass(frozen=True)
+class PrunedEntry:
+    """One baseline entry dropped by ``--update-baseline``, with why."""
+
+    path: str
+    rule: str
+    text: str
+    count: int
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.path}: {self.rule} ({self.reason}): {self.text}"
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys.
+
+    ``scopes`` records which analysis layer (module/project) produced
+    each grandfathered finding — informational in the saved JSON, never
+    part of the matching key, so a rule can migrate layers without
+    resurrecting its grandfathered findings.
+    """
+
+    def __init__(
+        self,
+        entries: Union[Dict[_Key, int], None] = None,
+        scopes: Union[Dict[_Key, str], None] = None,
+    ) -> None:
         self.entries: Dict[_Key, int] = dict(entries or {})
+        self.scopes: Dict[_Key, str] = dict(scopes or {})
 
     def __len__(self) -> int:
         return sum(self.entries.values())
@@ -44,10 +79,12 @@ class Baseline:
     @classmethod
     def from_findings(cls, findings: List[Finding]) -> "Baseline":
         entries: Dict[_Key, int] = {}
+        scopes: Dict[_Key, str] = {}
         for finding in findings:
             key = finding.baseline_key()
             entries[key] = entries.get(key, 0) + 1
-        return cls(entries)
+            scopes.setdefault(key, finding.scope)
+        return cls(entries, scopes)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Baseline":
@@ -63,23 +100,65 @@ class Baseline:
                 f"(expected {BASELINE_VERSION})"
             )
         entries: Dict[_Key, int] = {}
+        scopes: Dict[_Key, str] = {}
         for entry in payload.get("entries", []):
             key = (str(entry["path"]), str(entry["rule"]), str(entry["text"]))
             entries[key] = entries.get(key, 0) + int(entry.get("count", 1))
-        return cls(entries)
+            if "scope" in entry:
+                scopes.setdefault(key, str(entry["scope"]))
+        return cls(entries, scopes)
 
     def save(self, path: Union[str, Path]) -> None:
         """Write the baseline as stable, diff-friendly JSON."""
         payload = {
             "version": BASELINE_VERSION,
             "entries": [
-                {"path": key[0], "rule": key[1], "text": key[2], "count": count}
+                {
+                    "path": key[0],
+                    "rule": key[1],
+                    "text": key[2],
+                    "count": count,
+                    "scope": self.scopes.get(key, "module"),
+                }
                 for key, count in sorted(self.entries.items())
             ],
         }
         Path(path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+
+    def pruned_against(
+        self,
+        new: "Baseline",
+        *,
+        registered_rules: FrozenSet[str],
+        file_exists: Optional[Callable[[str], bool]] = None,
+    ) -> List[PrunedEntry]:
+        """What rewriting this baseline as ``new`` drops, and why.
+
+        Classifies every entry (or surplus count) present here but not in
+        ``new``: the file is gone, the rule id is no longer registered,
+        or the finding simply stopped firing (fixed or suppressed).
+        """
+        exists = file_exists if file_exists is not None else _default_exists
+        pruned: List[PrunedEntry] = []
+        for key, count in sorted(self.entries.items()):
+            dropped = count - new.entries.get(key, 0)
+            if dropped <= 0:
+                continue
+            path, rule, text = key
+            if not exists(path):
+                reason = "file no longer exists"
+            elif rule not in registered_rules:
+                reason = "rule id no longer registered"
+            else:
+                reason = "finding no longer fires"
+            pruned.append(
+                PrunedEntry(
+                    path=path, rule=rule, text=text, count=dropped, reason=reason
+                )
+            )
+        return pruned
 
     def filter(self, findings: List[Finding]) -> List[Finding]:
         """Findings not covered by the baseline (entries are consumed)."""

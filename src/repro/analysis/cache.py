@@ -1,0 +1,188 @@
+"""On-disk incremental cache for :func:`repro.analysis.engine.analyze_paths`.
+
+The tier-1 gate re-analyzes the full tree on every test run; parsing and
+the per-module rule pass dominate that cost.  This cache memoises exactly
+that per-module work:
+
+- keyed by the file's **content hash** (not mtime — byte-identical files
+  hit regardless of checkout order or clock skew);
+- each entry also records a **dep digest** over the content hashes of the
+  file's transitive import closure, so editing a module invalidates every
+  module that (transitively) imports it, not just the file itself;
+- the whole cache is discarded when the analyzer's own sources or the
+  Python minor version change (an **analyzer fingerprint** in the header),
+  so rule edits can never serve stale findings.
+
+Project-scope findings are *never* cached: a project finding can depend
+on modules entirely outside the anchor file's import closure (a metric
+declared in ``repro.obs.names`` silences a finding in ``repro.sim``), so
+the project pass is recomputed each run from the cached summaries — which
+is cheap, because summaries are plain dict/set lookups, no parsing.
+
+The cache file is a private artifact (gitignored, safe to delete at any
+time); a corrupt or unreadable file degrades to a cold cache, never to an
+error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.engine import Finding, _ModuleRecord
+
+__all__ = ["AnalysisCache", "CACHE_FILE_NAME", "default_cache_path"]
+
+CACHE_FILE_NAME = ".repro-analysis-cache.json"
+CACHE_VERSION = 1
+
+_FINGERPRINT: Optional[str] = None
+
+
+def default_cache_path(root: Path) -> Path:
+    return Path(root) / CACHE_FILE_NAME
+
+
+def analyzer_fingerprint() -> str:
+    """Hash of the analyzer's own sources plus the Python minor version.
+
+    Any edit to the ``repro.analysis`` package (new rule, changed summary
+    extraction, ...) or an interpreter jump produces a different
+    fingerprint and therefore a cold cache.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256()
+        digest.update(
+            f"py{sys.version_info[0]}.{sys.version_info[1]}".encode("ascii")
+        )
+        package_dir = Path(__file__).resolve().parent
+        for source in sorted(package_dir.glob("*.py")):
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class AnalysisCache:
+    """The persisted per-module records of one scan root."""
+
+    def __init__(
+        self, path: Path, entries: Dict[str, Dict[str, object]], fingerprint: str
+    ) -> None:
+        self.path = Path(path)
+        self._entries = entries
+        self._fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path) -> "AnalysisCache":
+        fingerprint = analyzer_fingerprint()
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls(path, {}, fingerprint)
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("analyzer") != fingerprint
+        ):
+            return cls(path, {}, fingerprint)
+        files = data.get("files")
+        if not isinstance(files, dict):
+            return cls(path, {}, fingerprint)
+        return cls(path, files, fingerprint)
+
+    def lookup(self, path_str: str, digest: str) -> Optional[_ModuleRecord]:
+        """The cached record for ``path_str``, or ``None`` on miss.
+
+        Only the *own* content hash is checked here; the engine follows
+        up with the transitive dep-digest check once the import graph
+        exists, and demotes stale hits back to misses.
+        """
+        entry = self._entries.get(path_str)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            record = self._decode(path_str, entry)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    @staticmethod
+    def _decode(path_str: str, entry: Dict[str, object]) -> _ModuleRecord:
+        from repro.analysis.project import ModuleSummary
+
+        summary_data = entry.get("summary")
+        parse_error = entry.get("parse_error")
+        return _ModuleRecord(
+            path=path_str,
+            digest=str(entry["digest"]),
+            dep_digest=str(entry.get("dep_digest", "")),
+            summary=(
+                ModuleSummary.from_json(summary_data)  # type: ignore[arg-type]
+                if summary_data is not None
+                else None
+            ),
+            raw=[
+                Finding.from_dict(item)
+                for item in entry.get("findings", [])  # type: ignore[union-attr]
+            ],
+            parse_error=(
+                Finding.from_dict(parse_error)  # type: ignore[arg-type]
+                if parse_error is not None
+                else None
+            ),
+            from_cache=True,
+        )
+
+    def replace(self, records: Iterable[_ModuleRecord]) -> None:
+        """Rebuild the cache body from this scan's records.
+
+        Entries for files outside the current scan are dropped on
+        purpose: the cache mirrors exactly one scan set, and a narrower
+        ad-hoc scan simply rebuilds on the next full run.
+        """
+        self._entries = {
+            record.path: {
+                "digest": record.digest,
+                "dep_digest": record.dep_digest,
+                "summary": (
+                    record.summary.to_json() if record.summary is not None else None
+                ),
+                "findings": [finding.to_dict() for finding in record.raw],
+                "parse_error": (
+                    record.parse_error.to_dict()
+                    if record.parse_error is not None
+                    else None
+                ),
+            }
+            for record in records
+        }
+
+    def save(self) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "analyzer": self._fingerprint,
+            "files": self._entries,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout must not break analysis; run uncached.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -7,9 +7,16 @@ Usage::
     python -m repro.analysis --format json src     # machine-readable
     python -m repro.analysis --list-rules          # rule catalogue
     python -m repro.analysis --update-baseline     # grandfather current findings
+    python -m repro.analysis --no-cache            # force a full re-parse
 
 Exit codes: 0 clean (after baseline/suppressions), 1 findings reported,
 2 usage error (e.g. a named path does not exist).
+
+Project-scope rules (STATE/MP/OBS — see docs/STATIC_ANALYSIS.md) reason
+across modules, so they are only meaningful when the scan covers the
+whole tree; the default targets do.  Per-module results are memoised in
+``.repro-analysis-cache.json`` (content-hash keyed, import-graph
+invalidated, safe to delete); ``--no-cache`` bypasses it.
 """
 
 from __future__ import annotations
@@ -18,11 +25,17 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.engine import analyze_paths, iter_python_files
-from repro.analysis.rules import rules_table
+from repro.analysis.engine import (
+    MISSING_JUSTIFICATION,
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    analyze_paths,
+    iter_python_files,
+)
+from repro.analysis.rules import all_rules, rules_table
 
 __all__ = ["build_parser", "main"]
 
@@ -64,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk incremental cache and re-parse everything",
+    )
     return parser
 
 
@@ -72,7 +89,7 @@ def _print_rules() -> None:
     width = max(len(row["name"]) for row in rows)
     for row in rows:
         print(f"{row['id']}  {row['name']:<{width}}  {row['summary']}")
-        print(f"{'':<8}{'':<{width}}scope: {row['scope']}")
+        print(f"{'':<8}{'':<{width}}[{row['scope']}] paths: {row['paths']}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,17 +111,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
 
+    stats: Dict[str, object] = {}
     try:
         n_files = len(iter_python_files(targets))
-        findings = analyze_paths(targets)
+        findings = analyze_paths(targets, cache=not args.no_cache, stats=stats)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     if args.update_baseline:
-        Baseline.from_findings(findings).save(args.baseline)
+        old = Baseline.load(args.baseline)
+        new = Baseline.from_findings(findings)
+        new.save(args.baseline)
+        registered = frozenset(rule.rule_id for rule in all_rules()) | {
+            PARSE_ERROR,
+            MISSING_JUSTIFICATION,
+            UNUSED_SUPPRESSION,
+        }
+        pruned = old.pruned_against(new, registered_rules=registered)
         print(f"wrote {len(findings)} baseline entr"
               f"{'y' if len(findings) == 1 else 'ies'} -> {args.baseline}")
+        for entry in pruned:
+            print(f"pruned: {entry.render()}")
+        if pruned:
+            total = sum(entry.count for entry in pruned)
+            print(f"pruned {total} grandfathered entr"
+                  f"{'y' if total == 1 else 'ies'}")
         return 0
 
     if not args.no_baseline:
@@ -114,10 +146,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             json.dumps(
                 {
-                    "version": 1,
+                    "version": 2,
                     "checked_files": n_files,
                     "count": len(findings),
                     "findings": [finding.to_dict() for finding in findings],
+                    "project": {
+                        "modules": stats.get("modules", 0),
+                        "import_edges": stats.get("import_edges", 0),
+                        "rules": stats.get("project_rules", []),
+                    },
+                    "cache": stats.get("cache", {"enabled": False}),
                 },
                 indent=2,
                 sort_keys=True,

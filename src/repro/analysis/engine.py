@@ -21,40 +21,54 @@ Pieces
     Everything a rule needs about one parsed module: the AST, the source
     lines, the dotted module path (``repro.core.fastlp``, ``tests.test_x``)
     and lazily-built parent / ``no_grad``-scope indexes shared by all rules.
-:class:`Rule`
-    Base class; concrete rules live in :mod:`repro.analysis.rules`.
-:func:`analyze_source` / :func:`analyze_paths`
-    Run a rule set over source text / files and return sorted findings
-    with suppressions applied.
+:class:`Rule` / :class:`ProjectRule`
+    Base classes; concrete rules live in :mod:`repro.analysis.rules`.
+    A :class:`Rule` sees one module at a time; a :class:`ProjectRule`
+    (``scope = "project"``) sees the whole scanned tree at once through a
+    :class:`repro.analysis.project.ProjectContext`.
+:func:`analyze_source` / :func:`analyze_sources` / :func:`analyze_paths`
+    Run a rule set over source text / an in-memory module set / files and
+    return sorted findings with suppressions applied.  ``analyze_paths``
+    optionally keeps an on-disk incremental cache (content-hash keyed per
+    module, invalidated transitively via the import graph) so the tier-1
+    gate does not re-parse an unchanged tree.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
     Union,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ModuleSummary, ProjectContext
+
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Suppression",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "iter_python_files",
     "parse_suppressions",
 ]
@@ -74,7 +88,13 @@ UNUSED_SUPPRESSION = "ANA002"
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic produced by a rule (or by the framework itself)."""
+    """One diagnostic produced by a rule (or by the framework itself).
+
+    ``scope`` records which layer produced it: ``"module"`` for per-file
+    AST rules and framework diagnostics, ``"project"`` for cross-module
+    rules.  It is part of the JSON schema but *not* of the baseline key —
+    a grandfathered line stays grandfathered if a rule migrates layers.
+    """
 
     path: str
     rule: str
@@ -82,6 +102,7 @@ class Finding:
     col: int
     message: str
     text: str
+    scope: str = "module"
 
     def render(self) -> str:
         """Human-readable one-liner: ``path:line:col: RULE message``."""
@@ -108,17 +129,37 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "text": self.text,
+            "scope": self.scope,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            path=str(data["path"]),
+            rule=str(data["rule"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            text=str(data["text"]),
+            scope=str(data.get("scope", "module")),
+        )
 
 
 @dataclass(frozen=True)
 class Suppression:
-    """A parsed ``# repro: allow[...]`` comment."""
+    """A parsed ``# repro: allow[...]`` comment.
+
+    ``text`` is the stripped physical line the comment sits on, so the
+    framework can report on a suppression without re-reading the source
+    (the incremental cache stores suppressions, not source text).
+    """
 
     line: int
     rules: Tuple[str, ...]
     justification: str
     own_line: bool
+    text: str = ""
 
     def covers(self, finding_line: int) -> bool:
         """Whether this comment's scope includes ``finding_line``."""
@@ -157,6 +198,7 @@ def parse_suppressions(source: str) -> List[Suppression]:
                 rules=rules,
                 justification=justification,
                 own_line=not before_comment.strip(),
+                text=token.line.strip(),
             )
         )
     return suppressions
@@ -273,17 +315,24 @@ def _module_parts(path: str) -> Tuple[str, ...]:
 
 
 class Rule:
-    """Base class for one static-analysis rule.
+    """Base class for one per-module static-analysis rule.
 
     Subclasses set the class attributes and implement :meth:`check`;
-    :meth:`applies_to` restricts the rule to its scope (most invariants
-    only hold in specific subpackages — see ``docs/STATIC_ANALYSIS.md``).
+    :meth:`applies_to` restricts the rule to the modules it covers (most
+    invariants only hold in specific subpackages — ``paths`` is the
+    human-readable statement of that restriction, shown by
+    ``--list-rules`` and ``docs/STATIC_ANALYSIS.md``).
+
+    ``scope`` is machine-read by the engine: ``"module"`` rules run once
+    per file with a :class:`ModuleContext`; ``"project"`` rules (see
+    :class:`ProjectRule`) run once per scan with the whole-tree view.
     """
 
     rule_id: str = ""
     name: str = ""
     summary: str = ""
-    scope: str = "all scanned files"
+    scope: str = "module"
+    paths: str = "all scanned files"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return True
@@ -304,50 +353,100 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for a cross-module (whole-program) rule.
+
+    Project rules never see raw ASTs: they query the
+    :class:`~repro.analysis.project.ProjectContext` built from per-module
+    summaries, which is what makes the incremental cache sound — a
+    summary is a pure function of one file's content.
+    """
+
+    scope: str = "project"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, site: "object", message: str
+    ) -> Finding:
+        """Build a project-scope finding anchored at a summary ``Site``."""
+        return Finding(
+            path=path,
+            rule=self.rule_id,
+            line=site.line,  # type: ignore[attr-defined]
+            col=site.col,  # type: ignore[attr-defined]
+            message=message,
+            text=site.text,  # type: ignore[attr-defined]
+            scope="project",
+        )
+
+
 def _framework_finding(
     path: str, rule: str, line: int, message: str, text: str
 ) -> Finding:
     return Finding(path=path, rule=rule, line=line, col=0, message=message, text=text)
 
 
-def analyze_source(
-    source: str,
-    path: Union[str, Path],
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Run ``rules`` (default: the full registry) over one module's source.
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
-    Returns sorted findings with suppressions already applied.  Passing an
-    explicit ``rules`` subset (as the fixture tests do) disables the
-    unused-suppression check — a comment may legitimately target a rule
-    outside the subset.
+
+@dataclass
+class _ModuleRecord:
+    """One scanned module: summary + pre-suppression module findings.
+
+    Exactly what the incremental cache persists per file — raw findings
+    are stored *before* suppression so the suppression/ANA002 pass (which
+    also has to see project findings) can always run fresh and cheap.
     """
-    path_str = Path(path).as_posix()
-    check_unused = rules is None
-    if rules is None:
-        from repro.analysis.rules import all_rules
 
-        rules = all_rules()
+    path: str
+    digest: str = ""
+    dep_digest: str = ""
+    summary: Optional["ModuleSummary"] = None
+    raw: List[Finding] = field(default_factory=list)
+    parse_error: Optional[Finding] = None
+    from_cache: bool = False
+
+
+def _parse_record(
+    path_str: str, source: str, module_rules: Sequence[Rule]
+) -> _ModuleRecord:
+    """Parse one module and run the per-module rules over it."""
+    from repro.analysis.project import build_summary
+
+    record = _ModuleRecord(path=path_str, digest=_digest(source))
     try:
         tree = ast.parse(source, filename=path_str)
     except SyntaxError as error:
         line = error.lineno or 1
-        return [
-            _framework_finding(
-                path_str,
-                PARSE_ERROR,
-                line,
-                f"file does not parse: {error.msg}",
-                source.splitlines()[line - 1].strip() if source.splitlines() else "",
-            )
-        ]
+        record.parse_error = _framework_finding(
+            path_str,
+            PARSE_ERROR,
+            line,
+            f"file does not parse: {error.msg}",
+            source.splitlines()[line - 1].strip() if source.splitlines() else "",
+        )
+        return record
     ctx = ModuleContext(path_str, source, tree)
-    raw: List[Finding] = []
-    for rule in rules:
+    for rule in module_rules:
         if rule.applies_to(ctx):
-            raw.extend(rule.check(ctx))
+            record.raw.extend(rule.check(ctx))
+    record.summary = build_summary(ctx)
+    return record
 
-    suppressions = parse_suppressions(source)
+
+def _apply_suppressions(
+    path_str: str,
+    suppressions: Sequence[Suppression],
+    raw: Sequence[Finding],
+    check_unused: bool,
+) -> List[Finding]:
+    """Silence suppressed findings; emit ANA001/ANA002 diagnostics."""
     findings: List[Finding] = []
     used: set = set()
     for finding in raw:
@@ -367,7 +466,7 @@ def analyze_source(
                     suppression.line,
                     "suppression needs a justification: "
                     "# repro: allow[RULE] -- <why this is safe>",
-                    ctx.line_text(suppression.line),
+                    suppression.text,
                 )
             )
         if check_unused and index not in used:
@@ -378,10 +477,106 @@ def analyze_source(
                     suppression.line,
                     f"suppression for {', '.join(suppression.rules)} matches "
                     "no finding on its line (stale comment or typo'd rule id?)",
-                    ctx.line_text(suppression.line),
+                    suppression.text,
                 )
             )
+    return findings
+
+
+def _split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List["ProjectRule"]]:
+    module_rules = [rule for rule in rules if rule.scope != "project"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    return module_rules, project_rules  # type: ignore[return-value]
+
+
+def _build_project(records: Mapping[str, _ModuleRecord]) -> "ProjectContext":
+    from repro.analysis.project import ProjectContext
+
+    return ProjectContext(
+        [record.summary for record in records.values() if record.summary is not None]
+    )
+
+
+def _run_project_rules(
+    project_rules: Sequence["ProjectRule"], project: "ProjectContext"
+) -> Dict[str, List[Finding]]:
+    by_path: Dict[str, List[Finding]] = {}
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            by_path.setdefault(finding.path, []).append(finding)
+    return by_path
+
+
+def _finalize(
+    records: Iterable[_ModuleRecord],
+    project_by_path: Mapping[str, List[Finding]],
+    check_unused: bool,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for record in records:
+        if record.parse_error is not None:
+            findings.append(record.parse_error)
+            continue
+        raw = list(record.raw) + list(project_by_path.get(record.path, []))
+        suppressions = record.summary.suppressions if record.summary else ()
+        findings.extend(
+            _apply_suppressions(record.path, suppressions, raw, check_unused)
+        )
     return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_source(
+    source: str,
+    path: Union[str, Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: the full registry) over one module's source.
+
+    Returns sorted findings with suppressions already applied.  Only
+    per-module rules run — a single source string has no project to be
+    checked against; use :func:`analyze_sources` to run project rules
+    over an in-memory module set.  Passing an explicit ``rules`` subset
+    (as the fixture tests do) disables the unused-suppression check — a
+    comment may legitimately target a rule outside the subset.
+    """
+    path_str = Path(path).as_posix()
+    check_unused = rules is None
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    module_rules, _ = _split_rules(rules)
+    record = _parse_record(path_str, source, module_rules)
+    return _finalize([record], {}, check_unused)
+
+
+def analyze_sources(
+    sources: Mapping[Union[str, Path], str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze an in-memory ``{path: source}`` module set as one project.
+
+    Unlike :func:`analyze_source` this runs project-scope rules too, with
+    a :class:`~repro.analysis.project.ProjectContext` built from exactly
+    the given modules — the primitive behind the fixture mini-project
+    tests.  Passing an explicit ``rules`` subset disables the
+    unused-suppression check, as in :func:`analyze_source`.
+    """
+    check_unused = rules is None
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    module_rules, project_rules = _split_rules(rules)
+    records: Dict[str, _ModuleRecord] = {}
+    for path, source in sources.items():
+        path_str = Path(path).as_posix()
+        records[path_str] = _parse_record(path_str, source, module_rules)
+    project = _build_project(records)
+    by_path = _run_project_rules(project_rules, project)
+    return _finalize(records.values(), by_path, check_unused)
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
@@ -401,25 +596,118 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return sorted(seen)
 
 
+def _dep_digests(
+    project: "ProjectContext", records: Mapping[str, _ModuleRecord]
+) -> Dict[str, str]:
+    """Per-file digest of the transitive import closure's content.
+
+    A cached record is only reusable when this matches what was stored
+    with it: editing any module a file (transitively) imports invalidates
+    the file's cache entry, even though its own bytes are unchanged.
+    """
+    by_module: Dict[str, _ModuleRecord] = {}
+    for record in records.values():
+        if record.summary is not None:
+            by_module[record.summary.dotted] = record
+    digests: Dict[str, str] = {}
+    for record in records.values():
+        if record.summary is None:
+            continue
+        closure = sorted(project.transitive_imports(record.summary.dotted))
+        material = "\n".join(
+            f"{module}:{by_module[module].digest}"
+            for module in closure
+            if module in by_module
+        )
+        digests[record.path] = _digest(material)
+    return digests
+
+
 def analyze_paths(
     paths: Sequence[Union[str, Path]],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
+    *,
+    cache: bool = False,
+    cache_path: Optional[Union[str, Path]] = None,
+    stats: Optional[Dict[str, object]] = None,
 ) -> List[Finding]:
     """Analyze every ``.py`` file under ``paths``; findings sorted by site.
 
     Paths in findings are reported relative to ``root`` (default: the
     current working directory) whenever possible, so baseline entries are
     stable across machines.
+
+    Per-module rules run per file; project-scope rules run once over the
+    whole scanned set.  With ``cache=True`` (or an explicit
+    ``cache_path``), per-module work is memoised on disk keyed by content
+    hash and invalidated transitively via the import graph; the project
+    pass itself is always recomputed from the (possibly cached) module
+    summaries, because a project finding can depend on modules outside
+    the anchor file's import closure.  The cache is bypassed when an
+    explicit ``rules`` subset is given — cached findings would not match.
+
+    When a ``stats`` dict is passed, the engine fills it with the
+    project-scope overview the ``--format json`` report embeds (module
+    count, import-edge count, project rule ids, cache hit/miss counts).
     """
     base = (root or Path.cwd()).resolve()
-    findings: List[Finding] = []
+    check_unused = rules is None
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    module_rules, project_rules = _split_rules(rules)
+
+    store = None
+    if (cache or cache_path is not None) and check_unused:
+        from repro.analysis.cache import AnalysisCache, default_cache_path
+
+        store = AnalysisCache.load(
+            Path(cache_path) if cache_path is not None else default_cache_path(base)
+        )
+
+    records: Dict[str, _ModuleRecord] = {}
+    sources: Dict[str, str] = {}
     for file_path in iter_python_files(paths):
         resolved = file_path.resolve()
         try:
-            reported = resolved.relative_to(base)
+            reported: Path = resolved.relative_to(base)
         except ValueError:
             reported = file_path
+        path_str = reported.as_posix()
         source = resolved.read_text(encoding="utf-8")
-        findings.extend(analyze_source(source, reported, rules=rules))
-    return sorted(findings, key=Finding.sort_key)
+        sources[path_str] = source
+        record = store.lookup(path_str, _digest(source)) if store else None
+        if record is None:
+            record = _parse_record(path_str, source, module_rules)
+        records[path_str] = record
+
+    project = _build_project(records)
+    dep_digests = _dep_digests(project, records)
+    for path_str, record in list(records.items()):
+        if record.from_cache and record.dep_digest != dep_digests.get(path_str, ""):
+            records[path_str] = _parse_record(
+                path_str, sources[path_str], module_rules
+            )
+        records[path_str].dep_digest = dep_digests.get(path_str, "")
+    # Summaries are a pure function of file content, so ``project`` (built
+    # before revalidation) is still the correct view after re-parsing.
+
+    by_path = _run_project_rules(project_rules, project)
+    findings = _finalize(records.values(), by_path, check_unused)
+    if store is not None:
+        store.replace(records.values())
+        store.save()
+    if stats is not None:
+        stats["modules"] = len(project.modules)
+        stats["import_edges"] = sum(
+            len(edges) for edges in project.import_graph.values()
+        )
+        stats["project_rules"] = sorted(rule.rule_id for rule in project_rules)
+        stats["cache"] = {
+            "enabled": store is not None,
+            "hits": store.hits if store is not None else 0,
+            "misses": store.misses if store is not None else 0,
+        }
+    return findings

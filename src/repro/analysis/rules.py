@@ -30,15 +30,40 @@ from ``DET005`` only.
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Type
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
-from repro.analysis.engine import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    dotted_name,
+)
+from repro.analysis.project import (
+    OBS_DECLARATION_VARS,
+    OBS_HELPER_KINDS,
+    OBS_NAMES_MODULE,
+    ModuleSummary,
+    ProjectContext,
+)
 
 __all__ = [
+    "HOT_PATH_MODULES",
     "PROTECTED_PACKAGES",
+    "STATE_PACKAGES",
     "THREADED_RNG_PACKAGES",
     "all_rules",
     "rule_by_id",
+    "rules_table",
 ]
 
 #: Seed-deterministic subsystems: a wall clock or unseeded RNG anywhere in
@@ -115,7 +140,7 @@ class ModuleLevelRngRule(Rule):
     rule_id = "DET001"
     name = "module-level-rng"
     summary = "no numpy RNG calls at module import time"
-    scope = "src/repro/**"
+    paths = "src/repro/**"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.in_repro()
@@ -158,7 +183,7 @@ class LegacyGlobalRngRule(Rule):
     rule_id = "DET002"
     name = "legacy-global-rng"
     summary = "no legacy global-state numpy.random API"
-    scope = "all scanned files"
+    paths = "all scanned files"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -182,7 +207,7 @@ class StdlibRandomRule(Rule):
     rule_id = "DET003"
     name = "stdlib-random"
     summary = "no stdlib random module in seed-deterministic packages"
-    scope = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
+    paths = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.in_packages(PROTECTED_PACKAGES)
@@ -217,7 +242,7 @@ class WallClockRule(Rule):
     rule_id = "DET004"
     name = "wall-clock-entropy"
     summary = "no time.time()/datetime.now() in seed-deterministic packages"
-    scope = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
+    paths = "src/repro/{core,mec,sim,nn,gan,bandits,workload}"
 
     _CLOCK_TAILS = frozenset({"now", "utcnow", "today"})
 
@@ -256,7 +281,7 @@ class RngConstructionRule(Rule):
     rule_id = "DET005"
     name = "rng-construction"
     summary = "no default_rng/SeedSequence construction outside sanctioned sites"
-    scope = "src/repro/{core,gan,bandits,nn,sim} + repro/cli.py"
+    paths = "src/repro/{core,gan,bandits,nn,sim} + repro/cli.py"
 
     _CONSTRUCTORS = frozenset({"default_rng", "SeedSequence"})
 
@@ -310,7 +335,7 @@ class TensorDataMutationRule(Rule):
     rule_id = "AG001"
     name = "tensor-data-mutation"
     summary = "no .data mutation outside repro.nn / no_grad()"
-    scope = "src/repro/** except repro/nn/**"
+    paths = "src/repro/** except repro/nn/**"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.in_repro() and ctx.repro_subpackage != "nn"
@@ -355,7 +380,7 @@ class TensorDataReadRule(Rule):
     rule_id = "AG002"
     name = "tensor-data-read"
     summary = "no .data reads outside repro.nn unless under no_grad()"
-    scope = "src/repro/** except repro/nn/**"
+    paths = "src/repro/** except repro/nn/**"
 
     _METADATA = frozenset({"dtype", "shape", "ndim", "size"})
 
@@ -401,7 +426,7 @@ class ObsLiteralNameRule(Rule):
     rule_id = "OBS001"
     name = "obs-literal-name"
     summary = "obs.span/inc/observe/gauge names must be string literals"
-    scope = "all scanned files"
+    paths = "all scanned files"
 
     _HELPERS = frozenset({"span", "inc", "observe", "gauge"})
 
@@ -467,7 +492,7 @@ class MutableDefaultRule(Rule):
     rule_id = "API001"
     name = "mutable-default"
     summary = "no mutable default arguments"
-    scope = "all scanned files"
+    paths = "all scanned files"
 
     _MUTABLE_CALLS = frozenset(
         {
@@ -528,7 +553,7 @@ class PublicAnnotationRule(Rule):
     rule_id = "API002"
     name = "public-annotations"
     summary = "public repro.core/repro.sim functions need full annotations"
-    scope = "src/repro/{core,sim}"
+    paths = "src/repro/{core,sim}"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.in_packages({"core", "sim"})
@@ -592,7 +617,7 @@ class KeywordOnlyFlagsRule(Rule):
         "public repro.core/repro.sim functions with >=2 bool/None-default "
         "parameters must declare them keyword-only"
     )
-    scope = "src/repro/{core,sim}"
+    paths = "src/repro/{core,sim}"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.in_packages({"core", "sim"})
@@ -647,14 +672,451 @@ class KeywordOnlyFlagsRule(Rule):
             )
 
 
+# --------------------------------------------------------------------- #
+# STATE pack: checkpoint coverage (project scope)
+# --------------------------------------------------------------------- #
+
+#: Packages whose classes participate in checkpoint/resume (PR 5): any
+#: mutable state here that the state_dict pair misses silently breaks
+#: bit-identical resume — the exact class of bug PR 6 fixed by hand.
+STATE_PACKAGES: FrozenSet[str] = frozenset(
+    {"core", "gan", "prediction", "bandits", "workload"}
+)
+
+
+def _in_state_scope(summary: ModuleSummary) -> bool:
+    return (
+        len(summary.module) >= 2
+        and summary.module[0] == "repro"
+        and summary.module[1] in STATE_PACKAGES
+    )
+
+
+@_register
+class CheckpointPairRule(ProjectRule):
+    """A class that mutates instance attributes after construction holds
+    run state; if it lives in a checkpointed package it must offer the
+    ``state_dict`` / ``load_state_dict`` pair (own or inherited via a
+    project-resolvable base) or resume silently drops that state."""
+
+    rule_id = "STATE001"
+    name = "checkpoint-pair"
+    summary = (
+        "mutable classes in checkpointed packages need both state_dict "
+        "and load_state_dict"
+    )
+    paths = "src/repro/{core,gan,prediction,bandits,workload}"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module_name, summary in sorted(project.modules.items()):
+            if not _in_state_scope(summary):
+                continue
+            for cls in summary.classes.values():
+                if not cls.mutated_attrs:
+                    continue
+                has_state = project.class_provides(module_name, cls, "state_dict")
+                has_load = project.class_provides(
+                    module_name, cls, "load_state_dict"
+                )
+                if has_state and has_load:
+                    continue
+                missing = [
+                    method
+                    for method, present in (
+                        ("state_dict", has_state),
+                        ("load_state_dict", has_load),
+                    )
+                    if not present
+                ]
+                attrs = ", ".join(cls.mutated_attrs[:4])
+                yield self.project_finding(
+                    summary.path,
+                    cls.site,
+                    f"class {cls.name!r} mutates instance state ({attrs}) "
+                    f"but provides no {' / '.join(missing)}; checkpoint "
+                    "resume would silently drop that state",
+                )
+
+
+@_register
+class CheckpointKeysRule(ProjectRule):
+    """``load_state_dict`` must restore exactly the literal keys
+    ``state_dict`` writes.  A key written but never restored is lost on
+    resume; a key restored but never written raises (or silently
+    defaults) on every real checkpoint.  Dynamically-keyed pairs are
+    skipped — the rule only reasons about literal key sets."""
+
+    rule_id = "STATE002"
+    name = "checkpoint-keys"
+    summary = "state_dict / load_state_dict literal key sets must match"
+    paths = "src/repro/{core,gan,prediction,bandits,workload}"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for _, summary in sorted(project.modules.items()):
+            if not _in_state_scope(summary):
+                continue
+            for cls in summary.classes.values():
+                if cls.state_keys is None or cls.load_keys is None:
+                    continue  # the pair rule's concern, not ours
+                if cls.state_dynamic or cls.load_dynamic:
+                    continue
+                written = set(cls.state_keys)
+                restored = set(cls.load_keys)
+                if written == restored:
+                    continue
+                problems: List[str] = []
+                lost = sorted(written - restored)
+                if lost:
+                    problems.append(
+                        "written but never restored: " + ", ".join(lost)
+                    )
+                phantom = sorted(restored - written)
+                if phantom:
+                    problems.append(
+                        "restored but never written: " + ", ".join(phantom)
+                    )
+                site = cls.load_site or cls.state_site or cls.site
+                yield self.project_finding(
+                    summary.path,
+                    site,
+                    f"{cls.name}.state_dict/load_state_dict key sets "
+                    f"disagree ({'; '.join(problems)}); resume would not "
+                    "round-trip this class",
+                )
+
+
+# --------------------------------------------------------------------- #
+# MP pack: worker-pool safety (project scope)
+# --------------------------------------------------------------------- #
+
+
+@_register
+class PoolCallableRule(ProjectRule):
+    """Callables crossing the pool boundary are pickled by reference:
+    lambdas and nested functions fail outright under spawn, and bound
+    methods drag their whole instance through pickle.  The repo contract
+    (PR 1/PR 8) is module-level, closure-free worker entry points."""
+
+    rule_id = "MP001"
+    name = "pool-callable"
+    summary = "pool.submit targets must be module-level, closure-free functions"
+    paths = "all scanned files"
+
+    _MESSAGES = {
+        "lambda": (
+            "a lambda submitted to a worker pool cannot be pickled under "
+            "spawn; hoist it to a module-level function"
+        ),
+        "nested": (
+            "nested function {name!r} submitted to a worker pool closes "
+            "over its defining frame; hoist it to module level"
+        ),
+        "self": (
+            "bound method {name!r} submitted to a worker pool pickles the "
+            "whole instance; use a module-level function taking explicit "
+            "arguments"
+        ),
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for _, summary in sorted(project.modules.items()):
+            for site in summary.submit_sites:
+                template = self._MESSAGES.get(site.callable_kind)
+                if template is None:
+                    continue
+                yield self.project_finding(
+                    summary.path,
+                    site.site,
+                    template.format(name=site.callable_name),
+                )
+
+
+@_register
+class WorkerGlobalWriteRule(ProjectRule):
+    """Writes to module-global mutable state from functions that run
+    inside pool workers mutate the *worker's* copy: the parent never sees
+    it and results start depending on which worker ran what.  Reachability
+    is the transitive closure of submitted entry points (plus pool
+    initializers) over the project call index."""
+
+    rule_id = "MP002"
+    name = "worker-global-write"
+    summary = "no module-global mutable state written from worker-invoked functions"
+    paths = "all scanned files"
+
+    _VIA = {
+        "assign": "rebinds",
+        "subscript": "writes into",
+        "attribute": "mutates an attribute of",
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module_name, fn_name in sorted(project.worker_reachable_functions()):
+            summary = project.modules.get(module_name)
+            fn = summary.functions.get(fn_name) if summary else None
+            if summary is None or fn is None:
+                continue
+            for write in fn.global_writes:
+                if (
+                    write.via != "assign"
+                    and write.target not in summary.mutable_globals
+                ):
+                    continue
+                if write.via.startswith("method:"):
+                    action = f"calls .{write.via.split(':', 1)[1]}() on"
+                else:
+                    action = self._VIA.get(write.via, "writes")
+                yield self.project_finding(
+                    summary.path,
+                    write.site,
+                    f"{fn_name!r} runs inside pool workers and {action} "
+                    f"module global {write.target!r}; the mutation stays in "
+                    "one worker process and diverges from the parent",
+                )
+
+
+@_register
+class PoolGeneratorRule(ProjectRule):
+    """A ``numpy.random.Generator`` must never cross the pool boundary:
+    after fork (or pickling) parent and worker continue the *same* bit
+    stream, which is exactly the cross-contamination the RngRegistry's
+    named streams exist to prevent.  Pass an integer seed and construct
+    the Generator inside the worker."""
+
+    rule_id = "MP003"
+    name = "pool-generator"
+    summary = "no numpy Generator objects across the process-pool boundary"
+    paths = "all scanned files"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module_name, summary in sorted(project.modules.items()):
+            for site in summary.submit_sites:
+                if site.generator_args:
+                    streams = ", ".join(site.generator_args)
+                    yield self.project_finding(
+                        summary.path,
+                        site.site,
+                        f"Generator state ({streams}) passed through "
+                        "pool.submit; parent and worker would continue the "
+                        "same bit stream — pass an integer seed and build "
+                        "the Generator inside the worker",
+                    )
+                    continue
+                if site.callable_kind not in ("name", "attribute"):
+                    continue
+                if not site.callable_name:
+                    continue
+                resolved = project.resolve(module_name, site.callable_name)
+                if resolved is None or resolved[2] != "function":
+                    continue
+                target = project.modules[resolved[0]].functions.get(resolved[1])
+                if target is None or not target.generator_params:
+                    continue
+                params = ", ".join(target.generator_params)
+                yield self.project_finding(
+                    summary.path,
+                    site.site,
+                    f"{site.callable_name!r} declares Generator parameter(s) "
+                    f"({params}) and is submitted to a worker pool; pass an "
+                    "integer seed across the boundary instead",
+                )
+
+
+# --------------------------------------------------------------------- #
+# OBS pack: project-wide metric-name consistency (project scope)
+# --------------------------------------------------------------------- #
+
+
+def _declaration_var(kind: str) -> str:
+    for var, var_kind in OBS_DECLARATION_VARS.items():
+        if var_kind == kind:
+            return var
+    return kind  # pragma: no cover - kinds and vars are defined together
+
+
+@_register
+class UndeclaredMetricRule(ProjectRule):
+    """Every metric/span name the library emits must appear in the
+    central catalogue (``repro/obs/names.py``).  Without this, a typo'd
+    name silently creates a brand-new series and every dashboard keeps
+    reading the stale one.  The rule is skipped when the catalogue module
+    is not part of the scan (partial scans would otherwise over-report)."""
+
+    rule_id = "OBS002"
+    name = "undeclared-metric"
+    summary = "obs names used in src/repro must be declared in repro.obs.names"
+    paths = "src/repro/** against src/repro/obs/names.py"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        if not project.has_obs_names_module():
+            return
+        declared = project.obs_declarations()
+        for _, summary in sorted(project.modules.items()):
+            if not summary.module or summary.module[0] != "repro":
+                continue
+            if summary.module == OBS_NAMES_MODULE:
+                continue
+            for use in summary.obs_uses:
+                kind = OBS_HELPER_KINDS[use.helper]
+                if use.name in declared[kind]:
+                    continue
+                yield self.project_finding(
+                    summary.path,
+                    use.site,
+                    f"obs.{use.helper}({use.name!r}) is not declared in "
+                    f"repro/obs/names.py:{_declaration_var(kind)}; a typo "
+                    "here would silently create a new series",
+                )
+
+
+@_register
+class UnusedMetricRule(ProjectRule):
+    """The reverse direction: a name declared in the catalogue that no
+    scanned module emits is dead weight — usually a renamed metric whose
+    declaration was left behind, which is exactly how dashboards end up
+    watching series that stopped updating."""
+
+    rule_id = "OBS003"
+    name = "unused-metric"
+    summary = "names declared in repro.obs.names must be emitted somewhere"
+    paths = "src/repro/obs/names.py against all scanned files"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        if not project.has_obs_names_module():
+            return
+        used: Dict[str, set] = {kind: set() for kind in OBS_HELPER_KINDS.values()}
+        for summary in project.modules.values():
+            for use in summary.obs_uses:
+                used[OBS_HELPER_KINDS[use.helper]].add(use.name)
+        names_summary = project.modules[".".join(OBS_NAMES_MODULE)]
+        for declaration in names_summary.obs_declarations:
+            if declaration.name in used[declaration.kind]:
+                continue
+            yield self.project_finding(
+                names_summary.path,
+                declaration.site,
+                f"{declaration.kind} {declaration.name!r} is declared in the "
+                "catalogue but never emitted by any scanned module; drop it "
+                "or wire the call site",
+            )
+
+
+# --------------------------------------------------------------------- #
+# DTYPE pack: the float32 hot path (module scope)
+# --------------------------------------------------------------------- #
+
+#: The modules on the opt-in float32 hot path (PR 3 kernels, PR 6 slot
+#: loop): one dtype-less constructor here silently upcasts every
+#: downstream array back to float64.
+HOT_PATH_MODULES: FrozenSet[Tuple[str, ...]] = frozenset(
+    {
+        ("repro", "core", "assignment"),
+        ("repro", "core", "fastlp"),
+        ("repro", "nn", "fused"),
+        ("repro", "sim", "engine"),
+    }
+)
+
+
+@_register
+class DtypeRequiredRule(Rule):
+    """``np.zeros(n)`` defaults to float64; in a hot-path module that
+    default is a silent widening of the float32 pipeline.  Every array
+    constructor here must say which dtype it means (``*_like`` and
+    ``asarray`` preserve their input's dtype and are exempt)."""
+
+    rule_id = "DTYPE001"
+    name = "dtype-required"
+    summary = "numpy array constructors in hot-path modules need an explicit dtype"
+    paths = "src/repro/{core/assignment,core/fastlp,nn/fused,sim/engine}.py"
+
+    #: Constructor -> positional index its dtype parameter sits at.
+    _CONSTRUCTORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2, "array": 1}
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module in HOT_PATH_MODULES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            dtype_index = self._CONSTRUCTORS.get(parts[1])
+            if dtype_index is None:
+                continue
+            if len(node.args) > dtype_index:
+                continue  # dtype passed positionally
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{parts[1]} without an explicit dtype defaults to "
+                "float64 and silently upcasts the opt-in float32 hot path; "
+                "pass dtype= (the evaluator's dtype, np.float32 or "
+                "np.float64) explicitly",
+            )
+
+
+@_register
+class ImplicitFloat64Rule(Rule):
+    """``dtype=float`` and ``dtype="float64"`` *are* float64 — but they
+    read as "generic float", so a float32 audit greps right past them.
+    Hot-path modules must spell the width (``np.float64`` /
+    ``np.float32``) or thread a dtype variable, making every deliberate
+    widening visible."""
+
+    rule_id = "DTYPE002"
+    name = "implicit-float64"
+    summary = "hot-path dtype= arguments must spell np.float32/np.float64"
+    paths = "src/repro/{core/assignment,core/fastlp,nn/fused,sim/engine}.py"
+
+    _IMPLICIT_STRINGS = frozenset({"float", "float64", "double"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module in HOT_PATH_MODULES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                value = keyword.value
+                implicit: Optional[str] = None
+                if isinstance(value, ast.Name) and value.id == "float":
+                    implicit = "float"
+                elif isinstance(value, ast.Constant) and (
+                    isinstance(value.value, str)
+                    and value.value in self._IMPLICIT_STRINGS
+                ):
+                    implicit = repr(value.value)
+                if implicit is not None:
+                    yield self.finding(
+                        ctx,
+                        value,
+                        f"dtype={implicit} is an implicit float64 that a "
+                        "float32 audit cannot see; spell np.float64 (or "
+                        "thread the evaluator's dtype) to make the "
+                        "widening explicit",
+                    )
+
+
 def rules_table() -> List[Dict[str, str]]:
-    """Id/name/summary/scope rows for ``--list-rules`` and the docs."""
+    """Id/name/summary/scope/paths rows for ``--list-rules`` and the docs."""
     return [
         {
             "id": cls.rule_id,
             "name": cls.name,
             "summary": cls.summary,
             "scope": cls.scope,
+            "paths": cls.paths,
         }
         for cls in _RULE_CLASSES
     ]

@@ -8,7 +8,7 @@ the per-slot and cumulative series the regret figures plot.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -33,6 +33,25 @@ class RegretTracker:
         require_non_negative("optimal_cost", optimal_cost)
         self._achieved.append(float(achieved_cost))
         self._optimal.append(float(optimal_cost))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable form of both series (see :mod:`repro.state`)."""
+        return {
+            "achieved": np.array(self._achieved, dtype=float),
+            "optimal": np.array(self._optimal, dtype=float),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
+        achieved = np.asarray(state["achieved"], dtype=float)
+        optimal = np.asarray(state["optimal"], dtype=float)
+        if achieved.shape != optimal.shape:
+            raise ValueError(
+                f"achieved/optimal series lengths differ: "
+                f"{achieved.shape} vs {optimal.shape}"
+            )
+        self._achieved = [float(v) for v in achieved]
+        self._optimal = [float(v) for v in optimal]
 
     @property
     def n_slots(self) -> int:

@@ -158,16 +158,24 @@ def _cached_world(unit: ScheduledUnit) -> Tuple[World, bool]:
         and not entry.used.intersection(unit.controller_indices)
     ):
         entry.used.update(unit.controller_indices)
+        # _WORLD_CACHE is *designed* as per-worker state: each pool
+        # process keeps its own LRU of world builds, and outcomes are
+        # pure functions of the unit, so divergence between workers'
+        # caches cannot change results.
+        # repro: allow[MP002] -- intentional per-worker world-build LRU
         _WORLD_CACHE.move_to_end(unit.cell_id)
         return entry.world, True
     world = build_world(
         CampaignScenario(unit.scenario), unit.seed, unit.repetition
     )
+    # repro: allow[MP002] -- intentional per-worker world cache, see above
     _WORLD_CACHE[unit.cell_id] = _CachedWorld(
         unit.repetition, world, set(unit.controller_indices)
     )
+    # repro: allow[MP002] -- intentional per-worker world cache, see above
     _WORLD_CACHE.move_to_end(unit.cell_id)
     while len(_WORLD_CACHE) > _WORLD_CACHE_CAPACITY:
+        # repro: allow[MP002] -- intentional per-worker world cache, see above
         _WORLD_CACHE.popitem(last=False)
     return world, False
 

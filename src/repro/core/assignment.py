@@ -46,6 +46,7 @@ def service_indices(requests: Sequence[Request]) -> np.ndarray:
 
 
 @dataclass
+# repro: allow[STATE001] -- only mutates _cached_pairs, a lazy view of the frozen `cached` field; rebuilt bit-identically after resume
 class Assignment:
     """Per-slot caching/offloading decision.
 
@@ -124,8 +125,14 @@ class Assignment:
         A single ``bincount`` scatter-add over the request vector —
         bit-identical to the former ``np.add.at`` accumulation (both sum
         per station in request order) and much faster at large |R|.
+
+        Floating inputs keep their dtype (so the float32 evaluator path
+        computes its weights without a round-trip through float64);
+        integer demand vectors are promoted to float64.
         """
-        demands_mb = np.asarray(demands_mb, dtype=float)
+        demands_mb = np.asarray(demands_mb)
+        if demands_mb.dtype.kind != "f":
+            demands_mb = demands_mb.astype(np.float64)
         if demands_mb.shape != (self.n_requests,):
             raise ValueError(
                 f"demand vector must have shape ({self.n_requests},), "
@@ -147,6 +154,7 @@ class Assignment:
         return len(self.cached - previous.cached)
 
 
+# repro: allow[STATE001] -- only mutates _capacities, a cast of the live network's vector; refresh_capacities() re-reads it after resume
 class SlotEvaluator:
     """Structure-cached Eq. (3) evaluation for a fixed network + request set.
 
@@ -291,7 +299,7 @@ def evaluate_with_transport(
     base = evaluate_assignment(
         assignment, network, requests, demands_mb, unit_delays_ms
     )
-    demands_mb = np.asarray(demands_mb, dtype=float)
+    demands_mb = np.asarray(demands_mb, dtype=np.float64)
     transport_total = 0.0
     for l, request in enumerate(requests):
         access = access_station(network, request.location)

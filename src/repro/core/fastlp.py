@@ -50,6 +50,7 @@ _SUPPORT_PER_REQUEST = 12
 _WARM_ROUNDS = 1
 
 
+# repro: allow[STATE001] -- only mutates the warm-start support and solver scratch buffers, ephemeral hints rebuilt by the first cold solve after resume
 class PerSlotLpSolver:
     """Reusable Eq. (3)-(8) relaxation for a fixed network + request set.
 
@@ -104,7 +105,7 @@ class PerSlotLpSolver:
         )
 
         # ---- objective: x part patched per slot, y part constant -------
-        self._c = np.zeros(self._n_vars)
+        self._c = np.zeros(self._n_vars, dtype=np.float64)
         for p, (k, i) in enumerate(self._pairs):
             self._c[self._y_offset + p] = (
                 network.services.instantiation_delay(i, k) / R
@@ -171,16 +172,17 @@ class PerSlotLpSolver:
         # Capacity RHS is a snapshot; stations can change capacity between
         # slots (outages, recovery), so solve() re-reads the live values.
         self._b_ub = np.concatenate(
-            [network.capacities_mhz, np.zeros(R * S)]
+            [network.capacities_mhz, np.zeros(R * S, dtype=np.float64)]
         )
 
         # ---- A_eq: assignment rows (all fixed) --------------------------
         eq_rows = np.repeat(np.arange(R), S)
         eq_cols = np.arange(R * S)
         self._a_eq = sparse.csc_matrix(
-            (np.ones(R * S), (eq_rows, eq_cols)), shape=(R, self._n_vars)
+            (np.ones(R * S, dtype=np.float64), (eq_rows, eq_cols)),
+            shape=(R, self._n_vars),
         )
-        self._b_eq = np.ones(R)
+        self._b_eq = np.ones(R, dtype=np.float64)
         # A single (lo, hi) pair applies to every variable; building the
         # n_vars-long list of identical tuples per instance was pure
         # allocation overhead.
@@ -214,8 +216,8 @@ class PerSlotLpSolver:
         self, demands_mb: np.ndarray, theta_ms: np.ndarray
     ) -> Tuple[np.ndarray, float]:
         R, S = self._R, self._S
-        demands_mb = np.asarray(demands_mb, dtype=float)
-        theta_ms = np.asarray(theta_ms, dtype=float)
+        demands_mb = np.asarray(demands_mb, dtype=np.float64)
+        theta_ms = np.asarray(theta_ms, dtype=np.float64)
         if demands_mb.shape != (R,):
             raise ValueError(f"demands must have shape ({R},), got {demands_mb.shape}")
         if theta_ms.shape != (S,):
@@ -348,7 +350,7 @@ class PerSlotLpSolver:
             # carries to the next slot; a future miss's cold solve
             # re-shrinks it.
             self._support = support
-            x_full = np.zeros(self._n_vars)
+            x_full = np.zeros(self._n_vars, dtype=np.float64)
             x_full[cols] = result.x
             return x_full, float(result.fun)
         return None

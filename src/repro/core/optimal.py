@@ -43,7 +43,9 @@ def _cached_solver(
         if cached_network is network and cached_requests == requests_key:
             return solver
     solver = PerSlotLpSolver(network, requests)
+    # repro: allow[MP002] -- single-entry pure memo; each pool worker rebuilds an identical solver from its own (network, requests)
     _SOLVER_CACHE.clear()
+    # repro: allow[MP002] -- see above; the entry never crosses processes
     _SOLVER_CACHE.append((network, requests_key, solver))
     return solver
 

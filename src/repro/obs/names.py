@@ -1,0 +1,78 @@
+"""The central metric-name catalogue — every series ``repro`` emits.
+
+``repro.obs`` creates a series lazily on first use, which is the right
+runtime behaviour (the disabled path stays allocation-free) but means a
+typo'd name silently becomes a brand-new series while dashboards keep
+reading the stale one.  This module is the single source of truth the
+project-scope analysis rules check both directions against:
+
+* ``OBS002`` — every ``obs.inc/gauge/observe/span`` literal used anywhere
+  under ``src/repro`` must appear in the matching set below;
+* ``OBS003`` — every name below must be emitted by some scanned module.
+
+Keep the sets sorted when editing; the declarations are matched as
+string literals by the analyzer (``repro.analysis.project``), so no
+computed names here.
+
+Span names double as timing series: ``obs.span("x")`` records the
+``x.seconds`` histogram and the ``x.calls`` counter.  Those derived
+names are implied by the ``SPANS`` entry and are not declared separately.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["COUNTERS", "GAUGES", "HISTOGRAMS", "SPANS"]
+
+#: ``obs.inc(name)`` series.
+COUNTERS: FrozenSet[str] = frozenset(
+    {
+        "campaign.cells_completed",
+        "campaign.items_stolen",
+        "campaign.units_dispatched",
+        "campaign.world_cache_hits",
+        "campaign.world_cache_misses",
+        "lp.iterations",
+        "lp.warm_hits",
+        "lp.warm_misses",
+        "olgd.arms_played",
+        "sim.retries",
+        "sim.slots",
+        "state.load",
+        "state.save",
+    }
+)
+
+#: ``obs.gauge(name, value)`` series.
+GAUGES: FrozenSet[str] = frozenset(
+    {
+        "campaign.cells_in_flight",
+    }
+)
+
+#: ``obs.observe(name, value)`` series (none today: timing histograms are
+#: derived from spans; add direct-histogram names here when they appear).
+HISTOGRAMS: FrozenSet[str] = frozenset()
+
+#: ``obs.span(name)`` base names (imply ``<name>.seconds`` / ``<name>.calls``).
+SPANS: FrozenSet[str] = frozenset(
+    {
+        "gan.predict",
+        "gan.refine",
+        "lp.patch",
+        "lp.solve",
+        "nn.backward",
+        "nn.forward",
+        "olgd.arm_update",
+        "olgd.candidates",
+        "olgd.repair",
+        "olgd.sample",
+        "sim.decide",
+        "sim.evaluate",
+        "sim.observe",
+        "sim.optimal",
+        "state.load",
+        "state.save",
+    }
+)

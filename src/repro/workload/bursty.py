@@ -288,6 +288,17 @@ class FlashCrowdSchedule:
             ]
         }
 
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place."""
+        windows: Dict[int, List[_Window]] = {}
+        for hotspot, start, end, amplitude in state["events"]:
+            windows.setdefault(int(hotspot), []).append(
+                _Window(start=int(start), end=int(end), amplitude_mb=float(amplitude))
+            )
+        for entries in windows.values():
+            entries.sort(key=lambda w: w.start)
+        self._windows = windows
+
     @property
     def n_events(self) -> int:
         """Total number of registered windows."""

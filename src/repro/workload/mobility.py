@@ -25,6 +25,7 @@ from repro.utils.validation import require_positive
 __all__ = ["HotspotHoppingMobility", "MobilePriorityController"]
 
 
+# repro: allow[STATE001] -- only mutates lazily-extended itinerary caches that are pure functions of (seed, user); regrown bit-identically after resume
 class HotspotHoppingMobility:
     """Users dwell at a hotspot, then hop to a uniformly random other one.
 

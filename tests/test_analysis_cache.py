@@ -1,0 +1,153 @@
+"""The on-disk incremental cache: hit/miss accounting, content-hash
+keying, transitive import invalidation, analyzer-fingerprint discard,
+and corrupt-file degradation."""
+
+import json
+
+from repro.analysis import analyze_paths
+from repro.analysis.cache import AnalysisCache, analyzer_fingerprint
+
+TREE = {
+    "src/repro/a.py": "from repro.b import f\n\nVALUE = f()\n",
+    "src/repro/b.py": "from repro.c import g\n\n\ndef f():\n    return g()\n",
+    "src/repro/c.py": "def g():\n    return 1\n",
+}
+
+
+def write_tree(root, files=TREE):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root / "src"
+
+
+def run(tmp_path, **kwargs):
+    stats = {}
+    findings = analyze_paths(
+        [tmp_path / "src"],
+        root=tmp_path,
+        cache_path=tmp_path / "cache.json",
+        stats=stats,
+        **kwargs,
+    )
+    return findings, stats
+
+
+class TestHitMiss:
+    def test_cold_then_warm(self, tmp_path):
+        write_tree(tmp_path)
+        _, cold = run(tmp_path)
+        assert cold["cache"] == {"enabled": True, "hits": 0, "misses": 3}
+        _, warm = run(tmp_path)
+        assert warm["cache"] == {"enabled": True, "hits": 3, "misses": 0}
+
+    def test_warm_run_reports_identical_findings(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {**TREE, "src/repro/bad.py": "def f(xs=[]):\n    return xs\n"},
+        )
+        cold_findings, _ = run(tmp_path)
+        warm_findings, warm = run(tmp_path)
+        assert warm["cache"]["hits"] == 4
+        assert warm_findings == cold_findings
+        assert [f.rule for f in warm_findings] == ["API001"]
+
+    def test_suppressions_survive_a_cache_round_trip(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                **TREE,
+                "src/repro/ok.py": (
+                    "def f(xs=[]):  # repro: allow[API001] -- fixture\n"
+                    "    return xs\n"
+                ),
+            },
+        )
+        cold_findings, _ = run(tmp_path)
+        warm_findings, _ = run(tmp_path)
+        assert cold_findings == warm_findings == []
+
+    def test_content_edit_misses_only_that_file(self, tmp_path):
+        write_tree(tmp_path)
+        run(tmp_path)
+        (tmp_path / "src/repro/a.py").write_text("VALUE = 2\n")
+        _, stats = run(tmp_path)
+        assert stats["cache"] == {"enabled": True, "hits": 2, "misses": 1}
+
+
+class TestInvalidation:
+    def entry(self, tmp_path, rel):
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        return payload["files"][rel]
+
+    def test_editing_a_dep_refreshes_importers_dep_digest(self, tmp_path):
+        write_tree(tmp_path)
+        run(tmp_path)
+        before_a = self.entry(tmp_path, "src/repro/a.py")
+        before_c = self.entry(tmp_path, "src/repro/c.py")
+        (tmp_path / "src/repro/c.py").write_text("def g():\n    return 2\n")
+        run(tmp_path)
+        after_a = self.entry(tmp_path, "src/repro/a.py")
+        after_c = self.entry(tmp_path, "src/repro/c.py")
+        # a.py's bytes are unchanged but its transitive closure is not:
+        # the stored dep digest must track the edit through b.py.
+        assert after_a["digest"] == before_a["digest"]
+        assert after_a["dep_digest"] != before_a["dep_digest"]
+        assert after_c["digest"] != before_c["digest"]
+
+    def test_fingerprint_mismatch_discards_the_cache(self, tmp_path):
+        write_tree(tmp_path)
+        run(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        payload = json.loads(cache_file.read_text())
+        assert payload["analyzer"] == analyzer_fingerprint()
+        payload["analyzer"] = "stale-analyzer"
+        cache_file.write_text(json.dumps(payload))
+        _, stats = run(tmp_path)
+        assert stats["cache"] == {"enabled": True, "hits": 0, "misses": 3}
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        write_tree(tmp_path)
+        (tmp_path / "cache.json").write_text("{not json")
+        findings, stats = run(tmp_path)
+        assert findings == []
+        assert stats["cache"]["misses"] == 3
+
+    def test_explicit_rule_subset_bypasses_the_cache(self, tmp_path):
+        from repro.analysis import rule_by_id
+
+        write_tree(tmp_path)
+        _, stats = run(tmp_path, rules=[rule_by_id("API001")])
+        assert stats["cache"] == {"enabled": False, "hits": 0, "misses": 0}
+        assert not (tmp_path / "cache.json").exists()
+
+    def test_no_cache_flag_means_no_file(self, tmp_path):
+        write_tree(tmp_path)
+        stats = {}
+        analyze_paths([tmp_path / "src"], root=tmp_path, stats=stats)
+        assert stats["cache"]["enabled"] is False
+        assert not (tmp_path / ".repro-analysis-cache.json").exists()
+
+
+class TestStore:
+    def test_narrower_scan_drops_out_of_scope_entries(self, tmp_path):
+        write_tree(tmp_path)
+        run(tmp_path)
+        stats = {}
+        analyze_paths(
+            [tmp_path / "src/repro/a.py"],
+            root=tmp_path,
+            cache_path=tmp_path / "cache.json",
+            stats=stats,
+        )
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        assert sorted(payload["files"]) == ["src/repro/a.py"]
+
+    def test_readonly_location_degrades_silently(self, tmp_path):
+        write_tree(tmp_path)
+        missing_dir = tmp_path / "no" / "such" / "dir" / "cache.json"
+        store = AnalysisCache.load(missing_dir)
+        store.replace([])
+        store.save()  # must not raise
+        assert not missing_dir.exists()

@@ -182,17 +182,24 @@ class TestCli:
     def test_json_output_schema(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text(MUTABLE_DEFAULT)
-        status = main(["--format", "json", "--no-baseline", str(bad)])
+        status = main(["--format", "json", "--no-baseline", "--no-cache", str(bad)])
         payload = json.loads(capsys.readouterr().out)
         assert status == 1
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["checked_files"] == 1
         assert payload["count"] == 1
         (finding,) = payload["findings"]
-        assert set(finding) == {"path", "rule", "line", "col", "message", "text"}
+        assert set(finding) == {
+            "path", "rule", "line", "col", "message", "text", "scope",
+        }
         assert finding["rule"] == "API001"
         assert finding["line"] == 1
         assert finding["text"] == "def f(xs=[]):"
+        assert finding["scope"] == "module"
+        assert payload["project"]["modules"] == 1
+        assert payload["project"]["import_edges"] == 0
+        assert "STATE001" in payload["project"]["rules"]
+        assert payload["cache"] == {"enabled": False, "hits": 0, "misses": 0}
 
     def test_update_baseline_then_clean(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -204,6 +211,62 @@ class TestCli:
         # The baseline does not hide *new* findings.
         bad.write_text(MUTABLE_DEFAULT + "def g(ys=[]):\n    return ys\n")
         assert main(["--baseline", str(baseline), str(bad)]) == 1
+
+    def test_update_baseline_reports_pruned_entries(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(MUTABLE_DEFAULT)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        # Still fires: carried over, not pruned.  The
+                        # path must match what the analyzer reports for
+                        # an out-of-tree file: the absolute path.
+                        {
+                            "path": str(bad),
+                            "rule": "API001",
+                            "text": "def f(xs=[]):",
+                            "count": 1,
+                        },
+                        # The file is gone.
+                        {
+                            "path": "deleted.py",
+                            "rule": "API001",
+                            "text": "def g(ys=[]):",
+                            "count": 1,
+                        },
+                        # The rule id was retired.
+                        {
+                            "path": str(bad),
+                            "rule": "OLD999",
+                            "text": "x = 1",
+                            "count": 2,
+                        },
+                        # Registered rule, file exists, finding fixed.
+                        {
+                            "path": str(bad),
+                            "rule": "DET001",
+                            "text": "np.random.seed(0)",
+                            "count": 1,
+                        },
+                    ],
+                }
+            )
+        )
+        assert (
+            main(["--baseline", str(baseline), "--update-baseline", str(bad)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deleted.py: API001 (file no longer exists)" in out
+        assert "OLD999 (rule id no longer registered)" in out
+        assert "DET001 (finding no longer fires)" in out
+        assert "pruned 4 grandfathered entries" in out
+        # The rewritten baseline still covers the live finding only.
+        payload = json.loads(baseline.read_text())
+        assert [e["rule"] for e in payload["entries"]] == ["API001"]
 
     def test_list_rules_names_every_rule(self, capsys):
         assert main(["--list-rules"]) == 0

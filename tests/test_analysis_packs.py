@@ -1,0 +1,427 @@
+"""Fixture mini-projects for the project-scope rule packs (STATE / MP /
+OBS) and the hot-path DTYPE pack: each pack gets a positive finding, a
+suppressed variant, and a baseline-matched variant."""
+
+from repro.analysis import Baseline, analyze_source, analyze_sources
+
+#: Catalogue module used by the OBS fixtures (path fixes its dotted name).
+NAMES_PATH = "src/repro/obs/names.py"
+
+
+def rules_fired(findings):
+    return [f.rule for f in findings]
+
+
+def assert_baseline_covers(findings):
+    baseline = Baseline.from_findings(findings)
+    assert baseline.filter(findings) == []
+
+
+# --------------------------------------------------------------------- #
+# STATE pack
+# --------------------------------------------------------------------- #
+
+
+class TestCheckpointPair:
+    BAD = {
+        "src/repro/bandits/t.py": (
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self._xs = []\n"
+            "    def record(self, v):\n"
+            "        self._xs.append(v)\n"
+        )
+    }
+
+    def test_mutable_class_without_pair_fires(self):
+        findings = analyze_sources(self.BAD)
+        assert rules_fired(findings) == ["STATE001"]
+        assert "Tracker" in findings[0].message
+
+    def test_pair_present_is_clean(self):
+        good = {
+            "src/repro/bandits/t.py": (
+                "class Tracker:\n"
+                "    def __init__(self):\n"
+                "        self._xs = []\n"
+                "    def record(self, v):\n"
+                "        self._xs.append(v)\n"
+                "    def state_dict(self):\n"
+                "        return {'xs': list(self._xs)}\n"
+                "    def load_state_dict(self, state):\n"
+                "        self._xs = list(state['xs'])\n"
+            )
+        }
+        assert analyze_sources(good) == []
+
+    def test_pair_inherited_across_modules_is_clean(self):
+        good = {
+            "src/repro/prediction/base.py": (
+                "class Base:\n"
+                "    def state_dict(self):\n"
+                "        return {}\n"
+                "    def load_state_dict(self, state):\n"
+                "        pass\n"
+            ),
+            "src/repro/prediction/child.py": (
+                "from repro.prediction.base import Base\n"
+                "class Child(Base):\n"
+                "    def observe(self, v):\n"
+                "        self._seen = v\n"
+            ),
+        }
+        assert analyze_sources(good) == []
+
+    def test_outside_state_packages_is_silent(self):
+        outside = {"src/repro/cli/t.py": self.BAD["src/repro/bandits/t.py"]}
+        assert analyze_sources(outside) == []
+
+    def test_suppression_silences(self):
+        suppressed = {
+            "src/repro/bandits/t.py": (
+                "# repro: allow[STATE001] -- ephemeral scratch state\n"
+                + self.BAD["src/repro/bandits/t.py"]
+            )
+        }
+        assert analyze_sources(suppressed) == []
+
+    def test_baseline_matches(self):
+        assert_baseline_covers(analyze_sources(self.BAD))
+
+
+class TestCheckpointKeys:
+    BAD = {
+        "src/repro/workload/t.py": (
+            "class C:\n"
+            "    def state_dict(self):\n"
+            "        return {'a': 1, 'b': 2}\n"
+            "    def load_state_dict(self, state):\n"
+            "        self.a = state['a']\n"
+        )
+    }
+
+    def test_key_mismatch_fires_both_directions(self):
+        findings = analyze_sources(self.BAD)
+        assert rules_fired(findings) == ["STATE002"]
+        assert "written but never restored: b" in findings[0].message
+
+    def test_matching_keys_are_clean(self):
+        good = {
+            "src/repro/workload/t.py": (
+                "class C:\n"
+                "    def state_dict(self):\n"
+                "        return {'a': 1}\n"
+                "    def load_state_dict(self, state):\n"
+                "        self.a = state['a']\n"
+            )
+        }
+        assert analyze_sources(good) == []
+
+    def test_dynamic_keys_are_skipped(self):
+        dynamic = {
+            "src/repro/workload/t.py": (
+                "class C:\n"
+                "    def state_dict(self):\n"
+                "        return dict(self.__dict__)\n"
+                "    def load_state_dict(self, state):\n"
+                "        self.a = state['a']\n"
+            )
+        }
+        assert analyze_sources(dynamic) == []
+
+    def test_suppression_silences(self):
+        source = self.BAD["src/repro/workload/t.py"].replace(
+            "    def load_state_dict(self, state):\n",
+            "    # repro: allow[STATE002] -- b restored by the caller\n"
+            "    def load_state_dict(self, state):\n",
+        )
+        assert analyze_sources({"src/repro/workload/t.py": source}) == []
+
+    def test_baseline_matches(self):
+        assert_baseline_covers(analyze_sources(self.BAD))
+
+
+# --------------------------------------------------------------------- #
+# MP pack
+# --------------------------------------------------------------------- #
+
+
+class TestPoolCallable:
+    def test_lambda_nested_and_bound_method_fire(self):
+        bad = {
+            "src/repro/campaigns/t.py": (
+                "class Driver:\n"
+                "    def go(self, pool):\n"
+                "        pool.submit(lambda: 1)\n"
+                "        pool.submit(self.step)\n"
+                "    def run(self, pool):\n"
+                "        def inner():\n"
+                "            return 2\n"
+                "        pool.submit(inner)\n"
+            )
+        }
+        findings = analyze_sources(bad)
+        assert sorted(rules_fired(findings)) == ["MP001", "MP001", "MP001"]
+
+    def test_module_level_function_is_clean(self):
+        good = {
+            "src/repro/campaigns/t.py": (
+                "def work(x):\n"
+                "    return x\n"
+                "def drive(pool):\n"
+                "    pool.submit(work, 1)\n"
+            )
+        }
+        assert analyze_sources(good) == []
+
+    def test_suppression_silences(self):
+        suppressed = {
+            "src/repro/campaigns/t.py": (
+                "def drive(pool):\n"
+                "    pool.submit(lambda: 1)  # repro: allow[MP001] -- thread pool, never pickled\n"
+            )
+        }
+        assert analyze_sources(suppressed) == []
+
+    def test_baseline_matches(self):
+        bad = {
+            "src/repro/campaigns/t.py": (
+                "def drive(pool):\n    pool.submit(lambda: 1)\n"
+            )
+        }
+        assert_baseline_covers(analyze_sources(bad))
+
+
+class TestWorkerGlobalWrite:
+    BAD = {
+        "src/repro/campaigns/worker.py": (
+            "CACHE = {}\n"
+            "def entry(x):\n"
+            "    CACHE[x] = x\n"
+            "    return x\n"
+        ),
+        "src/repro/campaigns/driver.py": (
+            "from repro.campaigns.worker import entry\n"
+            "def drive(pool):\n"
+            "    pool.submit(entry, 1)\n"
+        ),
+    }
+
+    def test_worker_reachable_global_write_fires(self):
+        findings = analyze_sources(self.BAD)
+        assert rules_fired(findings) == ["MP002"]
+        assert "'CACHE'" in findings[0].message
+
+    def test_write_reached_transitively_fires(self):
+        files = dict(self.BAD)
+        files["src/repro/campaigns/worker.py"] = (
+            "CACHE = {}\n"
+            "def entry(x):\n"
+            "    return helper(x)\n"
+            "def helper(x):\n"
+            "    CACHE[x] = x\n"
+            "    return x\n"
+        )
+        assert rules_fired(analyze_sources(files)) == ["MP002"]
+
+    def test_same_write_outside_worker_path_is_clean(self):
+        files = {"src/repro/campaigns/worker.py": self.BAD["src/repro/campaigns/worker.py"]}
+        assert analyze_sources(files) == []
+
+    def test_suppression_silences(self):
+        files = dict(self.BAD)
+        files["src/repro/campaigns/worker.py"] = (
+            "CACHE = {}\n"
+            "def entry(x):\n"
+            "    CACHE[x] = x  # repro: allow[MP002] -- per-worker memo by design\n"
+            "    return x\n"
+        )
+        assert analyze_sources(files) == []
+
+    def test_baseline_matches(self):
+        assert_baseline_covers(analyze_sources(self.BAD))
+
+
+class TestPoolGenerator:
+    def test_generator_argument_fires(self):
+        bad = {
+            "src/repro/campaigns/t.py": (
+                "import numpy as np\n"
+                "def work(x):\n"
+                "    return x\n"
+                "def drive(pool):\n"
+                "    rng = np.random.default_rng(0)\n"
+                "    pool.submit(work, rng)\n"
+            )
+        }
+        assert rules_fired(analyze_sources(bad)) == ["MP003"]
+
+    def test_generator_param_on_submitted_function_fires(self):
+        bad = {
+            "src/repro/campaigns/worker.py": (
+                "import numpy as np\n"
+                "def work(seed, rng: np.random.Generator):\n"
+                "    return seed\n"
+            ),
+            "src/repro/campaigns/driver.py": (
+                "from repro.campaigns.worker import work\n"
+                "def drive(pool, payload):\n"
+                "    pool.submit(work, payload)\n"
+            ),
+        }
+        assert rules_fired(analyze_sources(bad)) == ["MP003"]
+
+    def test_integer_seed_is_clean(self):
+        good = {
+            "src/repro/campaigns/t.py": (
+                "def work(seed):\n"
+                "    return seed\n"
+                "def drive(pool):\n"
+                "    pool.submit(work, 123)\n"
+            )
+        }
+        assert analyze_sources(good) == []
+
+    def test_suppression_and_baseline(self):
+        bad_line = "    pool.submit(work, np.random.default_rng(0))\n"
+        source = (
+            "import numpy as np\n"
+            "def work(x):\n"
+            "    return x\n"
+            "def drive(pool):\n" + bad_line
+        )
+        findings = analyze_sources({"src/repro/campaigns/t.py": source})
+        assert rules_fired(findings) == ["MP003"]
+        assert_baseline_covers(findings)
+        suppressed = source.replace(
+            bad_line,
+            "    # repro: allow[MP003] -- fixture exercises the forked stream\n"
+            + bad_line,
+        )
+        assert analyze_sources({"src/repro/campaigns/t.py": suppressed}) == []
+
+
+# --------------------------------------------------------------------- #
+# OBS pack
+# --------------------------------------------------------------------- #
+
+
+class TestObsCatalogue:
+    NAMES = (
+        "COUNTERS = frozenset({'sim.slots'})\n"
+        "GAUGES = frozenset()\n"
+        "HISTOGRAMS = frozenset()\n"
+        "SPANS = frozenset()\n"
+    )
+    USER = (
+        "from repro import obs\n"
+        "def tick():\n"
+        "    obs.inc('sim.slots')\n"
+    )
+
+    def test_declared_and_used_is_clean(self):
+        files = {NAMES_PATH: self.NAMES, "src/repro/campaigns/t.py": self.USER}
+        assert analyze_sources(files) == []
+
+    def test_undeclared_use_fires_obs002(self):
+        files = {
+            NAMES_PATH: self.NAMES,
+            "src/repro/campaigns/t.py": self.USER.replace("sim.slots", "sim.typo"),
+        }
+        findings = analyze_sources(files)
+        assert rules_fired(findings) == ["OBS002", "OBS003"]
+        assert findings[0].path == "src/repro/campaigns/t.py"
+
+    def test_unused_declaration_fires_obs003(self):
+        files = {NAMES_PATH: self.NAMES}
+        findings = analyze_sources(files)
+        assert rules_fired(findings) == ["OBS003"]
+        assert findings[0].path == NAMES_PATH
+
+    def test_without_catalogue_module_both_rules_stay_silent(self):
+        files = {
+            "src/repro/campaigns/t.py": self.USER.replace("sim.slots", "sim.typo")
+        }
+        assert analyze_sources(files) == []
+
+    def test_span_name_covers_derived_series(self):
+        files = {
+            NAMES_PATH: self.NAMES.replace(
+                "SPANS = frozenset()", "SPANS = frozenset({'sim.decide'})"
+            ),
+            "src/repro/campaigns/t.py": (
+                "from repro import obs\n"
+                "def tick():\n"
+                "    obs.inc('sim.slots')\n"
+                "    with obs.span('sim.decide'):\n"
+                "        pass\n"
+            ),
+        }
+        assert analyze_sources(files) == []
+
+    def test_suppression_and_baseline(self):
+        files = {
+            NAMES_PATH: self.NAMES,
+            "src/repro/campaigns/t.py": (
+                "from repro import obs\n"
+                "def tick():\n"
+                "    obs.inc('sim.slots')\n"
+                "    obs.inc('sim.adhoc')  # repro: allow[OBS002] -- scratch series in an example\n"
+            ),
+        }
+        assert analyze_sources(files) == []
+        unsuppressed = {
+            NAMES_PATH: self.NAMES,
+            "src/repro/campaigns/t.py": (
+                "from repro import obs\n"
+                "def tick():\n"
+                "    obs.inc('sim.slots')\n"
+                "    obs.inc('sim.adhoc')\n"
+            ),
+        }
+        assert_baseline_covers(analyze_sources(unsuppressed))
+
+
+# --------------------------------------------------------------------- #
+# DTYPE pack (module scope, hot-path modules only)
+# --------------------------------------------------------------------- #
+
+
+class TestDtypePack:
+    HOT = "src/repro/nn/fused.py"
+    COLD = "src/repro/cli/plotting.py"
+
+    def test_dtype_less_constructor_fires_in_hot_path(self):
+        source = "import numpy as np\nx = np.zeros(4)\n"
+        findings = analyze_source(source, self.HOT)
+        assert rules_fired(findings) == ["DTYPE001"]
+
+    def test_explicit_dtype_is_clean(self):
+        source = "import numpy as np\nx = np.zeros(4, dtype=np.float32)\n"
+        assert analyze_source(source, self.HOT) == []
+
+    def test_cold_modules_are_exempt(self):
+        source = "import numpy as np\nx = np.zeros(4)\n"
+        assert analyze_source(source, self.COLD) == []
+
+    def test_implicit_float64_spellings_fire(self):
+        source = (
+            "import numpy as np\n"
+            "a = np.asarray([1.0], dtype=float)\n"
+            "b = np.asarray([1.0], dtype='float64')\n"
+        )
+        findings = analyze_source(source, self.HOT)
+        assert rules_fired(findings) == ["DTYPE002", "DTYPE002"]
+
+    def test_np_float64_spelling_is_clean(self):
+        source = "import numpy as np\na = np.asarray([1.0], dtype=np.float64)\n"
+        assert analyze_source(source, self.HOT) == []
+
+    def test_suppression_and_baseline(self):
+        bad = "import numpy as np\nx = np.zeros(4)\n"
+        assert_baseline_covers(analyze_source(bad, self.HOT))
+        suppressed = (
+            "import numpy as np\n"
+            "x = np.zeros(4)  # repro: allow[DTYPE001] -- float64 scratch, not hot-path data\n"
+        )
+        assert analyze_source(suppressed, self.HOT) == []

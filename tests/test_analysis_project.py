@@ -1,0 +1,299 @@
+"""Unit tests for the cross-module layer (``repro.analysis.project``):
+module summaries, the import graph, symbol resolution, the call index,
+worker reachability, and the summary JSON round-trip the cache relies on.
+"""
+
+import ast
+import json
+
+from repro.analysis import ModuleSummary, ProjectContext, build_summary
+from repro.analysis.engine import ModuleContext
+
+
+def summarize(path, source):
+    return build_summary(ModuleContext(path, source, ast.parse(source)))
+
+
+def make_project(files):
+    """Build a :class:`ProjectContext` from ``{path: source}``."""
+    return ProjectContext([summarize(path, src) for path, src in files.items()])
+
+
+# --------------------------------------------------------------------- #
+# Module summaries
+# --------------------------------------------------------------------- #
+
+
+class TestModuleSummary:
+    def test_top_names_and_imports(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "import numpy as np\n"
+            "from repro.core.other import helper\n"
+            "CONST = 1\n"
+            "def fn():\n    pass\n"
+            "class Cls:\n    pass\n",
+        )
+        assert summary.dotted == "repro.core.x"
+        assert summary.top_names["np"] == "import"
+        assert summary.top_names["helper"] == "import"
+        assert summary.top_names["CONST"] == "assign"
+        assert summary.top_names["fn"] == "function"
+        assert summary.top_names["Cls"] == "class"
+        assert summary.imports["helper"] == "repro.core.other.helper"
+        assert "repro.core.other.helper" in summary.import_targets
+
+    def test_relative_import_is_anchored_on_the_package(self):
+        summary = summarize(
+            "src/repro/core/x.py", "from .other import helper\n"
+        )
+        assert summary.imports["helper"] == "repro.core.other.helper"
+
+    def test_class_mutation_outside_construction_is_recorded(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self._xs = []\n"
+            "    def record(self, v):\n"
+            "        self._xs.append(v)\n",
+        )
+        cls = summary.classes["Tracker"]
+        assert cls.mutated_attrs == ("_xs",)
+
+    def test_init_only_writes_are_not_mutations(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "class Frozen:\n"
+            "    def __init__(self):\n"
+            "        self._xs = []\n"
+            "    def peek(self):\n"
+            "        return self._xs\n",
+        )
+        assert summary.classes["Frozen"].mutated_attrs == ()
+
+    def test_state_dict_literal_keys(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "class C:\n"
+            "    def state_dict(self):\n"
+            "        return {'a': self.a, 'b': self.b}\n"
+            "    def load_state_dict(self, state):\n"
+            "        self.a = state['a']\n"
+            "        self.b = state.get('b')\n",
+        )
+        cls = summary.classes["C"]
+        assert sorted(cls.state_keys) == ["a", "b"]
+        assert sorted(cls.load_keys) == ["a", "b"]
+        assert not cls.state_dynamic and not cls.load_dynamic
+
+    def test_dynamic_state_dict_is_flagged_not_guessed(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "class C:\n"
+            "    def state_dict(self):\n"
+            "        return dict(self.__dict__)\n"
+            "    def load_state_dict(self, state):\n"
+            "        for k, v in state.items():\n"
+            "            setattr(self, k, v)\n",
+        )
+        cls = summary.classes["C"]
+        assert cls.state_dynamic and cls.load_dynamic
+
+    def test_mutable_module_globals(self):
+        summary = summarize(
+            "src/repro/core/x.py", "CACHE = {}\nLIMIT = 3\nNAMES = []\n"
+        )
+        assert set(summary.mutable_globals) == {"CACHE", "NAMES"}
+
+    def test_submit_site_classification(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "import functools\n"
+            "def work(x):\n    return x\n"
+            "class Driver:\n"
+            "    def go(self, pool):\n"
+            "        pool.submit(work, 1)\n"
+            "        pool.submit(lambda: 2)\n"
+            "        pool.submit(self.step)\n"
+            "        pool.submit(functools.partial(work, 3))\n"
+            "    def run(self, pool):\n"
+            "        def inner():\n            return 4\n"
+            "        pool.submit(inner)\n",
+        )
+        kinds = [site.callable_kind for site in summary.submit_sites]
+        assert kinds.count("name") == 2  # work, partial(work)
+        assert "lambda" in kinds
+        assert "self" in kinds
+        assert "nested" in kinds
+
+    def test_generator_param_and_argument_detection(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "import numpy as np\n"
+            "def work(seed, rng: np.random.Generator):\n    return seed\n"
+            "def drive(pool):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    pool.submit(work, 1, rng)\n",
+        )
+        assert summary.functions["work"].generator_params == ("rng",)
+        (site,) = summary.submit_sites
+        assert site.generator_args == ("rng",)
+
+    def test_obs_uses_and_declarations(self):
+        summary = summarize(
+            "src/repro/sim/x.py",
+            "from repro import obs\n"
+            "def tick():\n"
+            "    obs.inc('sim.slots')\n"
+            "    with obs.span('sim.decide'):\n        pass\n",
+        )
+        assert {(u.helper, u.name) for u in summary.obs_uses} == {
+            ("inc", "sim.slots"),
+            ("span", "sim.decide"),
+        }
+        names = summarize(
+            "src/repro/obs/names.py",
+            "COUNTERS = frozenset({'sim.slots'})\nSPANS = frozenset({'sim.decide'})\n",
+        )
+        assert {(d.kind, d.name) for d in names.obs_declarations} == {
+            ("counter", "sim.slots"),
+            ("span", "sim.decide"),
+        }
+
+    def test_summary_json_round_trip(self):
+        summary = summarize(
+            "src/repro/core/x.py",
+            "import numpy as np\n"
+            "CACHE = {}\n"
+            "def work(rng: np.random.Generator):\n"
+            "    CACHE['k'] = 1\n"
+            "def drive(pool):\n"
+            "    pool.submit(work)\n"
+            "class C:\n"
+            "    def bump(self):\n        self.n = 1\n",
+        )
+        payload = json.loads(json.dumps(summary.to_json()))
+        restored = ModuleSummary.from_json(payload)
+        assert restored == summary
+
+
+# --------------------------------------------------------------------- #
+# Import graph + resolution
+# --------------------------------------------------------------------- #
+
+
+class TestImportGraph:
+    def test_edges_and_transitive_closure(self):
+        project = make_project(
+            {
+                "src/repro/a.py": "from repro.b import f\n",
+                "src/repro/b.py": "from repro.c import g\ndef f():\n    pass\n",
+                "src/repro/c.py": "def g():\n    pass\n",
+            }
+        )
+        assert project.import_graph["repro.a"] == {"repro.b"}
+        assert project.transitive_imports("repro.a") == {"repro.b", "repro.c"}
+
+    def test_import_cycles_terminate(self):
+        project = make_project(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+        assert project.transitive_imports("repro.a") == {"repro.a", "repro.b"}
+
+    def test_resolve_follows_reexport_chain(self):
+        project = make_project(
+            {
+                "src/repro/pkg/__init__.py": "from repro.pkg.impl import Thing\n",
+                "src/repro/pkg/impl.py": "class Thing:\n    pass\n",
+                "src/repro/user.py": "from repro.pkg import Thing\n",
+            }
+        )
+        assert project.resolve("repro.user", "Thing") == (
+            "repro.pkg.impl",
+            "Thing",
+            "class",
+        )
+
+    def test_unresolvable_name_is_none(self):
+        project = make_project({"src/repro/a.py": "import os\n"})
+        assert project.resolve("repro.a", "os.path") is None
+        assert project.resolve("repro.a", "missing") is None
+
+
+class TestClassProvides:
+    def test_inherited_method_through_project_base(self):
+        project = make_project(
+            {
+                "src/repro/base.py": (
+                    "class Base:\n"
+                    "    def state_dict(self):\n        return {}\n"
+                ),
+                "src/repro/child.py": (
+                    "from repro.base import Base\n"
+                    "class Child(Base):\n    pass\n"
+                ),
+            }
+        )
+        child = project.modules["repro.child"].classes["Child"]
+        assert project.class_provides("repro.child", child, "state_dict")
+        assert not project.class_provides("repro.child", child, "load_state_dict")
+
+    def test_unresolvable_base_counts_as_not_providing(self):
+        project = make_project(
+            {
+                "src/repro/child.py": (
+                    "from torch import nn\n"
+                    "class Child(nn.Module):\n    pass\n"
+                )
+            }
+        )
+        child = project.modules["repro.child"].classes["Child"]
+        assert not project.class_provides("repro.child", child, "state_dict")
+
+
+# --------------------------------------------------------------------- #
+# Call index + worker reachability
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerReachability:
+    FILES = {
+        "src/repro/worker.py": (
+            "from repro.helper import deep\n"
+            "def entry(x):\n    return deep(x)\n"
+            "def unrelated():\n    pass\n"
+        ),
+        "src/repro/helper.py": "def deep(x):\n    return x\n",
+        "src/repro/driver.py": (
+            "from repro.worker import entry\n"
+            "def drive(pool):\n    pool.submit(entry, 1)\n"
+        ),
+    }
+
+    def test_entry_points_resolve_across_modules(self):
+        project = make_project(self.FILES)
+        assert project.worker_entry_functions() == {("repro.worker", "entry")}
+
+    def test_reachability_closes_over_named_calls(self):
+        project = make_project(self.FILES)
+        reachable = project.worker_reachable_functions()
+        assert ("repro.worker", "entry") in reachable
+        assert ("repro.helper", "deep") in reachable
+        assert ("repro.worker", "unrelated") not in reachable
+
+    def test_pool_initializer_is_an_entry_point(self):
+        project = make_project(
+            {
+                "src/repro/p.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "def init():\n    pass\n"
+                    "def drive():\n"
+                    "    return ProcessPoolExecutor(2, initializer=init)\n"
+                )
+            }
+        )
+        assert ("repro.p", "init") in project.worker_entry_functions()

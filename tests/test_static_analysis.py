@@ -21,8 +21,11 @@ BASELINE = REPO_ROOT / "analysis-baseline.json"
 
 
 def test_repository_is_analysis_clean():
+    # cache=True exercises the same incremental path the CLI uses; the
+    # cache is content-hash keyed, so a stale hit would be a cache bug,
+    # not a way to miss findings.
     findings = analyze_paths(
-        [REPO_ROOT / target for target in SCANNED], root=REPO_ROOT
+        [REPO_ROOT / target for target in SCANNED], root=REPO_ROOT, cache=True
     )
     fresh = Baseline.load(BASELINE).filter(findings)
     assert not fresh, (
