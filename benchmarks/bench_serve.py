@@ -1,0 +1,331 @@
+"""Benchmark trajectory for the serving layer: sustained requests/sec.
+
+Measures the decision-service stack end to end at its three depths:
+
+* ``serve_inproc_throughput`` — offers ingested + slots decided through
+  the in-process :class:`repro.serve.DecisionServer` API (the ceiling:
+  no serialisation, no sockets);
+* ``serve_dispatch_throughput`` — the same traffic through the
+  line-JSON dispatcher (:func:`repro.serve.handle_line`), isolating the
+  protocol encode/decode cost;
+* ``serve_tcp_throughput`` — pipelined offers over one persistent TCP
+  connection against the real :class:`repro.serve.ProtocolServer`;
+* ``serve_checkpoint_latency`` — drain-checkpoint write and warm-restart
+  (restore) latency, the operations a SIGTERM/restart cycle pays.
+
+Running as a script writes ``BENCH_pr10.json`` at the repo root — the
+next point of the recorded benchmark trajectory (see ``BENCH_pr3.json``
+onwards; "Performance" in README.md).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # smoke
+
+The tier-1 smoke test (``tests/test_bench_serve.py``) runs the
+``--quick`` configuration and validates the schema, so the benchmark
+itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.serve import DecisionServer, ProtocolServer, ServeConfig, handle_line
+
+SCHEMA = "repro.bench.trajectory/v1"
+PR = 10
+
+FULL_CONFIG: Dict = {
+    "n_stations": 16,
+    "n_services": 4,
+    "n_requests": 30,
+    "n_hotspots": 8,
+    "offers_per_slot": 30,
+    "inproc_slots": 200,
+    "dispatch_slots": 100,
+    "tcp_offers": 2000,
+    "checkpoint_slots": 50,
+    "repeats": 5,
+    "seed": 2020,
+}
+
+QUICK_CONFIG: Dict = {
+    "n_stations": 8,
+    "n_services": 2,
+    "n_requests": 6,
+    "n_hotspots": 3,
+    "offers_per_slot": 6,
+    "inproc_slots": 8,
+    "dispatch_slots": 6,
+    "tcp_offers": 60,
+    "checkpoint_slots": 6,
+    "repeats": 2,
+    "seed": 2020,
+}
+
+
+def _serve_config(config: Dict, **overrides) -> ServeConfig:
+    fields = dict(
+        controller="OL_GD",
+        seed=config["seed"],
+        horizon=64,
+        n_stations=config["n_stations"],
+        n_services=config["n_services"],
+        n_requests=config["n_requests"],
+        n_hotspots=config["n_hotspots"],
+    )
+    fields.update(overrides)
+    return ServeConfig(**fields)
+
+
+def _offer_stream(config: Dict, n_slots: int) -> List[List[Tuple[int, float]]]:
+    """Per-slot offer batches, deterministic in the config seed."""
+    rng = np.random.default_rng(config["seed"])
+    return [
+        [
+            (int(rng.integers(config["n_requests"])), float(rng.uniform(0.5, 2.0)))
+            for _ in range(config["offers_per_slot"])
+        ]
+        for _ in range(n_slots)
+    ]
+
+
+def _median(values: List[float]) -> float:
+    return float(statistics.median(values))
+
+
+# --------------------------------------------------------------------- #
+# Stages
+# --------------------------------------------------------------------- #
+
+
+def _inproc_stage(config: Dict) -> Dict:
+    """The API ceiling: offer() + decide() with no protocol in between."""
+    slots = config["inproc_slots"]
+    stream = _offer_stream(config, slots)
+    times = []
+    for _ in range(config["repeats"]):
+        server = DecisionServer(_serve_config(config))
+        server.start()
+        start = time.perf_counter()
+        for slot, batch in enumerate(stream):
+            for request, volume in batch:
+                server.offer(request, volume)
+            server.decide(slot)
+        times.append(time.perf_counter() - start)
+        server.stop()
+    seconds = _median(times)
+    n_offers = slots * config["offers_per_slot"]
+    return {
+        "stage": "serve_inproc_throughput",
+        "median_seconds": seconds,
+        "n_offers": n_offers,
+        "n_slots": slots,
+        "requests_per_second": n_offers / seconds,
+        "slots_per_second": slots / seconds,
+    }
+
+
+def _dispatch_stage(config: Dict) -> Dict:
+    """The protocol layer alone: JSON decode -> dispatch -> JSON encode."""
+    slots = config["dispatch_slots"]
+    stream = _offer_stream(config, slots)
+    lines = []
+    for slot, batch in enumerate(stream):
+        lines.append(
+            [
+                json.dumps({"op": "offer", "request": r, "volume_mb": v})
+                for r, v in batch
+            ]
+            + [json.dumps({"op": "decide", "slot": slot})]
+        )
+    times = []
+    for _ in range(config["repeats"]):
+        server = DecisionServer(_serve_config(config))
+        server.start()
+        start = time.perf_counter()
+        for slot_lines in lines:
+            for line in slot_lines:
+                handle_line(server, line)
+        times.append(time.perf_counter() - start)
+        server.stop()
+    seconds = _median(times)
+    n_requests = sum(len(slot_lines) for slot_lines in lines)
+    return {
+        "stage": "serve_dispatch_throughput",
+        "median_seconds": seconds,
+        "n_requests": n_requests,
+        "requests_per_second": n_requests / seconds,
+    }
+
+
+def _tcp_stage(config: Dict) -> Dict:
+    """Pipelined offers over one persistent connection to the TCP server."""
+    n_offers = config["tcp_offers"]
+    rng = np.random.default_rng(config["seed"] + 1)
+    payload = b"".join(
+        json.dumps(
+            {
+                "op": "offer",
+                "request": int(rng.integers(config["n_requests"])),
+                "volume_mb": float(rng.uniform(0.5, 2.0)),
+            }
+        ).encode("utf-8")
+        + b"\n"
+        for _ in range(n_offers)
+    )
+    times = []
+    for _ in range(config["repeats"]):
+        server = DecisionServer(
+            _serve_config(config, buffer_limit=max(1024, n_offers))
+        )
+        server.start()
+        tcp = ProtocolServer(server, port=0)
+        tcp.start_background()
+        try:
+            start = time.perf_counter()
+            with socket.create_connection(("127.0.0.1", tcp.port)) as conn:
+                conn.sendall(payload)
+                stream = conn.makefile("r", encoding="utf-8")
+                for _ in range(n_offers):
+                    if not stream.readline():
+                        raise RuntimeError("connection closed mid-benchmark")
+            times.append(time.perf_counter() - start)
+        finally:
+            tcp.stop_background()
+            server.stop()
+    seconds = _median(times)
+    return {
+        "stage": "serve_tcp_throughput",
+        "median_seconds": seconds,
+        "n_requests": n_offers,
+        "requests_per_second": n_offers / seconds,
+    }
+
+
+def _checkpoint_stage(config: Dict, workdir: Path) -> Dict:
+    """What a SIGTERM/restart cycle costs: snapshot write + warm restart."""
+    import shutil
+    import tempfile
+
+    slots = config["checkpoint_slots"]
+    stream = _offer_stream(config, slots)
+    save_times, restore_times = [], []
+    for _ in range(config["repeats"]):
+        tmp = Path(tempfile.mkdtemp(dir=workdir))
+        serve_config = _serve_config(
+            config, checkpoint_dir=tmp, resume=True
+        )
+        server = DecisionServer(serve_config)
+        server.start()
+        for slot, batch in enumerate(stream):
+            for request, volume in batch:
+                server.offer(request, volume)
+            server.decide(slot)
+        start = time.perf_counter()
+        server.stop()  # drain writes the snapshot
+        save_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        restarted = DecisionServer(serve_config)
+        restarted.start()  # warm restart restores the full trace
+        restore_times.append(time.perf_counter() - start)
+        assert restarted.slot == slots
+        restarted.stop()
+        shutil.rmtree(tmp)
+    return {
+        "stage": "serve_checkpoint_latency",
+        "median_seconds": _median(save_times),
+        "save_median_seconds": _median(save_times),
+        "restore_median_seconds": _median(restore_times),
+        "n_slots": slots,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def _commit_hash() -> str:
+    """HEAD at generation time, with ``-dirty`` when the tree has edits."""
+    cwd = Path(__file__).resolve().parent
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return f"{head}-dirty" if status else head
+
+
+def run_benchmark(config: Dict, workdir: Path) -> Dict:
+    """Run every stage under ``config``; returns the schema'd result."""
+    stages = [
+        _inproc_stage(config),
+        _dispatch_stage(config),
+        _tcp_stage(config),
+        _checkpoint_stage(config, workdir),
+    ]
+    return {
+        "schema": SCHEMA,
+        "pr": PR,
+        "commit": _commit_hash(),
+        "config": dict(config),
+        "stages": stages,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke configuration (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / f"BENCH_pr{PR}.json",
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args(argv)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as workdir:
+        result = run_benchmark(
+            QUICK_CONFIG if args.quick else FULL_CONFIG, Path(workdir)
+        )
+    for stage in result["stages"]:
+        rate = stage.get("requests_per_second")
+        rendered = (
+            f"{rate:10.0f} req/s" if rate is not None
+            else f"save {stage['save_median_seconds'] * 1e3:6.1f} ms"
+                 f" restore {stage['restore_median_seconds'] * 1e3:6.1f} ms"
+        )
+        print(f"{stage['stage']:<28} {stage['median_seconds'] * 1e3:8.2f} ms  {rendered}")
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,12 +14,11 @@ Run:  python examples/congestion_pricing.py
 
 import numpy as np
 
+from repro.api import MECNetwork, RngRegistry
 from repro.core import select_admissible
 from repro.core.formulation import build_caching_model
 from repro.lp import capacity_shadow_prices, solve_lp_with_duals
-from repro.mec import MECNetwork
 from repro.mec.datacenter import RemoteDataCenter, cloud_only_delay_ms
-from repro.utils import RngRegistry
 from repro.workload import (
     BurstyDemandModel,
     requests_from_trace,

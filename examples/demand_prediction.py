@@ -12,10 +12,10 @@ Run:  python examples/demand_prediction.py
 
 import numpy as np
 
+from repro.api import RngRegistry
 from repro.gan import GanDemandPredictor
 from repro.mec.requests import Request
 from repro.prediction import ArPredictor, EwmaPredictor
-from repro.utils import RngRegistry
 from repro.workload import BurstyDemandModel, encode_request_locations
 
 N_REQUESTS, N_HOTSPOTS = 16, 4

@@ -16,11 +16,10 @@ Run:  python examples/edge_vs_cloud.py
 
 import numpy as np
 
+from repro.api import MECNetwork, RngRegistry, run_simulation
 from repro.core import Assignment, OlGdController, evaluate_assignment
-from repro.mec import DriftingDelay, MECNetwork
+from repro.mec import DriftingDelay
 from repro.mec.datacenter import RemoteDataCenter, cloud_only_delay_ms
-from repro.sim import run_simulation
-from repro.utils import RngRegistry
 from repro.workload import (
     ConstantDemandModel,
     requests_from_trace,

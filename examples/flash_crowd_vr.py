@@ -16,10 +16,8 @@ Run:  python examples/flash_crowd_vr.py
 
 import numpy as np
 
+from repro.api import MECNetwork, RngRegistry, run_simulation
 from repro.core import OlGanController, OlRegController
-from repro.mec import MECNetwork
-from repro.sim import run_simulation
-from repro.utils import RngRegistry
 from repro.workload import (
     BurstyDemandModel,
     FlashCrowdSchedule,

@@ -18,10 +18,9 @@ import argparse
 
 import numpy as np
 
+from repro.api import MECNetwork, RngRegistry, run_simulation
 from repro.core import GreedyController, OlGdController, PriorityController
-from repro.mec import DriftingDelay, MECNetwork
-from repro.sim import run_simulation
-from repro.utils import RngRegistry
+from repro.mec import DriftingDelay
 from repro.workload import (
     ConstantDemandModel,
     requests_from_trace,

@@ -19,10 +19,8 @@ statistics, checkpointed cells and an aggregated report.
 
 import numpy as np
 
-from repro.core import make_controller
-from repro.mec import DriftingDelay, MECNetwork
-from repro.sim import run_simulation
-from repro.utils import RngRegistry
+from repro.api import MECNetwork, RngRegistry, make_controller, run_simulation
+from repro.mec import DriftingDelay
 from repro.workload import (
     ConstantDemandModel,
     requests_from_trace,

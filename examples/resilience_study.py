@@ -17,10 +17,10 @@ as a factor axis.
 
 import numpy as np
 
+from repro.api import MECNetwork, RngRegistry
 from repro.core import GreedyController, OlGdController
-from repro.mec import DriftingDelay, MECNetwork
+from repro.mec import DriftingDelay
 from repro.sim import FailureSchedule, run_with_failures
-from repro.utils import RngRegistry
 from repro.workload import (
     ConstantDemandModel,
     requests_from_trace,

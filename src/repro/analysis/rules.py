@@ -552,11 +552,14 @@ class PublicAnnotationRule(Rule):
 
     rule_id = "API002"
     name = "public-annotations"
-    summary = "public repro.core/repro.sim functions need full annotations"
-    paths = "src/repro/{core,sim}"
+    summary = (
+        "public repro.core/repro.sim/repro.serve/repro.api functions need "
+        "full annotations"
+    )
+    paths = "src/repro/{core,sim,serve,api.py}"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.in_packages({"core", "sim"})
+        return ctx.in_packages({"core", "sim", "serve", "api"})
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for stmt in ctx.tree.body:
@@ -614,13 +617,13 @@ class KeywordOnlyFlagsRule(Rule):
     rule_id = "API003"
     name = "keyword-only-flags"
     summary = (
-        "public repro.core/repro.sim functions with >=2 bool/None-default "
-        "parameters must declare them keyword-only"
+        "public repro.core/repro.sim/repro.serve/repro.api functions with "
+        ">=2 bool/None-default parameters must declare them keyword-only"
     )
-    paths = "src/repro/{core,sim}"
+    paths = "src/repro/{core,sim,serve,api.py}"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.in_packages({"core", "sim"})
+        return ctx.in_packages({"core", "sim", "serve", "api"})
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for stmt in ctx.tree.body:

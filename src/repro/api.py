@@ -1,0 +1,84 @@
+"""The stable public facade: one import surface for the whole library.
+
+Everything a typical user needs — building worlds through the
+registries, running a single simulation, a repetition study, a
+declarative campaign, or a long-running decision service — is
+re-exported here under its canonical name::
+
+    from repro.api import (
+        RunConfig, ServeConfig,
+        make_controller, make_topology, make_workload, make_predictor,
+        run_simulation, run_repetitions, run_campaign, serve,
+    )
+
+The facade is the API-stability contract (see the table in README.md):
+names exported here keep their signatures across releases, with
+deprecated spellings warned for at least one release before removal.
+Anything *not* exported here — module internals, the analysis rule
+engine, the figure code — may change without notice.
+
+Import cost note: importing :mod:`repro.api` pulls in the full stack
+(core + mec + workload + prediction + sim + campaigns + serve).  Code
+that only needs one layer can keep importing that layer's package
+directly; the facade re-exports the same objects, so isinstance checks
+and registrations interoperate either way.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns import (
+    CampaignResult,
+    CampaignSpec,
+    ScenarioSpec,
+    load_campaign_toml,
+    run_campaign,
+)
+from repro.core import Controller, make_controller, register_controller
+from repro.mec import MECNetwork, make_topology, register_topology
+from repro.prediction import make_predictor, register_predictor
+from repro.serve import DecisionServer, Placement, ServeConfig, serve
+from repro.sim import (
+    RepetitionStudy,
+    RunConfig,
+    SimulationResult,
+    compare_controllers,
+    run_repetitions,
+    run_simulation,
+)
+from repro.utils.seeding import RngRegistry
+from repro.workload import DemandModel, make_workload, register_workload
+
+__all__ = [
+    # world building (registries)
+    "make_controller",
+    "make_topology",
+    "make_workload",
+    "make_predictor",
+    "register_controller",
+    "register_topology",
+    "register_workload",
+    "register_predictor",
+    "Controller",
+    "MECNetwork",
+    "DemandModel",
+    "RngRegistry",
+    # execution entry points + their shared config
+    "RunConfig",
+    "run_simulation",
+    "run_repetitions",
+    "run_campaign",
+    "compare_controllers",
+    # results
+    "SimulationResult",
+    "RepetitionStudy",
+    "CampaignResult",
+    # campaigns (declarative)
+    "CampaignSpec",
+    "ScenarioSpec",
+    "load_campaign_toml",
+    # serving
+    "ServeConfig",
+    "serve",
+    "DecisionServer",
+    "Placement",
+]

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.campaigns.scenario import CampaignScenario, failure_schedule
 from repro.campaigns.spec import CampaignCell, CampaignError, CampaignSpec
+from repro.sim.config import UNSET, RunConfig, resolve_run_config
 from repro.sim.multirun import MetricSummary, RepetitionStudy, run_repetitions
 from repro.sim.parallel import resolve_n_jobs
 from repro.state.manifest import completed_items
@@ -233,57 +234,80 @@ def run_campaign(
     spec: CampaignSpec,
     out_dir: Union[str, Path],
     *,
-    n_jobs: int = 1,
-    resume: bool = False,
-    max_retries: int = 0,
+    config: Optional[RunConfig] = None,
     max_cells: Optional[int] = None,
-    collect_metrics: Optional[bool] = None,
-    scheduler: str = "auto",
+    n_jobs: object = UNSET,
+    resume: object = UNSET,
+    max_retries: object = UNSET,
+    collect_metrics: object = UNSET,
+    scheduler: object = UNSET,
 ) -> CampaignResult:
     """Execute ``spec``'s cells into ``out_dir``; resumable at any point.
 
-    ``scheduler`` picks the execution engine:
+    ``config`` (a :class:`repro.sim.RunConfig`) carries the execution
+    knobs — the same spelling :func:`repro.sim.run_simulation` and
+    :func:`repro.sim.run_repetitions` use: ``jobs``, ``retries``,
+    ``collect_metrics``, ``resume``, plus the campaign-only
+    ``scheduler``.  The pre-``RunConfig`` keywords (``n_jobs``,
+    ``max_retries``, and the bare ``resume``/``collect_metrics``/
+    ``scheduler``) still work but raise :class:`DeprecationWarning`;
+    mixing them with ``config=`` is a :class:`TypeError`.
+
+    ``config.scheduler`` picks the execution engine:
 
     * ``"global"`` — the campaign-wide work-stealing scheduler
       (:mod:`repro.campaigns.scheduler`): one persistent pool of
-      ``n_jobs`` workers drains the entire ``(cell × repetition ×
+      ``jobs`` workers drains the entire ``(cell × repetition ×
       controller)`` grid from a shared queue.
     * ``"cell"`` — the legacy path: cells run sequentially in expansion
-      order, each with its own per-cell pool of ``n_jobs`` workers
+      order, each with its own per-cell pool of ``jobs`` workers
       (forwarded to :func:`repro.sim.run_repetitions`).
-    * ``"auto"`` (default) — ``"global"`` when ``n_jobs`` resolves to
+    * ``"auto"`` (default) — ``"global"`` when ``jobs`` resolves to
       more than one worker, ``"cell"`` otherwise (in-process execution
       already shares world builds, so the pool buys nothing at 1).
 
     Both engines write the same directory tree with byte-identical
     ``summary.json`` per cell, so they can be mixed freely across
-    resumes.  ``max_retries``/``collect_metrics`` keep their
+    resumes.  ``retries``/``collect_metrics`` keep their
     :meth:`ParallelRunner.run` semantics under both.  ``max_cells`` stops
     after executing that many cells — the programmatic stand-in for a
     mid-campaign kill, and what the CI smoke test uses to exercise the
     resume path deterministically.
     """
-    if scheduler not in SCHEDULERS:
+    run_config = resolve_run_config(
+        "run_campaign",
+        config,
+        {
+            "n_jobs": n_jobs,
+            "resume": resume,
+            "max_retries": max_retries,
+            "collect_metrics": collect_metrics,
+            "scheduler": scheduler,
+        },
+    )
+    if run_config.scheduler not in SCHEDULERS:
         raise CampaignError(
-            f"unknown scheduler {scheduler!r}; pick one of {SCHEDULERS}"
+            f"unknown scheduler {run_config.scheduler!r}; "
+            f"pick one of {SCHEDULERS}"
         )
-    if scheduler == "global" or (
-        scheduler == "auto" and resolve_n_jobs(n_jobs) > 1
+    if run_config.scheduler == "global" or (
+        run_config.scheduler == "auto"
+        and resolve_n_jobs(run_config.jobs) > 1
     ):
         from repro.campaigns.scheduler import run_campaign_scheduled
 
         return run_campaign_scheduled(
             spec,
             out_dir,
-            n_jobs=n_jobs,
-            resume=resume,
-            max_retries=max_retries,
+            n_jobs=run_config.jobs,
+            resume=run_config.resume,
+            max_retries=run_config.retries,
             max_cells=max_cells,
-            collect_metrics=collect_metrics,
+            collect_metrics=run_config.collect_metrics,
         )
     out_dir = Path(out_dir)
     cells = spec.expand()
-    _check_or_claim_directory(spec, out_dir, resume)
+    _check_or_claim_directory(spec, out_dir, run_config.resume)
 
     studies: Dict[str, RepetitionStudy] = {}
     executed: List[str] = []
@@ -310,13 +334,15 @@ def run_campaign(
             horizon=cell.scenario.horizon,
             demands_known=spec.demands_known,
             confidence=spec.confidence,
-            n_jobs=n_jobs,
+            config=RunConfig(
+                jobs=run_config.jobs,
+                retries=run_config.retries,
+                collect_metrics=run_config.collect_metrics,
+                checkpoint_dir=cell_dir,
+                resume=run_config.resume,
+            ),
             n_controllers=len(cell.scenario.controllers),
-            collect_metrics=collect_metrics,
             failures=failure_schedule(cell.scenario),
-            max_retries=max_retries,
-            checkpoint_dir=cell_dir,
-            resume=resume,
         )
         write_cell_summary(cell_dir, cell, study)
         studies[cell.cell_id] = study

@@ -9,13 +9,20 @@ Usage::
     python -m repro campaign run SPEC.toml --out DIR [--jobs N] [--resume]
     python -m repro campaign status DIR
     python -m repro campaign report DIR [--metric NAME]
+    python -m repro serve [--controller OL_GD] [--port 0] [--stdio]
 
 ``figure`` renders the chosen experiment to stdout as a text table and
 optionally exports CSV/JSON; ``trace`` writes a synthetic NYC-Wi-Fi-like
 dataset (hotspots.csv / users.csv) for use with
 :func:`repro.workload.WifiTrace.from_csv`; ``campaign`` executes,
 inspects and aggregates declarative TOML experiment campaigns
-(:mod:`repro.campaigns`).
+(:mod:`repro.campaigns`); ``serve`` runs a controller as a long-running
+slot-clocked decision service (:mod:`repro.serve`).
+
+Flag spellings are shared across subcommands: ``--seed`` (world seed),
+``--jobs`` (worker/connection parallelism), ``--checkpoint-dir`` /
+``--checkpoint-every`` / ``--resume`` (persistence), ``--metrics-out`` /
+``--trace`` (telemetry) mean the same thing wherever they appear.
 """
 
 from __future__ import annotations
@@ -89,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: profile setting; 0 = all cores; results are "
              "bit-identical for any worker count)",
     )
+    figure_parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="world seed override (default: profile setting)",
+    )
     _add_checkpoint_arguments(figure_parser)
     _add_telemetry_arguments(figure_parser)
 
@@ -110,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the repetition fan-out "
              "(default: profile setting; 0 = all cores)",
+    )
+    report_parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="world seed override (default: profile setting)",
     )
     _add_checkpoint_arguments(report_parser)
     _add_telemetry_arguments(report_parser)
@@ -162,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cells", type=int, default=None, metavar="N",
         help="stop after executing N cells (smoke tests / staged runs)",
     )
+    _add_telemetry_arguments(run_parser)
 
     status_parser = campaign_sub.add_parser(
         "status", help="show per-cell progress of a campaign directory"
@@ -176,6 +192,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", default="mean_delay_ms",
         help="metric to tabulate (default: mean_delay_ms)",
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run a controller as a long-lived decision service"
+    )
+    serve_parser.add_argument(
+        "--controller", default="OL_GD",
+        help="registry name of the served controller (default: OL_GD)",
+    )
+    serve_parser.add_argument(
+        "--topology", default="gtitm",
+        help="registry name of the network topology (default: gtitm)",
+    )
+    serve_parser.add_argument(
+        "--workload", default="bursty",
+        help="registry name of the anchoring workload (default: bursty)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=2020, metavar="N",
+        help="world seed (default: 2020)",
+    )
+    serve_parser.add_argument(
+        "--horizon", type=int, default=1000, metavar="N",
+        help="synthetic-trace horizon the world is anchored on "
+             "(serving itself is open-ended; default: 1000)",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=30, metavar="N",
+        help="number of user requests / demand-vector size (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--services", type=int, default=4, metavar="N",
+        help="number of service types (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--stations", type=int, default=None, metavar="N",
+        help="number of base stations (default: topology default)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address of the TCP front-end (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port of the line-JSON protocol (0 = ephemeral, "
+             "announced on stdout; default: 0)",
+    )
+    serve_parser.add_argument(
+        "--stdio", action="store_true",
+        help="speak the line-JSON protocol over stdin/stdout instead of "
+             "TCP (banner goes to stderr)",
+    )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="P",
+        help="also serve GET /metrics (Prometheus text format) on this "
+             "port (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=8, metavar="N",
+        help="maximum concurrently-served protocol connections "
+             "(default: 8)",
+    )
+    serve_parser.add_argument(
+        "--buffer-limit", type=int, default=1024, metavar="N",
+        help="maximum pending offers per slot; overflow is rejected and "
+             "counted (default: 1024)",
+    )
+    serve_parser.add_argument(
+        "--tick-interval", type=float, default=None, metavar="SECONDS",
+        help="automatic slot ticks every SECONDS (default: slots advance "
+             "only on explicit 'decide' requests)",
+    )
+    serve_parser.add_argument(
+        "--predicted-demands", action="store_true",
+        help="run the §V setting: the controller predicts demand "
+             "internally instead of seeing the aggregated offers",
+    )
+    _add_checkpoint_arguments(serve_parser)
+    _add_telemetry_arguments(serve_parser)
     return parser
 
 
@@ -260,6 +354,8 @@ def _select_profile(args: argparse.Namespace):
     overrides: Dict[str, object] = {}
     if getattr(args, "jobs", None) is not None:
         overrides["n_jobs"] = args.jobs
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
     if getattr(args, "checkpoint_dir", None) is not None:
         overrides["checkpoint_dir"] = str(args.checkpoint_dir)
     if getattr(args, "resume", False):
@@ -331,15 +427,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     try:
         if args.campaign_command == "run":
+            from repro.sim import RunConfig
+
             spec = load_campaign_toml(args.spec)
             result = run_campaign(
                 spec,
                 args.out,
-                n_jobs=args.jobs,
-                resume=args.resume,
-                max_retries=args.retries,
+                config=RunConfig(
+                    jobs=args.jobs,
+                    resume=args.resume,
+                    retries=args.retries,
+                    scheduler=args.scheduler,
+                ),
                 max_cells=args.max_cells,
-                scheduler=args.scheduler,
             )
             print(campaign_status(args.out, spec).table())
             if not result.complete:
@@ -366,6 +466,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     raise AssertionError(
         f"unhandled campaign command {args.campaign_command!r}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: serving pulls in the scenario/campaign stack,
+    # which the figure/trace commands never need.
+    from repro.serve import ServeConfig, serve
+
+    try:
+        config = ServeConfig(
+            controller=args.controller,
+            topology=args.topology,
+            workload=args.workload,
+            seed=args.seed,
+            horizon=args.horizon,
+            n_stations=args.stations,
+            n_services=args.services,
+            n_requests=args.requests,
+            buffer_limit=args.buffer_limit,
+            demands_known=not args.predicted_demands,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            tick_interval=args.tick_interval,
+        )
+    except (ValueError, KeyError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return serve(
+        config,
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        metrics_port=args.metrics_port,
+        max_connections=args.jobs,
     )
 
 
@@ -398,5 +533,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "campaign":
+        if getattr(args, "campaign_command", None) == "run":
+            return _run_with_telemetry(args, lambda: _cmd_campaign(args))
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _run_with_telemetry(args, lambda: _cmd_serve(args))
     raise AssertionError(f"unhandled command {args.command!r}")

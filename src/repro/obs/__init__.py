@@ -15,6 +15,7 @@ or from the CLI with ``--metrics-out`` / ``--trace`` (see EXPERIMENTS.md).
 The trace event schema is documented in :mod:`repro.obs.trace`.
 """
 
+from repro.obs.prometheus import prometheus_name, render_prometheus, unknown_series
 from repro.obs.registry import (
     DEFAULT_TIME_EDGES,
     Histogram,
@@ -38,8 +39,11 @@ __all__ = [
     "gauge",
     "inc",
     "observe",
+    "prometheus_name",
+    "render_prometheus",
     "set_context",
     "span",
+    "unknown_series",
     "EVENT_TYPES",
     "TraceWriter",
     "read_trace",

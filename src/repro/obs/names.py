@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
-__all__ = ["COUNTERS", "GAUGES", "HISTOGRAMS", "SPANS"]
+__all__ = ["COUNTERS", "GAUGES", "HISTOGRAMS", "SPANS", "all_series"]
 
 #: ``obs.inc(name)`` series.
 COUNTERS: FrozenSet[str] = frozenset(
@@ -37,6 +37,9 @@ COUNTERS: FrozenSet[str] = frozenset(
         "lp.warm_hits",
         "lp.warm_misses",
         "olgd.arms_played",
+        "serve.offers",
+        "serve.rejected",
+        "serve.slots",
         "sim.retries",
         "sim.slots",
         "state.load",
@@ -48,6 +51,7 @@ COUNTERS: FrozenSet[str] = frozenset(
 GAUGES: FrozenSet[str] = frozenset(
     {
         "campaign.cells_in_flight",
+        "serve.buffer_fill",
     }
 )
 
@@ -68,6 +72,7 @@ SPANS: FrozenSet[str] = frozenset(
         "olgd.candidates",
         "olgd.repair",
         "olgd.sample",
+        "serve.decide",
         "sim.decide",
         "sim.evaluate",
         "sim.observe",
@@ -76,3 +81,17 @@ SPANS: FrozenSet[str] = frozenset(
         "state.save",
     }
 )
+
+
+def all_series() -> FrozenSet[str]:
+    """Every concrete series name the catalogue implies.
+
+    Expands the span base names into the derived ``<name>.seconds``
+    histogram and ``<name>.calls`` counter a completed span records, and
+    unions them with the directly-declared counters/gauges/histograms.
+    This is the reference set exporters validate live registries against
+    (see :func:`repro.obs.prometheus.unknown_series`).
+    """
+    derived = {f"{name}.seconds" for name in SPANS}
+    derived |= {f"{name}.calls" for name in SPANS}
+    return frozenset(COUNTERS | GAUGES | HISTOGRAMS | derived)

@@ -1,0 +1,169 @@
+"""Configuration of a decision server: world identity + serving knobs.
+
+:class:`ServeConfig` names every component of the served world through
+the same registries a declarative campaign uses (topology, workload,
+controller — see :mod:`repro.campaigns.spec`), plus the knobs that only
+exist when the controller runs as a service: the ingest buffer bound,
+the checkpoint cadence, the shutdown budget.
+
+The scenario half of the config *is* the identity of the server's world:
+:meth:`ServeConfig.scenario_digest` hashes it together with the seed,
+and warm restarts refuse a checkpoint whose digest differs — resuming a
+controller into a different world would silently break the bit-identity
+contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.campaigns.spec import ScenarioSpec
+from repro.state import snapshot_slug
+
+__all__ = ["ServeConfig", "DEFAULT_BUFFER_LIMIT", "DEFAULT_SHUTDOWN_TIMEOUT"]
+
+#: Default bound on pending offers per slot.
+DEFAULT_BUFFER_LIMIT = 1024
+
+#: Default drain budget (seconds) for :meth:`DecisionServer.stop`.
+DEFAULT_SHUTDOWN_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`repro.serve.DecisionServer` needs.
+
+    World identity (registry names + sizes + seed) mirrors
+    :class:`repro.campaigns.spec.ScenarioSpec`; ``horizon`` sizes the
+    synthetic user trace the world is anchored on (serving is open-ended
+    — the slot clock may run past it, demand arrives over the wire).
+
+    Serving knobs:
+
+    ``buffer_limit``
+        Maximum offers buffered for the open slot; overflow is rejected
+        and counted (``serve.rejected``).
+    ``demands_known``
+        §IV versus §V setting: ``True`` hands the aggregated demand
+        vector to the controller's ``decide``; ``False`` makes the
+        controller predict internally (the ingested demand is then only
+        used for evaluation and ``observe``).
+    ``checkpoint_dir`` / ``checkpoint_every`` / ``resume``
+        Same concepts as :class:`repro.sim.RunConfig`: snapshot the
+        server every ``checkpoint_every`` completed slots under
+        ``checkpoint_dir``, and with ``resume=True`` warm-restart from
+        an existing snapshot (bit-identical continuation).
+    ``tick_interval``
+        Seconds between automatic slot ticks; ``None`` (default) leaves
+        the clock to explicit ``decide`` calls — deterministic serving
+        for tests and batch drivers.
+    ``shutdown_timeout``
+        Bound (seconds) on the drain-then-checkpoint path of ``stop``.
+    """
+
+    controller: str = "OL_GD"
+    topology: str = "gtitm"
+    workload: str = "bursty"
+    seed: int = 2020
+    horizon: int = 1000
+    n_stations: Optional[int] = None
+    n_services: int = 4
+    n_requests: int = 30
+    n_hotspots: int = 5
+    drift_ms: float = 0.5
+    capacity_headroom: Optional[float] = 2.0
+    topology_options: Mapping[str, Any] = field(default_factory=dict)
+    workload_options: Mapping[str, Any] = field(default_factory=dict)
+    controller_options: Mapping[str, Any] = field(default_factory=dict)
+    # ---- serving knobs ----------------------------------------------- #
+    buffer_limit: int = DEFAULT_BUFFER_LIMIT
+    demands_known: bool = True
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    checkpoint_every: Optional[int] = None
+    resume: bool = False
+    tick_interval: Optional[float] = None
+    shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT
+
+    def __post_init__(self) -> None:
+        if self.buffer_limit < 1:
+            raise ValueError(
+                f"buffer_limit must be positive, got {self.buffer_limit}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {self.checkpoint_every}"
+            )
+        if (
+            self.checkpoint_every is not None or self.resume
+        ) and self.checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every/resume require checkpoint_dir"
+            )
+        if self.tick_interval is not None and self.tick_interval <= 0:
+            raise ValueError(
+                f"tick_interval must be positive, got {self.tick_interval}"
+            )
+        if self.shutdown_timeout <= 0:
+            raise ValueError(
+                f"shutdown_timeout must be positive, got {self.shutdown_timeout}"
+            )
+        # Early name validation (same registries the campaign layer uses).
+        self.scenario_spec().validate_names()
+
+    def scenario_spec(self) -> ScenarioSpec:
+        """The world half of the config as a campaign scenario spec."""
+        return ScenarioSpec(
+            controllers=(self.controller,),
+            horizon=self.horizon,
+            topology=self.topology,
+            workload=self.workload,
+            n_stations=self.n_stations,
+            n_services=self.n_services,
+            n_requests=self.n_requests,
+            n_hotspots=self.n_hotspots,
+            drift_ms=self.drift_ms,
+            capacity_headroom=self.capacity_headroom,
+            topology_options=dict(self.topology_options),
+            workload_options=dict(self.workload_options),
+            controller_options={self.controller: dict(self.controller_options)},
+        )
+
+    def scenario_digest(self) -> str:
+        """Stable hash of the world identity (checkpoint compatibility key).
+
+        Covers the scenario fields and the seed — everything that shapes
+        the built world — and deliberately excludes the serving knobs:
+        changing the buffer limit or checkpoint cadence must not orphan
+        an otherwise-valid snapshot.
+        """
+        payload = {
+            "controller": self.controller,
+            "topology": self.topology,
+            "workload": self.workload,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "n_stations": self.n_stations,
+            "n_services": self.n_services,
+            "n_requests": self.n_requests,
+            "n_hotspots": self.n_hotspots,
+            "drift_ms": self.drift_ms,
+            "capacity_headroom": self.capacity_headroom,
+            "topology_options": dict(self.topology_options),
+            "workload_options": dict(self.workload_options),
+            "controller_options": dict(self.controller_options),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def snapshot_path(self) -> Optional[Path]:
+        """The server's snapshot file, or ``None`` without a checkpoint dir."""
+        if self.checkpoint_dir is None:
+            return None
+        return (
+            Path(self.checkpoint_dir)
+            / f"serve-{snapshot_slug(self.controller)}.npz"
+        )

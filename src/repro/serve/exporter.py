@@ -1,0 +1,115 @@
+"""HTTP metrics exporter: ``GET /metrics`` in Prometheus text format.
+
+A thin stdlib ``http.server`` wrapper around
+:func:`repro.obs.render_prometheus` — the rendering (name mangling,
+counter/gauge/histogram exposition, validation against the
+:mod:`repro.obs.names` catalogue) lives in :mod:`repro.obs.prometheus`;
+this module only owns the socket.  ``GET /healthz`` answers the server's
+lifecycle state for load-balancer probes.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import render_prometheus
+
+if TYPE_CHECKING:
+    from repro.serve.server import DecisionServer
+
+__all__ = ["MetricsExporter", "PROMETHEUS_CONTENT_TYPE"]
+
+#: The exposition-format content type Prometheus scrapers expect.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server: "MetricsExporter"  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            try:
+                body = render_prometheus(
+                    self.server.decision_server.metrics
+                ).encode("utf-8")
+            except Exception as exc:  # registry not up yet, render bug
+                self._respond(
+                    503, f"metrics unavailable: {exc}\n".encode("utf-8")
+                )
+                return
+            self._respond(200, body, content_type=PROMETHEUS_CONTENT_TYPE)
+        elif path == "/healthz":
+            state = self.server.decision_server.state
+            status = 200 if state == "running" else 503
+            self._respond(status, f"{state}\n".encode("utf-8"))
+        else:
+            self._respond(404, b"not found\n")
+
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class MetricsExporter(ThreadingHTTPServer):
+    """Background HTTP server exposing a decision server's telemetry.
+
+    Bind with ``port=0`` for an ephemeral port (tests); :attr:`port`
+    reports the bound one.  :meth:`start` / :meth:`stop` manage the
+    daemon serving thread and are idempotent.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        decision_server: "DecisionServer",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.decision_server = decision_server
+        super().__init__((host, port), _MetricsHandler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually-bound HTTP port."""
+        return int(self.server_address[1])
+
+    def start(self) -> None:
+        """Serve scrapes on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="serve-metrics",
+            daemon=True,
+            kwargs={"poll_interval": 0.1},
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and join the thread (idempotent)."""
+        if self._thread is None:
+            self.server_close()
+            return
+        self.shutdown()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.server_close()

@@ -1,0 +1,104 @@
+"""Decision-server lifecycle: a small validated state machine.
+
+The server moves through four states::
+
+    new -> running -> draining -> stopped
+      \\___________________________/
+
+``new`` is a constructed-but-not-started server; ``running`` accepts
+offers and slot ticks; ``draining`` rejects new work while the current
+slot's buffered offers are checkpointed; ``stopped`` is terminal (a
+stopped server is never restarted in place — warm restart happens by
+constructing a fresh server over the checkpoint, which is what keeps the
+bit-identity argument simple).
+
+:class:`Lifecycle` guards the transitions under a condition variable so
+protocol handler threads, the slot clock and the signal-driven shutdown
+path all observe one consistent state, and :meth:`Lifecycle.wait_for`
+gives the shutdown path its bounded timeout.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "NEW",
+    "RUNNING",
+    "DRAINING",
+    "STOPPED",
+    "STATES",
+    "Lifecycle",
+    "LifecycleError",
+]
+
+NEW = "new"
+RUNNING = "running"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+#: All states, in lifecycle order.
+STATES: Tuple[str, ...] = (NEW, RUNNING, DRAINING, STOPPED)
+
+_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    NEW: frozenset({RUNNING, STOPPED}),
+    RUNNING: frozenset({DRAINING, STOPPED}),
+    DRAINING: frozenset({STOPPED}),
+    STOPPED: frozenset(),
+}
+
+
+class LifecycleError(RuntimeError):
+    """An operation was attempted in a state that does not allow it."""
+
+
+class Lifecycle:
+    """Thread-safe state holder enforcing the serve state machine."""
+
+    def __init__(self) -> None:
+        self._state = NEW
+        self._condition = threading.Condition()
+
+    @property
+    def state(self) -> str:
+        """The current state name."""
+        with self._condition:
+            return self._state
+
+    def is_in(self, *states: str) -> bool:
+        """Whether the current state is one of ``states``."""
+        with self._condition:
+            return self._state in states
+
+    def to(self, state: str) -> bool:
+        """Transition to ``state``; returns False when already there.
+
+        Raises :class:`LifecycleError` on a transition the state machine
+        does not allow (e.g. restarting a stopped server).
+        """
+        if state not in _TRANSITIONS:
+            raise LifecycleError(f"unknown lifecycle state {state!r}")
+        with self._condition:
+            if state == self._state:
+                return False
+            if state not in _TRANSITIONS[self._state]:
+                raise LifecycleError(
+                    f"cannot move from {self._state!r} to {state!r}; "
+                    f"allowed: {sorted(_TRANSITIONS[self._state])}"
+                )
+            self._state = state
+            self._condition.notify_all()
+            return True
+
+    def wait_for(self, state: str, *, timeout: float) -> bool:
+        """Block until ``state`` is reached; False on timeout."""
+        if state not in _TRANSITIONS:
+            raise LifecycleError(f"unknown lifecycle state {state!r}")
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._state == state, timeout=timeout
+            )
+
+    def __repr__(self) -> str:
+        return f"Lifecycle(state={self.state!r})"

@@ -6,6 +6,7 @@ recording the per-slot series the paper's figures plot (average delay,
 controller running time) plus regret and cache-churn diagnostics.
 """
 
+from repro.sim.config import UNSET, RunConfig, resolve_run_config
 from repro.sim.engine import run_simulation
 from repro.sim.failures import FailureSchedule, run_with_failures
 from repro.sim.metrics import SimulationResult, SlotRecord
@@ -34,7 +35,10 @@ from repro.state import CheckpointConfig, CheckpointError, SweepManifest
 __all__ = [
     "CheckpointConfig",
     "CheckpointError",
+    "RunConfig",
     "SweepManifest",
+    "UNSET",
+    "resolve_run_config",
     "run_simulation",
     "FailureSchedule",
     "run_with_failures",

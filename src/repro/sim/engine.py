@@ -33,6 +33,7 @@ from repro.core.assignment import Assignment, SlotEvaluator
 from repro.core.controller import Controller
 from repro.core.optimal import clairvoyant_cost, clairvoyant_cost_exact
 from repro.mec.network import MECNetwork
+from repro.sim.config import UNSET, RunConfig, resolve_run_config
 from repro.sim.metrics import SimulationResult, SlotRecord
 from repro.state import (
     SIMULATION_KIND,
@@ -65,7 +66,8 @@ def run_simulation(
     compute_optimal: bool = False,
     exact_optimal: bool = False,
     metrics: Optional["obs.MetricsRegistry"] = None,
-    checkpoint: Optional[CheckpointConfig] = None,
+    config: Optional[RunConfig] = None,
+    checkpoint: object = UNSET,
     failures: Optional["FailureSchedule"] = None,
     dtype: DTypeLike = np.float64,
 ) -> SimulationResult:
@@ -80,15 +82,19 @@ def run_simulation(
     the duration of the run; when omitted, whatever registry is already
     active (e.g. installed by the CLI) keeps receiving the spans.
 
-    ``checkpoint`` enables crash-tolerant snapshots (see
-    :class:`repro.state.CheckpointConfig`): the run writes a snapshot of
-    the controller, demand-model identity and record series every
-    ``every_n_slots`` completed slots, and with ``resume=True`` restores
-    an existing snapshot and continues from the next slot.  A resumed run
-    over a same-seeded world reproduces the uninterrupted run's series
-    bit-identically (timing columns excepted — wall-clock is re-measured).
-    The snapshot does not pin the horizon, so a run can resume into a
-    longer horizon than it was interrupted at.
+    ``config`` (a :class:`repro.sim.RunConfig`) carries the execution
+    knobs this entry point reads: ``checkpoint_dir`` /
+    ``checkpoint_every`` / ``resume`` enable crash-tolerant snapshots —
+    the run writes a snapshot of the controller, demand-model identity
+    and record series every ``checkpoint_every`` completed slots, and
+    with ``resume=True`` restores an existing snapshot and continues
+    from the next slot.  A resumed run over a same-seeded world
+    reproduces the uninterrupted run's series bit-identically (timing
+    columns excepted — wall-clock is re-measured).  The snapshot does
+    not pin the horizon, so a run can resume into a longer horizon than
+    it was interrupted at.  The legacy
+    ``checkpoint=CheckpointConfig(...)`` keyword still works but raises
+    a :class:`DeprecationWarning`.
 
     ``failures`` applies a :class:`repro.sim.failures.FailureSchedule`
     around each slot: scheduled capacity factors are written to the live
@@ -109,6 +115,9 @@ def run_simulation(
             f"demand model covers {demand_model.n_requests} requests, "
             f"controller expects {controller.n_requests}"
         )
+    run_config = resolve_run_config(
+        "run_simulation", config, {"checkpoint": checkpoint}
+    )
     with obs.activate(metrics) if metrics is not None else _KEEP_ACTIVE:
         return _run_loop(
             network,
@@ -118,7 +127,7 @@ def run_simulation(
             demands_known,
             compute_optimal,
             exact_optimal,
-            checkpoint,
+            run_config.to_checkpoint_config(),
             failures,
             dtype,
         )

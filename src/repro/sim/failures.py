@@ -27,9 +27,9 @@ from numpy.typing import DTypeLike
 from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
+from repro.sim.config import UNSET, RunConfig, resolve_run_config
 from repro.sim.engine import run_simulation
 from repro.sim.metrics import SimulationResult
-from repro.state import CheckpointConfig
 from repro.utils.validation import require_non_negative, require_positive
 from repro.workload.demand import DemandModel
 
@@ -128,7 +128,8 @@ def run_with_failures(
     compute_optimal: bool = False,
     exact_optimal: bool = False,
     metrics: Optional["obs.MetricsRegistry"] = None,
-    checkpoint: Optional[CheckpointConfig] = None,
+    config: Optional[RunConfig] = None,
+    checkpoint: object = UNSET,
     dtype: DTypeLike = np.float64,
 ) -> SimulationResult:
     """Like :func:`repro.sim.run_simulation`, with per-slot failures applied.
@@ -141,8 +142,10 @@ def run_with_failures(
 
     Delegates to the shared :func:`repro.sim.run_simulation` loop, so
     every engine feature — obs spans, ``compute_optimal``, prediction-MAE
-    tracking, ``checkpoint`` resume, the ``dtype`` knob — works under
-    failures too.
+    tracking, checkpoint/resume via ``config``, the ``dtype`` knob —
+    works under failures too.  The legacy
+    ``checkpoint=CheckpointConfig(...)`` keyword is a deprecated alias
+    for ``config=RunConfig(checkpoint_dir=..., ...)``.
     """
     return run_simulation(
         network,
@@ -153,7 +156,9 @@ def run_with_failures(
         compute_optimal=compute_optimal,
         exact_optimal=exact_optimal,
         metrics=metrics,
-        checkpoint=checkpoint,
+        config=resolve_run_config(
+            "run_with_failures", config, {"checkpoint": checkpoint}
+        ),
         failures=failures,
         dtype=dtype,
     )

@@ -21,13 +21,13 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.obs import MetricsRegistry
+from repro.sim.config import UNSET, RunConfig, resolve_run_config
 from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import (
@@ -359,14 +359,15 @@ def run_repetitions(
     demands_known: bool = True,
     skip_warmup: Optional[int] = None,
     confidence: float = 0.95,
-    n_jobs: int = 1,
+    config: Optional[RunConfig] = None,
     n_controllers: Optional[int] = None,
-    collect_metrics: Optional[bool] = None,
     failures: Optional[FailureSchedule] = None,
-    max_retries: int = 0,
-    checkpoint_dir: Optional[Union[str, Path]] = None,
-    checkpoint_every: Optional[int] = None,
-    resume: bool = False,
+    n_jobs: object = UNSET,
+    collect_metrics: object = UNSET,
+    max_retries: object = UNSET,
+    checkpoint_dir: object = UNSET,
+    checkpoint_every: object = UNSET,
+    resume: object = UNSET,
 ) -> RepetitionStudy:
     """Run ``build`` across ``repetitions`` seeds and aggregate metrics.
 
@@ -375,36 +376,45 @@ def run_repetitions(
     the same world of its repetition.  Aggregated metrics per controller:
     ``mean_delay_ms``, ``mean_decision_s``, ``total_churn``.
 
-    ``n_jobs`` selects the execution mode: ``1`` (default) runs in-process,
-    anything else fans the ``(repetition, controller)`` grid over a process
-    pool (``None``/``0`` = all cores, negative = joblib-style count-back)
-    with bit-identical summaries.  The builder must be picklable for
-    ``n_jobs != 1``.  ``n_controllers`` (optional) skips the probe build
-    the pool path otherwise needs to size its work grid.
+    ``config`` (a :class:`repro.sim.RunConfig`) carries the execution
+    knobs — one spelling shared with every other entry point:
+
+    * ``jobs`` selects the execution mode: ``1`` (default) runs
+      in-process, anything else fans the ``(repetition, controller)``
+      grid over a process pool (``None``/``0`` = all cores, negative =
+      joblib-style count-back) with bit-identical summaries.  The
+      builder must be picklable for ``jobs != 1``.
+    * ``collect_metrics`` is a tri-state: ``True`` records
+      :mod:`repro.obs` telemetry per work item and attaches the merged
+      aggregate (``study.metrics``) and the per-worker breakdown
+      (``study.worker_metrics``, keyed by executing pid) to the study —
+      rendered by :meth:`RepetitionStudy.metrics_table`; ``None``
+      (default) auto-enables collection when a registry is active in
+      the calling process; ``False`` keeps collection off
+      unconditionally, active registry or not.
+    * ``retries`` re-executes crashed work items (bounded rounds, fresh
+      workers) before recording them as failures; ``checkpoint_dir`` /
+      ``resume`` persist completed items so an interrupted sweep
+      restarted with ``resume=True`` executes only the missing
+      repetitions, and ``checkpoint_every`` adds slot-level snapshots
+      inside each item — all passed through to
+      :meth:`repro.sim.parallel.ParallelRunner.run`, which documents
+      the exact semantics.
+
+    The pre-``RunConfig`` keywords (``n_jobs``, ``collect_metrics``,
+    ``max_retries``, ``checkpoint_dir``, ``checkpoint_every``,
+    ``resume``) still work but raise :class:`DeprecationWarning`; mixing
+    them with ``config=`` is a :class:`TypeError`.
+
+    ``n_controllers`` (optional) skips the probe build the pool path
+    otherwise needs to size its work grid.
 
     A repetition that raises is recorded in the study's ``failures`` with
     its traceback and excluded from the summaries; the count is logged.
 
-    ``collect_metrics`` is a tri-state: ``True`` records :mod:`repro.obs`
-    telemetry per work item and attaches the merged aggregate
-    (``study.metrics``) and the per-worker breakdown
-    (``study.worker_metrics``, keyed by executing pid) to the study —
-    rendered by :meth:`RepetitionStudy.metrics_table`; ``None`` (default)
-    auto-enables collection when a registry is active in the calling
-    process; ``False`` keeps collection off unconditionally, active
-    registry or not.
-
     ``failures`` applies one scripted
     :class:`~repro.sim.failures.FailureSchedule` (station outages /
     capacity degradations) inside every repetition's run.
-
-    ``max_retries`` re-executes crashed work items (bounded rounds, fresh
-    workers) before recording them as failures; ``checkpoint_dir`` /
-    ``resume`` persist completed items so an interrupted sweep restarted
-    with ``resume=True`` executes only the missing repetitions, and
-    ``checkpoint_every`` adds slot-level snapshots inside each item — all
-    passed through to :meth:`repro.sim.parallel.ParallelRunner.run`, which
-    documents the exact semantics.
     """
     require_positive("repetitions", repetitions)
     require_positive("horizon", horizon)
@@ -415,8 +425,20 @@ def run_repetitions(
         raise ValueError(
             f"skip_warmup ({skip_warmup}) must be below horizon ({horizon})"
         )
+    run_config = resolve_run_config(
+        "run_repetitions",
+        config,
+        {
+            "n_jobs": n_jobs,
+            "collect_metrics": collect_metrics,
+            "max_retries": max_retries,
+            "checkpoint_dir": checkpoint_dir,
+            "checkpoint_every": checkpoint_every,
+            "resume": resume,
+        },
+    )
 
-    runner = ParallelRunner(n_jobs=n_jobs)
+    runner = ParallelRunner(n_jobs=run_config.jobs)
     wall_start = time.perf_counter()
     work_results: List[WorkResult] = runner.run(
         build,
@@ -428,12 +450,12 @@ def run_repetitions(
         # Tri-state forwarded verbatim: an explicit False must stay off
         # even when a parent obs registry is active (the old
         # ``collect_metrics or None`` silently re-enabled it).
-        collect_metrics=collect_metrics,
+        collect_metrics=run_config.collect_metrics,
         failures=failures,
-        max_retries=max_retries,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
+        max_retries=run_config.retries,
+        checkpoint_dir=run_config.checkpoint_dir,
+        checkpoint_every=run_config.checkpoint_every,
+        resume=run_config.resume,
     )
     wall_clock = time.perf_counter() - wall_start
     return aggregate_work_results(

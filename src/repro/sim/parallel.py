@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro import obs
 from repro.core.controller import Controller
 from repro.mec.network import MECNetwork
+from repro.sim.config import RunConfig
 from repro.sim.engine import run_simulation
 from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import SimulationResult
@@ -291,7 +292,7 @@ def run_item_on_world(
             horizon=horizon,
             demands_known=demands_known,
             metrics=registry,
-            checkpoint=checkpoint,
+            config=RunConfig.from_checkpoint_config(checkpoint),
             failures=failures,
         )
         if checkpoint is not None:

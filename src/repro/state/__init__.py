@@ -20,7 +20,12 @@ core, workload, GAN and simulation layers can all depend on it without
 cycles.
 """
 
-from repro.state.checkpoint import SIMULATION_KIND, CheckpointConfig
+from repro.state.checkpoint import (
+    SERVE_KIND,
+    SIMULATION_KIND,
+    CheckpointConfig,
+    snapshot_slug,
+)
 from repro.state.manifest import (
     WORK_RESULT_KIND,
     SweepManifest,
@@ -46,6 +51,8 @@ __all__ = [
     "CheckpointError",
     "CheckpointConfig",
     "SIMULATION_KIND",
+    "SERVE_KIND",
+    "snapshot_slug",
     "SweepManifest",
     "WORK_RESULT_KIND",
     "completed_items",

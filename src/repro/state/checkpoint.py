@@ -21,16 +21,29 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
 
-__all__ = ["CheckpointConfig", "SIMULATION_KIND"]
+__all__ = ["CheckpointConfig", "SIMULATION_KIND", "SERVE_KIND", "snapshot_slug"]
 
 #: ``kind`` tag of single-run snapshots (see :func:`repro.state.save_checkpoint`).
 SIMULATION_KIND = "simulation"
 
+#: ``kind`` tag of decision-server snapshots (:mod:`repro.serve`): same wire
+#: format as simulation snapshots, but carrying the server's ingest state
+#: (pending offers, rejection accounting) next to the controller state, so
+#: the two kinds can never resume each other by accident.
+SERVE_KIND = "serve"
 
-def _slug(name: str) -> str:
-    """A controller name as a safe file-name fragment."""
+
+def snapshot_slug(name: str) -> str:
+    """A controller name as a safe file-name fragment.
+
+    Shared by the simulation and serving checkpoint paths so a controller
+    name maps to the same fragment everywhere.
+    """
     cleaned = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name)
     return cleaned or "controller"
+
+
+_slug = snapshot_slug
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,102 @@
+"""The ``repro.api`` facade: the API-stability surface, pinned.
+
+Everything in ``repro.api.__all__`` must resolve, be importable in one
+statement, and be *the same object* as the layer-package export it
+fronts — so isinstance checks and registry registrations interoperate
+whichever import path a user picks.
+"""
+
+import importlib
+
+import pytest
+
+import repro.api as api
+
+#: facade name -> home package whose export it must alias exactly.
+HOMES = {
+    "make_controller": "repro.core",
+    "register_controller": "repro.core",
+    "Controller": "repro.core",
+    "make_topology": "repro.mec",
+    "register_topology": "repro.mec",
+    "MECNetwork": "repro.mec",
+    "make_workload": "repro.workload",
+    "register_workload": "repro.workload",
+    "DemandModel": "repro.workload",
+    "make_predictor": "repro.prediction",
+    "register_predictor": "repro.prediction",
+    "RunConfig": "repro.sim",
+    "run_simulation": "repro.sim",
+    "run_repetitions": "repro.sim",
+    "compare_controllers": "repro.sim",
+    "SimulationResult": "repro.sim",
+    "RepetitionStudy": "repro.sim",
+    "run_campaign": "repro.campaigns",
+    "CampaignSpec": "repro.campaigns",
+    "CampaignResult": "repro.campaigns",
+    "ScenarioSpec": "repro.campaigns",
+    "load_campaign_toml": "repro.campaigns",
+    "ServeConfig": "repro.serve",
+    "serve": "repro.serve",
+    "DecisionServer": "repro.serve",
+    "Placement": "repro.serve",
+    "RngRegistry": "repro.utils.seeding",
+}
+
+
+class TestFacade:
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_all_is_complete_and_duplicate_free(self):
+        assert len(api.__all__) == len(set(api.__all__))
+        # every documented home-package name is exported, and the facade
+        # exports nothing this test does not know the home of
+        assert set(HOMES) == set(api.__all__)
+
+    @pytest.mark.parametrize("name", sorted(HOMES))
+    def test_facade_aliases_the_home_package(self, name):
+        home = importlib.import_module(HOMES[name])
+        assert getattr(api, name) is getattr(home, name)
+
+    def test_quickstart_import_line(self):
+        # the README quickstart import, verbatim
+        from repro.api import (  # noqa: F401
+            RunConfig,
+            ServeConfig,
+            make_controller,
+            make_predictor,
+            make_topology,
+            make_workload,
+            run_campaign,
+            run_repetitions,
+            run_simulation,
+            serve,
+        )
+
+    def test_facade_world_runs(self):
+        # a minimal end-to-end through facade names only
+        from repro.mec.requests import Request
+
+        rngs = api.RngRegistry(seed=11)
+        network = api.MECNetwork.synthetic(8, 2, rngs)
+        rng = rngs.get("requests")
+        requests = [
+            Request(
+                index=i,
+                service_index=int(rng.integers(2)),
+                basic_demand_mb=float(rng.uniform(1.0, 2.0)),
+                hotspot_index=i % 2,
+            )
+            for i in range(6)
+        ]
+        model = api.make_workload("bursty", requests, rngs.get("demand"))
+        controller = api.make_controller(
+            "OL_GD", network, requests, rngs.get("ctrl")
+        )
+        result = api.run_simulation(
+            network, model, controller, 3, config=api.RunConfig()
+        )
+        assert isinstance(result, api.SimulationResult)
+        assert result.horizon == 3

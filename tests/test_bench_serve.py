@@ -1,0 +1,81 @@
+"""Tier-1 smoke test of the serving benchmark (schema and stages).
+
+Runs ``benchmarks/bench_serve.py`` in its ``--quick`` configuration so
+the benchmark cannot rot: every stage must execute and emit the
+trajectory schema the ``BENCH_pr*.json`` files at the repo root follow.
+Throughput *magnitudes* are not asserted — at smoke sizes they are
+noise; the committed ``BENCH_pr10.json`` records the real measurement.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_serve import PR, QUICK_CONFIG, SCHEMA, main, run_benchmark
+
+EXPECTED_STAGES = {
+    "serve_inproc_throughput",
+    "serve_dispatch_throughput",
+    "serve_tcp_throughput",
+    "serve_checkpoint_latency",
+}
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    return run_benchmark(QUICK_CONFIG, tmp_path_factory.mktemp("bench-serve"))
+
+
+class TestBenchmarkSchema:
+    def test_envelope(self, result):
+        assert result["schema"] == SCHEMA
+        assert result["pr"] == PR
+        assert isinstance(result["commit"], str) and result["commit"]
+        assert result["config"] == QUICK_CONFIG
+
+    def test_stages_complete(self, result):
+        assert {s["stage"] for s in result["stages"]} == EXPECTED_STAGES
+
+    def test_stage_fields(self, result):
+        for stage in result["stages"]:
+            assert stage["median_seconds"] > 0
+        by_name = {s["stage"]: s for s in result["stages"]}
+        for name in (
+            "serve_inproc_throughput",
+            "serve_dispatch_throughput",
+            "serve_tcp_throughput",
+        ):
+            assert by_name[name]["requests_per_second"] > 0
+        checkpoint = by_name["serve_checkpoint_latency"]
+        assert checkpoint["save_median_seconds"] > 0
+        assert checkpoint["restore_median_seconds"] > 0
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(result))
+        assert json.loads(path.read_text()) == result
+
+
+class TestCommittedTrajectory:
+    def test_bench_pr10_recorded(self):
+        """The committed trajectory point: the serving stack sustains a
+        measured requests/sec figure at every depth (in-process API,
+        JSON dispatch, TCP), and a warm restart completes."""
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr10.json"
+        recorded = json.loads(path.read_text())
+        assert recorded["schema"] == SCHEMA
+        assert recorded["pr"] == PR
+        stages = {s["stage"]: s for s in recorded["stages"]}
+        assert stages["serve_inproc_throughput"]["requests_per_second"] > 0
+        assert stages["serve_tcp_throughput"]["requests_per_second"] > 0
+        assert stages["serve_checkpoint_latency"]["restore_median_seconds"] > 0
+
+
+class TestCli:
+    def test_quick_writes_output(self, tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        main(["--quick", "--output", str(out)])
+        written = json.loads(out.read_text())
+        assert written["schema"] == SCHEMA
+        assert {s["stage"] for s in written["stages"]} == EXPECTED_STAGES

@@ -1,0 +1,87 @@
+"""Prometheus text-format rendering of ``repro.obs`` registries."""
+
+import pytest
+
+from repro import obs
+from repro.obs import prometheus_name, render_prometheus, unknown_series
+from repro.obs.names import all_series
+
+
+class TestPrometheusName:
+    def test_dotted_to_underscored(self):
+        assert prometheus_name("sim.slots") == "repro_sim_slots"
+        assert prometheus_name("serve.buffer_fill") == "repro_serve_buffer_fill"
+
+    def test_namespace_is_optional(self):
+        assert prometheus_name("sim.slots", namespace="") == "sim_slots"
+
+    def test_invalid_characters_collapse(self):
+        assert prometheus_name("a.b-c d") == "repro_a_b_c_d"
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = obs.MetricsRegistry()
+        registry.inc("serve.offers", 3)
+        registry.gauge("serve.buffer_fill", 2)
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_offers_total counter" in text
+        assert "repro_serve_offers_total 3" in text
+        assert "# TYPE repro_serve_buffer_fill gauge" in text
+        assert "repro_serve_buffer_fill 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = obs.MetricsRegistry()
+        with obs.activate(registry):
+            with obs.span("serve.decide"):
+                pass
+        text = render_prometheus(registry)
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_serve_decide_seconds_bucket")
+        ]
+        # one bucket per edge plus +Inf, monotonically non-decreasing
+        assert len(lines) == len(obs.DEFAULT_TIME_EDGES) + 1
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 1
+        assert 'le="+Inf"' in lines[-1]
+        assert "repro_serve_decide_seconds_count 1" in text
+        assert "repro_serve_decide_seconds_sum" in text
+        # the span's call counter renders too
+        assert "repro_serve_decide_calls_total 1" in text
+
+    def test_integer_values_render_without_decimal(self):
+        registry = obs.MetricsRegistry()
+        registry.inc("sim.slots", 5.0)
+        registry.gauge("serve.buffer_fill", 0.5)
+        text = render_prometheus(registry)
+        assert "repro_sim_slots_total 5\n" in text
+        assert "repro_serve_buffer_fill 0.5" in text
+
+    def test_strict_mode_rejects_uncatalogued_series(self):
+        registry = obs.MetricsRegistry()
+        registry.inc("not.a.real.series")
+        assert unknown_series(registry) == ("not.a.real.series",)
+        with pytest.raises(ValueError, match="not.a.real.series"):
+            render_prometheus(registry, strict=True)
+        # permissive default still renders it
+        assert "repro_not_a_real_series_total" in render_prometheus(registry)
+
+    def test_catalogued_series_are_not_unknown(self):
+        registry = obs.MetricsRegistry()
+        for series in ("serve.offers", "serve.rejected", "serve.slots"):
+            registry.inc(series)
+        registry.gauge("serve.buffer_fill", 1)
+        with obs.activate(registry):
+            with obs.span("state.save"):
+                pass
+        assert unknown_series(registry) == ()
+        render_prometheus(registry, strict=True)
+
+    def test_all_series_expands_span_derivatives(self):
+        series = all_series()
+        assert "serve.decide.seconds" in series
+        assert "serve.decide.calls" in series
+        assert "serve.offers" in series

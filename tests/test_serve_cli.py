@@ -1,0 +1,227 @@
+"""The ``repro serve`` subcommand, end to end, plus CLI flag consistency.
+
+The subprocess test is the PR's lifecycle acceptance scenario run the way
+an operator would: ``python -m repro serve --stdio`` driven over pipes,
+killed with SIGTERM mid-slot (offers already buffered), restarted with
+``--resume``, and the stitched decision trace compared bit-for-bit
+against an uninterrupted in-process server fed the same offers.
+
+The flag-audit test pins the satellite contract: ``--seed``, ``--jobs``,
+``--checkpoint-dir``, ``--checkpoint-every``, ``--resume``,
+``--metrics-out`` and ``--trace`` spell the same concept — same dest,
+same parsed value — on every subcommand that supports them.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import DecisionServer, ServeConfig
+
+HORIZON = 8
+CUT = 5  # SIGTERM lands after this many completed slots
+
+# Must mirror _cmd_serve's ServeConfig construction exactly: the
+# subprocess trace is compared against an in-process server built from
+# this config (CLI-unexposed fields keep their ServeConfig defaults).
+WORLD = dict(
+    controller="OL_GD",
+    seed=11,
+    horizon=8,
+    n_stations=10,
+    n_services=2,
+    n_requests=6,
+)
+
+CLI_WORLD_FLAGS = [
+    "--controller", "OL_GD", "--seed", "11", "--horizon", "8",
+    "--stations", "10", "--services", "2", "--requests", "6",
+]
+
+
+def offers_for(slot):
+    rng = np.random.default_rng(1000 + slot)
+    return [
+        (int(rng.integers(WORLD["n_requests"])), float(rng.uniform(0.5, 2.0)))
+        for _ in range(1 + slot % 3)
+    ]
+
+
+def deterministic(placement_json):
+    """A placement's trace-identity fields (wall-clock timing dropped)."""
+    return {
+        key: value
+        for key, value in placement_json.items()
+        if key != "decision_seconds"
+    }
+
+
+class ServeProcess:
+    """``repro serve --stdio`` as a pipe-driven protocol peer."""
+
+    def __init__(self, tmp_path: Path, *extra: str) -> None:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH")])
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--stdio",
+                *CLI_WORLD_FLAGS,
+                "--checkpoint-dir", str(tmp_path),
+                "--checkpoint-every", "3",
+                *extra,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def request(self, payload):
+        assert self.proc.stdin is not None and self.proc.stdout is not None
+        self.proc.stdin.write(json.dumps(payload) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        assert line, self.proc.stderr.read() if self.proc.stderr else ""
+        return json.loads(line)
+
+    def terminate_and_wait(self, sig=signal.SIGTERM, timeout=30):
+        self.proc.send_signal(sig)
+        return self.proc.wait(timeout=timeout)
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    def test_sigterm_drain_resume_bit_identity(self, tmp_path):
+        # ---- reference: uninterrupted in-process server ---------------- #
+        reference = DecisionServer(ServeConfig(**WORLD))
+        reference.start()
+        expected = []
+        for slot in range(HORIZON):
+            for request, volume in offers_for(slot):
+                reference.offer(request, volume)
+            expected.append(deterministic(reference.decide(slot).to_json()))
+        reference.stop()
+
+        # ---- first process: serve CUT slots, buffer the open slot, ---- #
+        # ---- then SIGTERM (drain + checkpoint + clean exit)        ---- #
+        first = ServeProcess(tmp_path)
+        trace = []
+        for slot in range(CUT):
+            for request, volume in offers_for(slot):
+                assert first.request(
+                    {"op": "offer", "request": request, "volume_mb": volume}
+                )["accepted"]
+            response = first.request({"op": "decide", "slot": slot})
+            trace.append(deterministic(response["placement"]))
+        pending = offers_for(CUT)
+        for request, volume in pending:
+            assert first.request(
+                {"op": "offer", "request": request, "volume_mb": volume}
+            )["accepted"]
+        assert first.terminate_and_wait() == 0
+        snapshot = ServeConfig(
+            **WORLD, checkpoint_dir=tmp_path
+        ).snapshot_path()
+        assert snapshot.exists()
+
+        # ---- second process: --resume, close the interrupted slot ----- #
+        second = ServeProcess(tmp_path, "--resume")
+        status = second.request({"op": "status"})["status"]
+        assert status["slot"] == CUT
+        assert status["buffer_fill"] == len(pending)
+        trace.append(
+            deterministic(
+                second.request({"op": "decide", "slot": CUT})["placement"]
+            )
+        )
+        for slot in range(CUT + 1, HORIZON):
+            for request, volume in offers_for(slot):
+                assert second.request(
+                    {"op": "offer", "request": request, "volume_mb": volume}
+                )["accepted"]
+            trace.append(
+                deterministic(
+                    second.request({"op": "decide", "slot": slot})["placement"]
+                )
+            )
+        assert second.terminate_and_wait() == 0
+
+        assert trace == expected
+
+
+class TestServeCommandErrors:
+    def test_unknown_controller_exits_2(self, capsys):
+        assert main(["serve", "--controller", "Nope", "--stdio"]) == 2
+        assert "unknown controller" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_dir_exits_2(self, capsys):
+        assert main(["serve", "--resume", "--stdio"]) == 2
+        assert "checkpoint_dir" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Shared flag spellings (the CLI-consistency satellite)
+# --------------------------------------------------------------------- #
+
+#: flag -> (argv value, parsed dest value); None = store_true.
+SHARED_FLAGS = {
+    "--seed": ("7", 7),
+    "--jobs": ("2", 2),
+    "--checkpoint-dir": ("ckpt", Path("ckpt")),
+    "--checkpoint-every": ("3", 3),
+    "--resume": (None, True),
+    "--metrics-out": ("m.json", Path("m.json")),
+    "--trace": ("t.jsonl", Path("t.jsonl")),
+}
+
+#: subcommand prefix -> flags it must support with identical semantics.
+SUBCOMMANDS = {
+    ("figure", "fig3"): set(SHARED_FLAGS),
+    ("report",): set(SHARED_FLAGS),
+    ("serve",): set(SHARED_FLAGS),
+    # campaign persistence is rooted at --out and seeds live in the TOML,
+    # so only the execution/telemetry flags apply there.
+    ("campaign", "run", "spec.toml", "--out", "o"): {
+        "--jobs", "--resume", "--metrics-out", "--trace",
+    },
+    ("trace", "--out", "o"): {"--seed"},
+}
+
+
+class TestSharedFlagSpellings:
+    @pytest.mark.parametrize(
+        "prefix", sorted(SUBCOMMANDS), ids=lambda p: "-".join(p[:2])
+    )
+    def test_flags_parse_identically(self, prefix):
+        parser = build_parser()
+        for flag in sorted(SUBCOMMANDS[prefix]):
+            value, expected = SHARED_FLAGS[flag]
+            argv = list(prefix) + (
+                [flag] if value is None else [flag, value]
+            )
+            args = parser.parse_args(argv)
+            dest = flag.lstrip("-").replace("-", "_")
+            assert getattr(args, dest) == expected, (prefix, flag)
+
+    def test_serve_accepts_every_shared_flag_at_once(self):
+        argv = ["serve"]
+        for flag, (value, _) in sorted(SHARED_FLAGS.items()):
+            argv += [flag] if value is None else [flag, value]
+        args = build_parser().parse_args(argv)
+        assert args.command == "serve"
+        assert (args.seed, args.jobs) == (7, 2)
+        assert (args.checkpoint_dir, args.checkpoint_every) == (
+            Path("ckpt"), 3,
+        )
+        assert args.resume and args.metrics_out == Path("m.json")

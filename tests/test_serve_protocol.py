@@ -1,0 +1,219 @@
+"""The serving wire protocol: line-JSON dispatch, TCP, stdio, /metrics.
+
+One dispatcher (:func:`repro.serve.handle_request`) backs every
+front-end, so most behaviour is pinned at the dispatch layer: stable
+error codes, never-raise semantics, placement round-trips.  The TCP and
+HTTP tests bind ephemeral ports (``port=0``) and run the real stdlib
+servers on background threads.
+"""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    ERROR_CODES,
+    PROMETHEUS_CONTENT_TYPE,
+    DecisionServer,
+    MetricsExporter,
+    ProtocolServer,
+    ServeConfig,
+    handle_line,
+    handle_request,
+    request_over_socket,
+    serve_stdio,
+)
+
+TINY = dict(
+    controller="OL_GD",
+    seed=11,
+    horizon=8,
+    n_stations=10,
+    n_services=2,
+    n_requests=6,
+    n_hotspots=3,
+)
+
+
+@pytest.fixture
+def server():
+    decision_server = DecisionServer(ServeConfig(**TINY))
+    decision_server.start()
+    yield decision_server
+    decision_server.stop()
+
+
+class TestDispatch:
+    def test_ping(self, server):
+        response = handle_request(server, {"op": "ping"})
+        assert response == {"ok": True, "state": "running", "slot": 0}
+
+    def test_offer_then_decide_round_trip(self, server):
+        response = handle_request(
+            server, {"op": "offer", "request": 3, "volume_mb": 1.5}
+        )
+        assert response["ok"] and response["accepted"]
+        assert (response["slot"], response["buffer_fill"]) == (0, 1)
+        response = handle_request(server, {"op": "decide", "slot": 0})
+        assert response["ok"]
+        placement = response["placement"]
+        assert placement == server.placement_history()[0].to_json()
+        assert placement["n_offers"] == 1
+        assert len(placement["station_of"]) == TINY["n_requests"]
+
+    def test_error_codes_are_stable(self, server):
+        cases = {
+            "bad_request": {"op": "offer", "request": 3},  # no volume
+            "unknown_op": {"op": "frobnicate"},
+            "bad_slot": {"op": "decide", "slot": 7},
+        }
+        for expected, payload in cases.items():
+            response = handle_request(server, payload)
+            assert not response["ok"]
+            assert response["error"] == expected
+            assert response["error"] in ERROR_CODES
+        # malformed offers are bad_request, not a crash
+        response = handle_request(
+            server, {"op": "offer", "request": 99, "volume_mb": 1.0}
+        )
+        assert response["error"] == "bad_request"
+        assert not handle_request(server, [1, 2, 3])["ok"]
+
+    def test_buffer_full_code(self):
+        decision_server = DecisionServer(ServeConfig(**TINY, buffer_limit=1))
+        decision_server.start()
+        try:
+            offer = {"op": "offer", "request": 0, "volume_mb": 1.0}
+            assert handle_request(decision_server, offer)["ok"]
+            response = handle_request(decision_server, offer)
+            assert not response["ok"]
+            assert response["error"] == "buffer_full"
+            assert response["accepted"] is False
+            # admission control, not an error: the slot still decides
+            assert handle_request(decision_server, {"op": "decide"})["ok"]
+        finally:
+            decision_server.stop()
+
+    def test_status_and_metrics(self, server):
+        handle_request(server, {"op": "offer", "request": 0, "volume_mb": 1.0})
+        status = handle_request(server, {"op": "status"})
+        assert status["ok"]
+        assert status["status"]["buffer_fill"] == 1
+        metrics = handle_request(server, {"op": "metrics"})
+        assert metrics["ok"]
+        assert "repro_serve_offers_total 1" in metrics["metrics"]
+
+    def test_checkpoint_without_dir_is_bad_request(self, server):
+        response = handle_request(server, {"op": "checkpoint"})
+        assert response["error"] == "bad_request"
+
+    def test_checkpoint_with_dir(self, tmp_path):
+        config = ServeConfig(**TINY, checkpoint_dir=tmp_path)
+        decision_server = DecisionServer(config)
+        decision_server.start()
+        try:
+            response = handle_request(decision_server, {"op": "checkpoint"})
+            assert response["ok"]
+            assert response["checkpoint"] == str(config.snapshot_path())
+            assert config.snapshot_path().exists()
+        finally:
+            decision_server.stop()
+
+    def test_shutdown_sets_the_flag(self, server):
+        assert handle_request(server, {"op": "shutdown"})["ok"]
+        assert server.shutdown_requested
+
+    def test_handle_line_rejects_bad_json(self, server):
+        response = json.loads(handle_line(server, "{not json"))
+        assert response["error"] == "bad_request"
+        response = json.loads(handle_line(server, '{"op": "ping"}'))
+        assert response["ok"]
+
+
+class TestTCP:
+    def test_round_trip_over_socket(self, server):
+        tcp = ProtocolServer(server, port=0)
+        tcp.start_background()
+        try:
+            host, port = "127.0.0.1", tcp.port
+            assert request_over_socket(host, port, {"op": "ping"})["ok"]
+            offered = request_over_socket(
+                host, port, {"op": "offer", "request": 1, "volume_mb": 2.0}
+            )
+            assert offered["accepted"]
+            decided = request_over_socket(host, port, {"op": "decide"})
+            assert decided["placement"]["slot"] == 0
+            assert decided["placement"]["n_offers"] == 1
+        finally:
+            tcp.stop_background()
+
+    def test_max_connections_must_be_positive(self, server):
+        with pytest.raises(ValueError, match="max_connections"):
+            ProtocolServer(server, port=0, max_connections=0)
+
+
+class TestStdio:
+    def test_pumps_lines_until_eof(self, server):
+        stdin = io.StringIO(
+            '{"op": "offer", "request": 0, "volume_mb": 1.0}\n'
+            "\n"  # blank lines are skipped
+            '{"op": "decide"}\n'
+        )
+        stdout = io.StringIO()
+        serve_stdio(server, stdin, stdout)
+        lines = stdout.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["accepted"]
+        assert json.loads(lines[1])["placement"]["slot"] == 0
+
+    def test_shutdown_op_ends_the_loop(self, server):
+        stdin = io.StringIO(
+            '{"op": "shutdown"}\n'
+            '{"op": "ping"}\n'  # never reached: the loop exits first
+        )
+        stdout = io.StringIO()
+        serve_stdio(server, stdin, stdout)
+        lines = stdout.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["ok"]
+
+
+class TestMetricsExporter:
+    def test_scrape_and_health(self, server):
+        handle_request(server, {"op": "offer", "request": 0, "volume_mb": 1.0})
+        exporter = MetricsExporter(server, port=0)
+        exporter.start()
+        try:
+            base = f"http://127.0.0.1:{exporter.port}"
+            with urllib.request.urlopen(f"{base}/metrics") as response:
+                assert response.status == 200
+                assert (
+                    response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                )
+                body = response.read().decode("utf-8")
+            assert "repro_serve_offers_total 1" in body
+            assert "repro_serve_buffer_fill 1" in body
+            with urllib.request.urlopen(f"{base}/healthz") as response:
+                assert response.status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            exporter.stop()
+
+    def test_health_degrades_after_stop(self):
+        decision_server = DecisionServer(ServeConfig(**TINY))
+        decision_server.start()
+        exporter = MetricsExporter(decision_server, port=0)
+        exporter.start()
+        try:
+            decision_server.stop()
+            url = f"http://127.0.0.1:{exporter.port}/healthz"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 503
+        finally:
+            exporter.stop()
